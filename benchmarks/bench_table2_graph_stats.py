@@ -1,0 +1,49 @@
+"""Table II — statistics of the constructed graphs (image and text).
+
+Paper: image graph 265 nodes / 5256 D-D edges / 1753 M-D accuracy edges /
+916 M-D transferability edges, avg degree 20.1; text graph 188 nodes /
+550 / 918 / 419, avg degree 8.6; all pruning thresholds 0.5.
+
+Our zoo is ~8x smaller, so absolute counts scale down; the *structure*
+(all D-D pairs present, M-D edges pruned at 0.5) is identical.
+"""
+
+from benchmarks.conftest import print_header
+from repro.graph import GraphConfig, build_graph
+
+_PAPER = {
+    "image": dict(nodes=265, dd=5256, md_acc=1753, md_trans=916, degree=20.1),
+    "text": dict(nodes=188, dd=550, md_acc=918, md_trans=419, degree=8.6),
+}
+
+
+def _stats_for(zoo):
+    graph, _ = build_graph(zoo, config=GraphConfig())
+    return graph.stats()
+
+
+def test_table2_graph_stats(benchmark, image_zoo, text_zoo):
+    results = benchmark.pedantic(
+        lambda: {"image": _stats_for(image_zoo), "text": _stats_for(text_zoo)},
+        rounds=1, iterations=1)
+    print_header("Table II — graph statistics")
+    print(f"  {'property':<38}{'paper-img':>10}{'ours-img':>10}"
+          f"{'paper-txt':>10}{'ours-txt':>10}")
+    rows = [
+        ("number of nodes", "nodes", "num_nodes"),
+        ("dataset-dataset edges", "dd", "num_dd_edges"),
+        ("model-dataset edges (accuracy)", "md_acc", "num_md_accuracy_edges"),
+        ("model-dataset edges (transferability)", "md_trans",
+         "num_md_transferability_edges"),
+        ("average node degree", "degree", "average_degree"),
+    ]
+    for label, paper_key, ours_key in rows:
+        print(f"  {label:<38}"
+              f"{_PAPER['image'][paper_key]:>10}"
+              f"{results['image'][ours_key]:>10.1f}"
+              f"{_PAPER['text'][paper_key]:>10}"
+              f"{results['text'][ours_key]:>10.1f}")
+    # structural invariant: all dataset pairs present (as in the paper)
+    for modality, zoo in (("image", image_zoo), ("text", text_zoo)):
+        n = len(zoo.dataset_names())
+        assert results[modality]["num_dd_edges"] == n * (n - 1) // 2

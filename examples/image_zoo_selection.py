@@ -1,0 +1,39 @@
+"""Compare model-selection strategies on the image zoo (Fig. 7a workload).
+
+Run:  python examples/image_zoo_selection.py
+
+Evaluates random selection, LogME, Amazon LR and TransferGraph with the
+leave-one-out protocol over all eight image targets, and prints the
+average Pearson correlation and top-5 accuracy per strategy.
+"""
+
+from repro.baselines import AmazonLR, FeatureBasedStrategy, RandomSelection
+from repro.core import (
+    FeatureSet,
+    TransferGraph,
+    TransferGraphConfig,
+    evaluate_strategy,
+)
+from repro.zoo import ZooConfig, get_or_build_zoo
+
+
+def main() -> None:
+    zoo = get_or_build_zoo(ZooConfig.small(modality="image", seed=0))
+    strategies = [
+        RandomSelection(seed=0),
+        FeatureBasedStrategy("logme"),
+        AmazonLR("basic"),
+        AmazonLR("all+logme"),
+        TransferGraph(TransferGraphConfig(
+            predictor="xgb", graph_learner="node2vec", embedding_dim=32,
+            features=FeatureSet.everything())),
+    ]
+    print(f"{'strategy':<20}{'avg Pearson':>14}{'avg top-5 acc':>16}")
+    for strategy in strategies:
+        ev = evaluate_strategy(strategy, zoo)
+        print(f"{strategy.name:<20}{ev.average_correlation():>+14.3f}"
+              f"{ev.average_top_k_accuracy(5):>16.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup entry point.
+
+The execution environment has no ``wheel`` package and no network, so the
+modern PEP 517 editable-install path (which needs ``bdist_wheel``) fails.
+``pip install -e . --no-use-pep517`` takes the ``setup.py develop`` route
+instead, which this file enables.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

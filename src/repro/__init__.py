@@ -1,0 +1,28 @@
+"""TransferGraph reproduction — model selection with a model zoo via graph learning.
+
+This package reproduces "Model Selection with Model Zoo via Graph Learning"
+(Li et al., ICDE 2024) end to end:
+
+- :mod:`repro.nn` — numpy autograd substrate (the paper used PyTorch);
+- :mod:`repro.zoo` — a simulated but genuinely-trained model zoo;
+- :mod:`repro.store` — the zoo's metadata catalog;
+- :mod:`repro.transferability` — LogME / LEEP / NCE / PARC / TransRate / H-score;
+- :mod:`repro.probe` — dataset representations and similarity;
+- :mod:`repro.graph` — graph construction and Node2Vec(+)/GraphSAGE/GAT;
+- :mod:`repro.predictors` — LR / RandomForest / XGBoost-style regressors;
+- :mod:`repro.core` — the 4-stage TransferGraph framework and evaluation;
+- :mod:`repro.baselines` — Random, LogME-as-strategy, Amazon LR.
+
+Quickstart::
+
+    from repro.core import TransferGraph, TransferGraphConfig
+    from repro.zoo import build_default_zoo
+
+    zoo = build_default_zoo(modality="image", seed=0)
+    tg = TransferGraph(TransferGraphConfig())
+    result = tg.evaluate_loo(zoo, target="stanfordcars")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

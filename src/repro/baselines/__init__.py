@@ -1,0 +1,18 @@
+"""Baseline model-selection strategies (§VII-A "Baselines").
+
+- :class:`RandomSelection` — the naive strategy of Fig. 2;
+- :class:`FeatureBasedStrategy` — rank by a transferability estimator
+  (``LogME`` being the paper's feature-based baseline);
+- :class:`AmazonLR` — the learning-based SOTA baseline [10] in its three
+  variants: ``LR`` (metadata), ``LR{all}`` (+dataset similarity),
+  ``LR{all,LogME}`` (+LogME score feature).
+
+All expose the strategy protocol:
+``scores_for_target(zoo, target) -> {model_id: score}``.
+"""
+
+from repro.baselines.random_select import RandomSelection
+from repro.baselines.feature_based import FeatureBasedStrategy
+from repro.baselines.amazon_lr import AmazonLR
+
+__all__ = ["RandomSelection", "FeatureBasedStrategy", "AmazonLR"]

@@ -1,0 +1,48 @@
+"""Amazon LR (Li et al., CVPR 2023 [10]) — the learning-based SOTA baseline.
+
+A linear regression over basic metadata of models and datasets, trained
+on the fine-tuning history of all non-target datasets (LOO).  Variants:
+
+- ``LR``            — metadata features only;
+- ``LR{all}``       — metadata + dataset similarity;
+- ``LR{all,LogME}`` — metadata + dataset similarity + LogME score.
+
+Implementation-wise this is TransferGraph's Stage 3 with graph features
+switched off — which is precisely how the paper positions it.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FeatureSet, TransferGraphConfig
+from repro.core.framework import TransferGraph
+
+__all__ = ["AmazonLR"]
+
+_VARIANTS = {
+    "basic": (FeatureSet.basic, "LR"),
+    "all": (FeatureSet.all_no_graph, "LR{all}"),
+    "all+logme": (FeatureSet.all_logme, "LR{all,LogME}"),
+}
+
+
+class AmazonLR:
+    """Metadata linear regression in three feature variants."""
+
+    def __init__(self, variant: str = "basic", seed: int = 0,
+                 label_method: str = "finetune"):
+        if variant not in _VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; expected one of {sorted(_VARIANTS)}")
+        feature_set, name = _VARIANTS[variant]
+        self.variant = variant
+        self.name = name
+        config = TransferGraphConfig(
+            predictor="lr",
+            features=feature_set(),
+            label_method=label_method,
+            seed=seed,
+        )
+        self._tg = TransferGraph(config)
+
+    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
+        return self._tg.scores_for_target(zoo, target)

@@ -1,0 +1,22 @@
+"""Random model selection — the naive baseline of Fig. 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+__all__ = ["RandomSelection"]
+
+
+class RandomSelection:
+    """Assigns i.i.d. uniform scores; deterministic per (seed, target)."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.name = "Random"
+
+    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
+        rng = np.random.default_rng(derive_seed(self.seed, "random", target))
+        model_ids = zoo.model_ids()
+        return dict(zip(model_ids, rng.random(len(model_ids))))

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build-zoo``   build (and cache) a model zoo
+``rank``        rank zoo models for a target dataset with TransferGraph
+``evaluate``    run the leave-one-out comparison of selection strategies
+``stats``       print catalog + graph statistics (Table II style)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TransferGraph reproduction — model selection with a "
+                    "model zoo via graph learning (ICDE 2024)",
+    )
+    parser.add_argument("--modality", choices=("image", "text"),
+                        default="image")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", choices=("tiny", "small", "default"),
+                        default="small", help="zoo size preset")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("build-zoo", help="build and cache the zoo")
+
+    rank = sub.add_parser("rank", help="rank models for a target dataset")
+    rank.add_argument("target", help="target dataset name, e.g. stanfordcars")
+    rank.add_argument("--top", type=int, default=5)
+    rank.add_argument("--predictor", choices=("lr", "rf", "xgb"),
+                      default="xgb")
+    rank.add_argument("--graph-learner", default="node2vec",
+                      choices=("node2vec", "node2vec+", "graphsage", "gat"))
+
+    evaluate = sub.add_parser("evaluate",
+                              help="LOO comparison of selection strategies")
+    evaluate.add_argument("--predictor", choices=("lr", "rf", "xgb"),
+                          default="xgb")
+
+    sub.add_parser("stats", help="catalog and graph statistics")
+    return parser
+
+
+def _load_zoo(args):
+    from repro.zoo import ZooConfig, get_or_build_zoo
+
+    preset = {"tiny": ZooConfig.tiny, "small": ZooConfig.small,
+              "default": ZooConfig.default}[args.scale]
+    return get_or_build_zoo(preset(modality=args.modality, seed=args.seed))
+
+
+def _tg_strategy(predictor: str, graph_learner: str = "node2vec"):
+    from repro.core import FeatureSet, TransferGraph, TransferGraphConfig
+
+    return TransferGraph(TransferGraphConfig(
+        predictor=predictor, graph_learner=graph_learner,
+        embedding_dim=32, features=FeatureSet.everything()))
+
+
+def _cmd_build_zoo(args) -> int:
+    zoo = _load_zoo(args)
+    print(f"zoo ready: {len(zoo.model_ids())} models, "
+          f"{len(zoo.dataset_names())} datasets "
+          f"({len(zoo.target_names())} targets)")
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    zoo = _load_zoo(args)
+    if args.target not in zoo.target_names():
+        print(f"error: unknown target {args.target!r}; "
+              f"choose from {zoo.target_names()}", file=sys.stderr)
+        return 2
+    strategy = _tg_strategy(args.predictor, args.graph_learner)
+    ranking = strategy.rank_models(zoo, args.target)
+    print(f"top {args.top} models for {args.target} ({strategy.name}):")
+    for model_id, score in ranking[: args.top]:
+        spec = zoo.model(model_id).spec
+        print(f"  {model_id:<26} {score:+.3f}  "
+              f"[{spec.family}, source={spec.pretrain_dataset}]")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.baselines import AmazonLR, FeatureBasedStrategy, RandomSelection
+    from repro.core import evaluate_strategy
+
+    zoo = _load_zoo(args)
+    strategies = [
+        RandomSelection(seed=args.seed),
+        FeatureBasedStrategy("logme"),
+        AmazonLR("all+logme"),
+        _tg_strategy(args.predictor),
+    ]
+    print(f"{'strategy':<22}{'avg Pearson':>13}{'avg top-5 acc':>15}")
+    for strategy in strategies:
+        ev = evaluate_strategy(strategy, zoo)
+        print(f"{strategy.name:<22}{ev.average_correlation():>+13.3f}"
+              f"{ev.average_top_k_accuracy(5):>15.3f}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.graph import build_graph
+
+    zoo = _load_zoo(args)
+    print("catalog:", zoo.catalog.stats())
+    graph, links = build_graph(zoo)
+    for key, value in graph.stats().items():
+        print(f"  {key:<34} {value:.1f}" if isinstance(value, float)
+              else f"  {key:<34} {value}")
+    print(f"  link examples: {len(links.positive)} positive / "
+          f"{len(links.negative)} negative")
+    return 0
+
+
+_COMMANDS = {
+    "build-zoo": _cmd_build_zoo,
+    "rank": _cmd_rank,
+    "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

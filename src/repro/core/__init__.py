@@ -1,0 +1,23 @@
+"""The TransferGraph core: configuration, pipeline, and LOO evaluation."""
+
+from repro.core.config import FeatureSet, TransferGraphConfig
+from repro.core.features import FeatureAssembler
+from repro.core.framework import FittedTransferGraph, TransferGraph
+from repro.core.evaluation import (
+    LooEvaluation,
+    TargetResult,
+    evaluate_strategy,
+    top_k_accuracy,
+)
+
+__all__ = [
+    "FeatureSet",
+    "TransferGraphConfig",
+    "FeatureAssembler",
+    "FittedTransferGraph",
+    "TransferGraph",
+    "LooEvaluation",
+    "TargetResult",
+    "evaluate_strategy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,92 @@
+"""Leave-one-out evaluation harness (§VII-A "Evaluation").
+
+A *strategy* is anything with ``name`` and
+``scores_for_target(zoo, target) -> {model_id: score}``.  The harness runs
+the LOO protocol over the zoo's target datasets and reports, per target,
+the Pearson correlation between predicted scores and the ground-truth
+fine-tuning accuracies — plus the Fig. 2-style top-k average accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import pearson_correlation, top_k_indices
+
+__all__ = ["TargetResult", "LooEvaluation", "evaluate_strategy",
+           "top_k_accuracy"]
+
+
+@dataclass(frozen=True)
+class TargetResult:
+    """Outcome of one strategy on one LOO target."""
+
+    target: str
+    correlation: float
+    scores: dict[str, float] = field(repr=False)
+    truth: dict[str, float] = field(repr=False)
+
+    def top_k_accuracy(self, k: int = 5) -> float:
+        """Mean ground-truth accuracy of the k best-scored models."""
+        model_ids = sorted(self.scores)
+        score_vec = np.array([self.scores[m] for m in model_ids])
+        truth_vec = np.array([self.truth[m] for m in model_ids])
+        idx = top_k_indices(score_vec, k)
+        return float(truth_vec[idx].mean())
+
+
+@dataclass
+class LooEvaluation:
+    """All per-target results of one strategy."""
+
+    strategy: str
+    results: dict[str, TargetResult]
+
+    def correlations(self) -> dict[str, float]:
+        return {t: r.correlation for t, r in sorted(self.results.items())}
+
+    def average_correlation(self) -> float:
+        if not self.results:
+            raise ValueError("no results to average")
+        return float(np.mean([r.correlation for r in self.results.values()]))
+
+    def average_top_k_accuracy(self, k: int = 5) -> float:
+        return float(np.mean([r.top_k_accuracy(k)
+                              for r in self.results.values()]))
+
+
+def evaluate_strategy(strategy, zoo, targets: list[str] | None = None,
+                      ground_truth_method: str = "finetune") -> LooEvaluation:
+    """Run the LOO protocol for one strategy over the given targets."""
+    targets = targets if targets is not None else zoo.target_names()
+    if not targets:
+        raise ValueError("no target datasets to evaluate on")
+    results: dict[str, TargetResult] = {}
+    for target in targets:
+        scores = strategy.scores_for_target(zoo, target)
+        ids, truth_vec = zoo.ground_truth(target, method=ground_truth_method)
+        missing = set(ids) - set(scores)
+        if missing:
+            raise ValueError(
+                f"{strategy.name} returned no score for {sorted(missing)[:3]}…")
+        score_vec = np.array([scores[m] for m in ids])
+        corr = pearson_correlation(truth_vec, score_vec)
+        results[target] = TargetResult(
+            target=target,
+            correlation=corr,
+            scores={m: float(s) for m, s in zip(ids, score_vec)},
+            truth={m: float(t) for m, t in zip(ids, truth_vec)},
+        )
+    return LooEvaluation(strategy=getattr(strategy, "name", repr(strategy)),
+                         results=results)
+
+
+def top_k_accuracy(zoo, scores: dict[str, float], target: str, k: int = 5,
+                   ground_truth_method: str = "finetune") -> float:
+    """Fig. 2 metric: mean actual accuracy of the top-k predicted models."""
+    ids, truth_vec = zoo.ground_truth(target, method=ground_truth_method)
+    score_vec = np.array([scores[m] for m in ids])
+    idx = top_k_indices(score_vec, k)
+    return float(truth_vec[idx].mean())

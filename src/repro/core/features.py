@@ -1,0 +1,218 @@
+"""Stage-3 feature assembly: (model, dataset) pairs → tabular rows (§VI-C).
+
+Each row describes one (model, dataset) pair with up to four groups:
+
+1. **metadata** — the §IV-A features: model architecture/family/source
+   dataset (one-hot), numeric capacity indicators, plus dataset sample /
+   class counts;
+2. **dataset similarity** — ϕ(model's pre-train dataset, the row's
+   dataset), the "distance between source dataset and target" feature;
+3. **transferability** — the LogME score of the pair (LR{all,LogME});
+4. **graph features** — the node embeddings of model and dataset learned
+   by the graph learner.
+
+The assembler is *fitted* on the training pairs (fixing one-hot encoders)
+and then reused for the prediction set so columns stay aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FeatureSet
+from repro.transferability import score_model_on_dataset
+from repro.utils import FeatureMatrixBuilder, OneHotEncoder
+
+__all__ = ["FeatureAssembler"]
+
+
+@dataclass
+class FeatureAssembler:
+    """Builds aligned train/prediction feature matrices."""
+
+    zoo: object
+    features: FeatureSet
+    embeddings: dict[str, np.ndarray] | None = None
+    transferability_metric: str = "logme"
+    similarity_method: str = "domain_similarity"
+    #: the LOO graph (needed for the two-hop affinity feature)
+    graph: object | None = None
+
+    def __post_init__(self):
+        if not self.features.any_active():
+            raise ValueError("FeatureSet selects no feature groups")
+        if self.features.graph_features and self.embeddings is None:
+            raise ValueError("graph features requested but no embeddings given")
+        self._encoders: dict[str, OneHotEncoder] | None = None
+
+    # ------------------------------------------------------------------ #
+    def _model_rows(self, model_ids: list[str]) -> list[dict]:
+        return [self.zoo.catalog.models.get(mid) for mid in model_ids]
+
+    def _dataset_rows(self, dataset_ids: list[str]) -> list[dict]:
+        return [self.zoo.catalog.datasets.get(did) for did in dataset_ids]
+
+    def _similarity_feature(self, model_row: dict, dataset_id: str) -> float:
+        """ϕ(source dataset of the model, the pair's dataset)."""
+        source = model_row["pretrain_dataset"]
+        if source == dataset_id:
+            return 1.0
+        sim = self.zoo.catalog.get_similarity(source, dataset_id,
+                                              method=self.similarity_method)
+        return sim if sim is not None else 0.0
+
+    def _raw_transferability(self, model_id: str, dataset_id: str) -> float:
+        score = self.zoo.catalog.get_transferability(
+            model_id, dataset_id, metric=self.transferability_metric)
+        if score is None:
+            # Computable without fine-tuning: forward pass + estimator.
+            score = score_model_on_dataset(self.zoo, model_id, dataset_id,
+                                           self.transferability_metric)
+            self.zoo.catalog.record_transferability(
+                model_id, dataset_id, self.transferability_metric, score)
+        return score
+
+    def _transferability_feature(self, model_id: str, dataset_id: str) -> float:
+        """Per-dataset min-max normalised estimator score.
+
+        Raw LogME evidences live on dataset-dependent scales; a regression
+        model pooling rows across datasets needs them comparable, so each
+        score is normalised against all zoo models on the same dataset.
+        """
+        if not hasattr(self, "_transfer_norm_cache"):
+            self._transfer_norm_cache: dict[str, dict[str, float]] = {}
+        per_dataset = self._transfer_norm_cache.get(dataset_id)
+        if per_dataset is None:
+            model_ids = self.zoo.model_ids()
+            raw = np.array([self._raw_transferability(m, dataset_id)
+                            for m in model_ids])
+            lo, hi = raw.min(), raw.max()
+            normed = (raw - lo) / (hi - lo) if hi - lo > 1e-12 \
+                else np.full_like(raw, 0.5)
+            per_dataset = dict(zip(model_ids, normed))
+            self._transfer_norm_cache[dataset_id] = per_dataset
+        return per_dataset[model_id]
+
+    def _embedding_of(self, node_id: str, dim: int) -> np.ndarray:
+        assert self.embeddings is not None
+        vector = self.embeddings.get(node_id)
+        if vector is None:
+            return np.zeros(dim)
+        return vector
+
+    def _two_hop_affinity(self, model_id: str, dataset_id: str) -> float:
+        """Σ over datasets d' of ϕ(dataset, d') · accuracy-edge(model, d').
+
+        Uses only edges present in the (LOO-pruned) graph, so no target
+        history can leak through this feature.
+        """
+        if self.graph is None or not self.graph.has_node(model_id):
+            return 0.0
+        total = 0.0
+        for neighbor, weight, kind in self.graph.neighbors(model_id):
+            if kind != "accuracy" or neighbor == dataset_id:
+                continue
+            if self.graph.node_kind(neighbor) != "dataset":
+                continue
+            sim = self.zoo.catalog.get_similarity(
+                dataset_id, neighbor, method=self.similarity_method)
+            if sim is not None:
+                total += sim * weight
+        return total
+
+    # ------------------------------------------------------------------ #
+    def assemble(self, pairs: list[tuple[str, str]], fit: bool = False
+                 ) -> tuple[np.ndarray, list[str]]:
+        """Feature matrix for (model_id, dataset_id) pairs.
+
+        ``fit=True`` (training set) fits the categorical encoders;
+        ``fit=False`` (prediction set) reuses them — call order matters.
+        """
+        if not pairs:
+            raise ValueError("no pairs to assemble features for")
+        if not fit and self._encoders is None:
+            raise RuntimeError("assemble(fit=True) must be called first")
+
+        model_ids = [m for m, _ in pairs]
+        dataset_ids = [d for _, d in pairs]
+        model_rows = self._model_rows(model_ids)
+        dataset_rows = self._dataset_rows(dataset_ids)
+
+        builder = FeatureMatrixBuilder()
+        encoders = self._encoders or {}
+
+        if self.features.metadata:
+            builder.add_numeric("model.num_params",
+                                [r["num_params"] for r in model_rows])
+            builder.add_numeric("model.memory_mb",
+                                [r["memory_mb"] for r in model_rows])
+            builder.add_numeric("model.input_shape",
+                                [r["input_shape"] for r in model_rows])
+            builder.add_numeric("model.embedding_dim",
+                                [r["embedding_dim"] for r in model_rows])
+            builder.add_numeric("model.depth",
+                                [r["depth"] for r in model_rows])
+            builder.add_numeric("model.pretrain_accuracy",
+                                [r["pretrain_accuracy"] for r in model_rows])
+            builder.add_categorical("model.family",
+                                    [r["family"] for r in model_rows],
+                                    encoder=encoders.get("model.family"))
+            builder.add_categorical("model.architecture",
+                                    [r["architecture"] for r in model_rows],
+                                    encoder=encoders.get("model.architecture"))
+            builder.add_categorical(
+                "model.pretrain_dataset",
+                [r["pretrain_dataset"] for r in model_rows],
+                encoder=encoders.get("model.pretrain_dataset"))
+            builder.add_numeric("dataset.num_samples",
+                                [r["num_samples"] for r in dataset_rows])
+            builder.add_numeric("dataset.num_classes",
+                                [r["num_classes"] for r in dataset_rows])
+            builder.add_numeric("dataset.input_dim",
+                                [r["input_dim"] for r in dataset_rows])
+
+        if self.features.dataset_similarity:
+            builder.add_numeric(
+                "pair.source_target_similarity",
+                [self._similarity_feature(mr, d)
+                 for mr, d in zip(model_rows, dataset_ids)])
+
+        if self.features.transferability:
+            builder.add_numeric(
+                "pair.transferability",
+                [self._transferability_feature(m, d) for m, d in pairs])
+
+        if self.features.graph_features:
+            dim = len(next(iter(self.embeddings.values())))
+            model_emb = np.vstack([self._embedding_of(m, dim) for m in model_ids])
+            dataset_emb = np.vstack([self._embedding_of(d, dim)
+                                     for d in dataset_ids])
+            if self.features.graph_raw_embeddings:
+                builder.add_embedding("model.graph_emb", model_emb)
+                builder.add_embedding("dataset.graph_emb", dataset_emb)
+            if self.features.graph_interaction:
+                builder.add_embedding("pair.graph_emb_product",
+                                      model_emb * dataset_emb)
+                # Derived scalars a linear model can exploit directly:
+                # SGNS embedding norms track node frequency (≈ how many
+                # datasets a model performs well on) and the dot/cosine
+                # track model-dataset co-occurrence in the walks.
+                norm_m = np.linalg.norm(model_emb, axis=1)
+                norm_d = np.linalg.norm(dataset_emb, axis=1)
+                dots = (model_emb * dataset_emb).sum(axis=1)
+                cosine = dots / np.maximum(norm_m * norm_d, 1e-12)
+                builder.add_numeric("model.graph_emb_norm", norm_m)
+                builder.add_numeric("dataset.graph_emb_norm", norm_d)
+                builder.add_numeric("pair.graph_emb_dot", dots)
+                builder.add_numeric("pair.graph_emb_cosine", cosine)
+            if self.features.graph_two_hop and self.graph is not None:
+                builder.add_numeric(
+                    "pair.graph_two_hop",
+                    [self._two_hop_affinity(m, d) for m, d in pairs])
+
+        matrix, names = builder.build()
+        if fit:
+            self._encoders = builder.encoders()
+        return matrix, names

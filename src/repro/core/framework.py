@@ -1,0 +1,127 @@
+"""The TransferGraph framework — Fig. 5's four stages, end to end.
+
+Given a zoo and a target dataset:
+
+- **Stage 1** (metadata & features) is already materialised in the zoo
+  catalog (similarities, transferability scores, history);
+- **Stage 2** builds the LOO graph (target's M-D edges removed) and runs
+  the configured graph learner to get node embeddings;
+- **Stage 3** assembles the tabular training set from all *other*
+  datasets' fine-tuning history and fits the prediction model;
+- **Stage 4** scores every (model, target) pair and ranks the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TransferGraphConfig
+from repro.core.features import FeatureAssembler
+from repro.graph import GraphBuilder, get_graph_learner
+from repro.predictors import get_predictor
+from repro.utils.rng import derive_seed
+
+__all__ = ["TransferGraph", "FittedTransferGraph"]
+
+
+@dataclass
+class FittedTransferGraph:
+    """The state produced by :meth:`TransferGraph.fit` for one target."""
+
+    target: str
+    assembler: FeatureAssembler
+    predictor: object
+    embeddings: dict[str, np.ndarray]
+    graph_stats: dict[str, float]
+    feature_names: list[str] = field(repr=False, default_factory=list)
+
+    def predict(self, model_ids: list[str]) -> np.ndarray:
+        """Predicted fine-tuning scores of models on the fitted target."""
+        pairs = [(m, self.target) for m in model_ids]
+        x, _ = self.assembler.assemble(pairs, fit=False)
+        return self.predictor.predict(x)
+
+
+class TransferGraph:
+    """Model-selection strategy backed by graph learning (the paper's TG)."""
+
+    def __init__(self, config: TransferGraphConfig | None = None):
+        self.config = config or TransferGraphConfig()
+
+    @property
+    def name(self) -> str:
+        return self.config.strategy_name()
+
+    # ------------------------------------------------------------------ #
+    def _training_pairs(self, zoo, target: str) -> tuple[list[tuple[str, str]],
+                                                         np.ndarray]:
+        """All (model, dataset≠target) pairs with known history labels."""
+        method = self.config.label_method
+        pairs: list[tuple[str, str]] = []
+        labels: list[float] = []
+        for dataset_id in zoo.target_names():
+            if dataset_id == target:
+                continue
+            for row in zoo.catalog.history_for_dataset(dataset_id, method=method):
+                pairs.append((row["model_id"], dataset_id))
+                labels.append(row["accuracy"])
+        if not pairs:
+            raise ValueError(
+                f"no training history available outside target {target!r}")
+        return pairs, np.asarray(labels)
+
+    # ------------------------------------------------------------------ #
+    def fit(self, zoo, target: str) -> FittedTransferGraph:
+        """Run Stages 2–3 for one leave-one-out target."""
+        config = self.config
+        builder = GraphBuilder(zoo, config.graph)
+        graph, links = builder.build(exclude_target=target)
+
+        embeddings: dict[str, np.ndarray] = {}
+        if config.features.graph_features:
+            learner = get_graph_learner(
+                config.graph_learner, dim=config.embedding_dim,
+                seed=derive_seed(config.seed, "graph_learner", target))
+            embeddings = learner.embed(graph, links)
+
+        assembler = FeatureAssembler(
+            zoo=zoo,
+            features=config.features,
+            embeddings=embeddings if config.features.graph_features else None,
+            transferability_metric=config.graph.transferability_metric,
+            similarity_method=config.graph.similarity_method,
+            graph=graph if config.features.graph_features else None,
+        )
+        pairs, labels = self._training_pairs(zoo, target)
+        x_train, names = assembler.assemble(pairs, fit=True)
+
+        predictor = get_predictor(config.predictor)
+        predictor.fit(x_train, labels)
+
+        return FittedTransferGraph(
+            target=target,
+            assembler=assembler,
+            predictor=predictor,
+            embeddings=embeddings,
+            graph_stats=graph.stats(),
+            feature_names=names,
+        )
+
+    # ------------------------------------------------------------------ #
+    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
+        """Stage 4: predicted score for every model on ``target``.
+
+        This is the strategy protocol shared with the baselines, so the
+        evaluation harness can treat TG and baselines uniformly.
+        """
+        fitted = self.fit(zoo, target)
+        model_ids = zoo.model_ids()
+        scores = fitted.predict(model_ids)
+        return dict(zip(model_ids, scores))
+
+    def rank_models(self, zoo, target: str) -> list[tuple[str, float]]:
+        """Models sorted by predicted fine-tuning score, best first."""
+        scores = self.scores_for_target(zoo, target)
+        return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))

@@ -1,0 +1,69 @@
+"""Graph construction and graph learning (§V of the paper).
+
+- :mod:`repro.graph.graph` — the weighted model/dataset graph;
+- :mod:`repro.graph.builder` — Table II construction heuristics
+  (thresholds, pruning, LOO target exclusion, history-ratio ablation);
+- :mod:`repro.graph.walks` / :mod:`repro.graph.skipgram` — biased random
+  walks and SGNS used by Node2Vec(+);
+- :mod:`repro.graph.learners` — Node2Vec and Node2Vec+;
+- :mod:`repro.graph.gnn` — GraphSAGE and GAT trained for link prediction.
+"""
+
+from repro.graph.graph import Edge, EDGE_KINDS, ModelDatasetGraph, Node
+from repro.graph.builder import (
+    GraphBuilder,
+    GraphConfig,
+    LinkExamples,
+    build_graph,
+)
+from repro.graph.walks import WalkConfig, generate_walks
+from repro.graph.skipgram import SkipGramConfig, train_skipgram
+from repro.graph.learners import GraphLearner, Node2Vec, Node2VecPlus
+from repro.graph.gnn import (
+    GAT,
+    GATEncoder,
+    GraphSAGE,
+    GraphSAGEEncoder,
+    train_link_prediction,
+)
+
+GRAPH_LEARNERS: dict[str, type[GraphLearner]] = {
+    cls.name: cls for cls in (Node2Vec, Node2VecPlus, GraphSAGE, GAT)
+}
+
+
+def get_graph_learner(name: str, **kwargs) -> GraphLearner:
+    """Instantiate a graph learner by name (``node2vec``, ``node2vec+``,
+    ``graphsage``, ``gat``)."""
+    try:
+        return GRAPH_LEARNERS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown graph learner {name!r}; available: {sorted(GRAPH_LEARNERS)}"
+        ) from None
+
+
+__all__ = [
+    "Edge",
+    "EDGE_KINDS",
+    "ModelDatasetGraph",
+    "Node",
+    "GraphBuilder",
+    "GraphConfig",
+    "LinkExamples",
+    "build_graph",
+    "WalkConfig",
+    "generate_walks",
+    "SkipGramConfig",
+    "train_skipgram",
+    "GraphLearner",
+    "Node2Vec",
+    "Node2VecPlus",
+    "GraphSAGE",
+    "GraphSAGEEncoder",
+    "GAT",
+    "GATEncoder",
+    "train_link_prediction",
+    "GRAPH_LEARNERS",
+    "get_graph_learner",
+]

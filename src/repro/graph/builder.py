@@ -1,0 +1,255 @@
+"""Graph construction from the zoo catalog (§V-A, Table II heuristics).
+
+The builder turns catalog facts into the weighted graph:
+
+- every dataset pair gets a D-D edge weighted by similarity (Table II
+  shows *all* pairs present: 5256 = 73·72 for the image graph);
+- (model, dataset) training history becomes M-D "accuracy" edges, kept
+  only when the *per-dataset min-max normalised* accuracy meets the
+  pruning threshold (0.5 in Table II);
+- transferability scores become M-D "transferability" edges, normalised
+  and pruned the same way;
+- for leave-one-out evaluation the target dataset's M-D edges are
+  removed (§VII-A Evaluation) while its D-D edges remain;
+- ``history_ratio`` < 1 subsamples history edges (the Fig. 13 ablation).
+
+Positive/negative link-prediction labels use the same normalised scores:
+pairs at/above ``negative_threshold`` are positive, the rest negative
+(§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import ModelDatasetGraph
+from repro.probe import compute_dataset_embeddings, record_dataset_similarities
+from repro.transferability import normalise_scores, score_zoo
+from repro.utils.rng import derive_seed
+
+__all__ = ["GraphConfig", "LinkExamples", "GraphBuilder", "build_graph"]
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Knobs of the graph-construction heuristics (Table II)."""
+
+    transferability_threshold: float = 0.5
+    accuracy_threshold: float = 0.5
+    negative_threshold: float = 0.5
+    use_accuracy_edges: bool = True
+    use_transferability_edges: bool = True
+    transferability_metric: str = "logme"
+    similarity_method: str = "domain_similarity"
+    history_method: str = "finetune"
+    include_pretrain_edges: bool = True
+    history_ratio: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("transferability_threshold", "accuracy_threshold",
+                     "negative_threshold", "history_ratio"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class LinkExamples:
+    """Labelled (model, dataset) pairs for the link-prediction task."""
+
+    positive: list[tuple[str, str]] = field(default_factory=list)
+    negative: list[tuple[str, str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.positive) + len(self.negative)
+
+
+class GraphBuilder:
+    """Builds :class:`ModelDatasetGraph` instances from a zoo."""
+
+    def __init__(self, zoo, config: GraphConfig | None = None):
+        self.zoo = zoo
+        self.config = config or GraphConfig()
+
+    # ------------------------------------------------------------------ #
+    def ensure_similarities(self) -> None:
+        """Compute + record dataset similarities if the catalog lacks them."""
+        method = self.config.similarity_method
+        names = self.zoo.dataset_names()
+        missing = any(
+            self.zoo.catalog.get_similarity(names[i], names[j], method=method) is None
+            for i in range(min(2, len(names)))
+            for j in range(i + 1, min(3, len(names)))
+        )
+        if missing:
+            embeddings = compute_dataset_embeddings(self.zoo, method=method)
+            record_dataset_similarities(self.zoo, embeddings, method=method)
+
+    def ensure_transferability(self) -> None:
+        """Compute + record transferability scores if absent."""
+        metric = self.config.transferability_metric
+        model_ids = self.zoo.model_ids()
+        targets = self.zoo.target_names()
+        if not model_ids or not targets:
+            return
+        probe = self.zoo.catalog.get_transferability(model_ids[0], targets[0],
+                                                     metric=metric)
+        if probe is None:
+            score_zoo(self.zoo, metric=metric, record=True)
+
+    # ------------------------------------------------------------------ #
+    def _normalised_history(self, exclude_target: str | None
+                            ) -> dict[str, dict[str, float]]:
+        """Per-dataset min-max normalised fine-tune accuracies.
+
+        Returns {dataset: {model: normalised accuracy}} excluding the LOO
+        target (its history must not leak into the graph).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for dataset_id in self.zoo.target_names():
+            if dataset_id == exclude_target:
+                continue
+            rows = self.zoo.catalog.history_for_dataset(
+                dataset_id, method=self.config.history_method)
+            if not rows:
+                continue
+            models = [r["model_id"] for r in rows]
+            scores = normalise_scores([r["accuracy"] for r in rows])
+            out[dataset_id] = dict(zip(models, scores))
+        return out
+
+    def _normalised_transferability(self, exclude_target: str | None
+                                    ) -> dict[str, dict[str, float]]:
+        metric = self.config.transferability_metric
+        out: dict[str, dict[str, float]] = {}
+        for dataset_id in self.zoo.target_names():
+            if dataset_id == exclude_target:
+                continue
+            rows = self.zoo.catalog.transferability.filter(
+                dataset_id=dataset_id, metric=metric)
+            if not rows:
+                continue
+            models = [r["model_id"] for r in rows]
+            scores = normalise_scores([r["score"] for r in rows])
+            out[dataset_id] = dict(zip(models, scores))
+        return out
+
+    def _subsample(self, pairs: list, kind: str) -> list:
+        """Apply the Fig. 13 history-ratio subsampling."""
+        ratio = self.config.history_ratio
+        if ratio >= 1.0 or not pairs:
+            return pairs
+        rng = np.random.default_rng(
+            derive_seed(self.config.seed, "history_ratio", kind))
+        keep = max(1, int(round(ratio * len(pairs))))
+        idx = rng.choice(len(pairs), size=keep, replace=False)
+        return [pairs[i] for i in sorted(idx)]
+
+    # ------------------------------------------------------------------ #
+    def build(self, exclude_target: str | None = None
+              ) -> tuple[ModelDatasetGraph, LinkExamples]:
+        """Construct the graph (and link labels) for one LOO round."""
+        if exclude_target is not None and exclude_target not in self.zoo.datasets:
+            raise KeyError(f"unknown target dataset {exclude_target!r}")
+        self.ensure_similarities()
+        if self.config.use_transferability_edges:
+            self.ensure_transferability()
+
+        graph = ModelDatasetGraph()
+        for name in self.zoo.dataset_names():
+            graph.add_node(name, "dataset")
+        for model_id in self.zoo.model_ids():
+            graph.add_node(model_id, "model")
+
+        # --- D-D similarity edges (all pairs, Table II) ----------------- #
+        names = self.zoo.dataset_names()
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                sim = self.zoo.catalog.get_similarity(
+                    names[i], names[j], method=self.config.similarity_method)
+                if sim is not None:
+                    graph.add_edge(names[i], names[j], sim, "similarity")
+
+        links = LinkExamples()
+
+        # --- M-D accuracy edges (history) ------------------------------- #
+        if self.config.use_accuracy_edges:
+            history = self._normalised_history(exclude_target)
+            pairs = [(d, m, s) for d, per_model in sorted(history.items())
+                     for m, s in sorted(per_model.items())]
+            pairs = self._subsample(pairs, "accuracy")
+            for dataset_id, model_id, score in pairs:
+                if score >= self.config.accuracy_threshold:
+                    graph.add_edge(model_id, dataset_id, score, "accuracy")
+                if score >= self.config.negative_threshold:
+                    links.positive.append((model_id, dataset_id))
+                else:
+                    links.negative.append((model_id, dataset_id))
+
+            if self.config.include_pretrain_edges:
+                for row in self.zoo.catalog.history.filter(method="pretrain"):
+                    if row["dataset_id"] == exclude_target:
+                        continue
+                    if not graph.has_node(row["dataset_id"]):
+                        continue
+                    # Pre-train accuracy is used raw (§V-A3 example: 0.95).
+                    if row["accuracy"] >= self.config.accuracy_threshold:
+                        graph.add_edge(row["model_id"], row["dataset_id"],
+                                       row["accuracy"], "accuracy")
+
+        # --- M-D transferability edges ---------------------------------- #
+        if self.config.use_transferability_edges:
+            transfer = self._normalised_transferability(exclude_target)
+            pairs = [(d, m, s) for d, per_model in sorted(transfer.items())
+                     for m, s in sorted(per_model.items())]
+            pairs = self._subsample(pairs, "transferability")
+            for dataset_id, model_id, score in pairs:
+                if score >= self.config.transferability_threshold:
+                    graph.add_edge(model_id, dataset_id, score, "transferability")
+                if not self.config.use_accuracy_edges:
+                    # No-history scenario (§VII-C): labels come from
+                    # transferability scores instead.
+                    if score >= self.config.negative_threshold:
+                        links.positive.append((model_id, dataset_id))
+                    else:
+                        links.negative.append((model_id, dataset_id))
+
+        self._attach_node_features(graph)
+        return graph, links
+
+    # ------------------------------------------------------------------ #
+    def _attach_node_features(self, graph: ModelDatasetGraph) -> None:
+        """Node features for GNN learners (§V-A2).
+
+        Dataset nodes carry their probe embedding; model nodes carry a
+        metadata vector padded/truncated to the same dimensionality.
+        """
+        embeddings = compute_dataset_embeddings(
+            self.zoo, method=self.config.similarity_method)
+        dim = len(next(iter(embeddings.values())))
+        for name, emb in embeddings.items():
+            if graph.has_node(name):
+                graph.node_features[name] = emb
+
+        rows = self.zoo.catalog.models.to_records()
+        raw = np.array([
+            [r["num_params"], r["depth"], r["input_shape"],
+             r["embedding_dim"], r["pretrain_accuracy"], r["memory_mb"]]
+            for r in rows
+        ], dtype=np.float64)
+        # standardise columns so no metadata scale dominates
+        raw = (raw - raw.mean(axis=0)) / (raw.std(axis=0) + 1e-9)
+        for row, record in zip(raw, rows):
+            feat = np.zeros(dim)
+            feat[: min(dim, raw.shape[1])] = row[:dim]
+            graph.node_features[record["model_id"]] = feat
+
+
+def build_graph(zoo, exclude_target: str | None = None,
+                config: GraphConfig | None = None
+                ) -> tuple[ModelDatasetGraph, LinkExamples]:
+    """Convenience wrapper: ``GraphBuilder(zoo, config).build(target)``."""
+    return GraphBuilder(zoo, config).build(exclude_target=exclude_target)

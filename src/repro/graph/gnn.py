@@ -1,0 +1,198 @@
+"""GNN graph learners: GraphSAGE (Eq. 4) and GAT (Eq. 5) on ``repro.nn``.
+
+Both encoders consume node features + adjacency and are trained on the
+link-prediction objective (§V-B): the dot product of two node embeddings
+should be high for positive (model performs well on dataset) pairs and
+low for negative ones, via binary cross-entropy.  Zoo graphs are small
+(Table II: hundreds of nodes) so dense adjacency is used throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import LinkExamples
+from repro.graph.graph import ModelDatasetGraph
+from repro.graph.learners import GraphLearner
+from repro.nn import (
+    AdamW,
+    Linear,
+    Module,
+    Tensor,
+    binary_cross_entropy_with_logits,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = ["GraphSAGEEncoder", "GATEncoder", "GraphSAGE", "GAT",
+           "train_link_prediction"]
+
+
+class GraphSAGEEncoder(Module):
+    """Two mean-aggregator GraphSAGE layers (Hamilton et al. 2017, Eq. 4).
+
+        h^{k+1}_i = ReLU( W^k h^k_i  +  Q^k · mean_{n∈N(i)} h^k_n )
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 rng: np.random.Generator):
+        self.w_self_1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.w_neigh_1 = Linear(in_dim, hidden_dim, rng=rng, bias=False)
+        self.w_self_2 = Linear(hidden_dim, out_dim, rng=rng)
+        self.w_neigh_2 = Linear(hidden_dim, out_dim, rng=rng, bias=False)
+
+    def encode(self, x: Tensor, mean_adj: Tensor) -> Tensor:
+        neigh = mean_adj @ x
+        h = (self.w_self_1(x) + self.w_neigh_1(neigh)).relu()
+        neigh2 = mean_adj @ h
+        return self.w_self_2(h) + self.w_neigh_2(neigh2)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - not used
+        raise RuntimeError("use encode(x, mean_adj)")
+
+
+class GATEncoder(Module):
+    """A single-head graph attention layer + linear head (Eq. 5).
+
+    Attention logits  e_ij = LeakyReLU( a · [W h_i || W h_j] )  are
+    computed densely and masked to the adjacency support before the
+    row-wise softmax.
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 rng: np.random.Generator):
+        self.w = Linear(in_dim, hidden_dim, rng=rng, bias=False)
+        self.attn_src = Linear(hidden_dim, 1, rng=rng, bias=False)
+        self.attn_dst = Linear(hidden_dim, 1, rng=rng, bias=False)
+        self.out = Linear(hidden_dim, out_dim, rng=rng)
+
+    def encode(self, x: Tensor, adj_mask: np.ndarray) -> Tensor:
+        wh = self.w(x)                                   # (n, hidden)
+        src = self.attn_src(wh)                          # (n, 1)
+        dst = self.attn_dst(wh)                          # (n, 1)
+        logits = (src + dst.T).leaky_relu(0.2)           # (n, n)
+        # mask non-edges with a large negative constant (keep self-loops)
+        mask_matrix = np.where(adj_mask > 0, 0.0, -1e9)
+        masked = logits + Tensor(mask_matrix)
+        alpha = masked.log_softmax(axis=-1).exp()        # row-stochastic
+        h = (alpha @ wh).gelu()
+        return self.out(h)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - not used
+        raise RuntimeError("use encode(x, adj_mask)")
+
+
+def _mean_adjacency(graph: ModelDatasetGraph) -> np.ndarray:
+    """Row-normalised weighted adjacency with self-loops."""
+    a = graph.adjacency_matrix(weighted=True)
+    a = a + np.eye(a.shape[0])
+    row_sums = a.sum(axis=1, keepdims=True)
+    return a / np.maximum(row_sums, 1e-12)
+
+
+def _sample_extra_negatives(graph: ModelDatasetGraph, links: LinkExamples,
+                            rng: np.random.Generator) -> list[tuple[str, str]]:
+    """Top up negatives so classes are balanced for BCE."""
+    deficit = len(links.positive) - len(links.negative)
+    if deficit <= 0:
+        return []
+    models = graph.nodes("model")
+    datasets = graph.nodes("dataset")
+    existing = set(links.positive) | set(links.negative)
+    extras: list[tuple[str, str]] = []
+    attempts = 0
+    while len(extras) < deficit and attempts < 50 * deficit + 100:
+        attempts += 1
+        pair = (models[int(rng.integers(len(models)))],
+                datasets[int(rng.integers(len(datasets)))])
+        if pair not in existing:
+            extras.append(pair)
+            existing.add(pair)
+    return extras
+
+
+def train_link_prediction(encoder, graph: ModelDatasetGraph,
+                          links: LinkExamples, *, use_mask: bool,
+                          epochs: int, lr: float, seed: int
+                          ) -> dict[str, np.ndarray]:
+    """Train an encoder on the BCE link objective; return node embeddings."""
+    rng = np.random.default_rng(derive_seed(seed, "link_prediction"))
+    index = graph.index()
+    features = graph.feature_matrix()
+    x = Tensor(features)
+
+    if use_mask:
+        support = graph.adjacency_matrix(weighted=False) + np.eye(graph.num_nodes)
+        encode = lambda: encoder.encode(x, support)          # GAT
+    else:
+        mean_adj = Tensor(_mean_adjacency(graph))
+        encode = lambda: encoder.encode(x, mean_adj)         # GraphSAGE
+
+    pairs = list(links.positive) + list(links.negative) \
+        + _sample_extra_negatives(graph, links, rng)
+    labels = np.array([1.0] * len(links.positive)
+                      + [0.0] * (len(pairs) - len(links.positive)))
+    if not pairs:
+        # Degenerate graph (no labelled links): return raw encodings.
+        h = encode().numpy()
+        return {node: h[i].copy() for node, i in index.items()}
+
+    u_idx = np.array([index[u] for u, _ in pairs])
+    v_idx = np.array([index[v] for _, v in pairs])
+
+    opt = AdamW(encoder.parameters(), lr=lr, weight_decay=1e-4)
+    for _ in range(epochs):
+        h = encode()
+        scores = (h[u_idx] * h[v_idx]).sum(axis=1)
+        loss = binary_cross_entropy_with_logits(scores, labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+    h = encode().numpy()
+    return {node: h[i].copy() for node, i in index.items()}
+
+
+class GraphSAGE(GraphLearner):
+    """GraphSAGE learner trained for link prediction."""
+
+    name = "graphsage"
+
+    def __init__(self, dim: int = 128, seed: int = 0, hidden_dim: int = 64,
+                 epochs: int = 150, lr: float = 5e-3):
+        super().__init__(dim=dim, seed=seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+
+    def embed(self, graph: ModelDatasetGraph,
+              links: LinkExamples | None = None) -> dict[str, np.ndarray]:
+        links = links or LinkExamples()
+        in_dim = graph.feature_matrix().shape[1]
+        rng = np.random.default_rng(derive_seed(self.seed, self.name, "init"))
+        encoder = GraphSAGEEncoder(in_dim, self.hidden_dim, self.dim, rng)
+        return train_link_prediction(encoder, graph, links, use_mask=False,
+                                     epochs=self.epochs, lr=self.lr,
+                                     seed=self.seed)
+
+
+class GAT(GraphLearner):
+    """GAT learner trained for link prediction."""
+
+    name = "gat"
+
+    def __init__(self, dim: int = 128, seed: int = 0, hidden_dim: int = 64,
+                 epochs: int = 150, lr: float = 5e-3):
+        super().__init__(dim=dim, seed=seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+
+    def embed(self, graph: ModelDatasetGraph,
+              links: LinkExamples | None = None) -> dict[str, np.ndarray]:
+        links = links or LinkExamples()
+        in_dim = graph.feature_matrix().shape[1]
+        rng = np.random.default_rng(derive_seed(self.seed, self.name, "init"))
+        encoder = GATEncoder(in_dim, self.hidden_dim, self.dim, rng)
+        return train_link_prediction(encoder, graph, links, use_mask=True,
+                                     epochs=self.epochs, lr=self.lr,
+                                     seed=self.seed)

@@ -1,0 +1,186 @@
+"""The model-dataset graph structure (Definition III.1).
+
+Nodes are models or datasets; edges carry a weight and a *kind*:
+
+- ``"similarity"``       — dataset ↔ dataset, weight = dataset similarity;
+- ``"accuracy"``         — model ↔ dataset, weight = (normalised) training
+                           performance (pre-train or fine-tune history);
+- ``"transferability"``  — model ↔ dataset, weight = (normalised)
+                           transferability score (e.g. LogME).
+
+The graph is undirected; adjacency is stored both as neighbor lists (for
+random walks) and lazily as a dense weighted matrix (for the GNNs — zoo
+graphs are small, a few hundred nodes, cf. Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Node", "Edge", "ModelDatasetGraph", "EDGE_KINDS"]
+
+EDGE_KINDS = ("similarity", "accuracy", "transferability")
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex: a model or a dataset."""
+
+    node_id: str
+    kind: str  # "model" | "dataset"
+
+    def __post_init__(self):
+        if self.kind not in ("model", "dataset"):
+            raise ValueError(f"node kind must be model|dataset, got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge with a semantic kind."""
+
+    u: str
+    v: str
+    weight: float
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in EDGE_KINDS:
+            raise ValueError(f"edge kind must be one of {EDGE_KINDS}, got {self.kind!r}")
+
+
+class ModelDatasetGraph:
+    """Undirected weighted multigraph over models and datasets."""
+
+    def __init__(self):
+        self._nodes: dict[str, Node] = {}
+        self._edges: list[Edge] = []
+        self._adjacency: dict[str, list[tuple[str, float, str]]] = {}
+        self.node_features: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: str, kind: str,
+                 features: np.ndarray | None = None) -> None:
+        if node_id in self._nodes:
+            existing = self._nodes[node_id]
+            if existing.kind != kind:
+                raise ValueError(
+                    f"node {node_id!r} already exists with kind {existing.kind!r}")
+        else:
+            self._nodes[node_id] = Node(node_id, kind)
+            self._adjacency[node_id] = []
+        if features is not None:
+            self.node_features[node_id] = np.asarray(features, dtype=np.float64)
+
+    def add_edge(self, u: str, v: str, weight: float, kind: str) -> None:
+        if u not in self._nodes or v not in self._nodes:
+            missing = u if u not in self._nodes else v
+            raise KeyError(f"edge endpoint {missing!r} is not a node")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed ({u!r})")
+        edge = Edge(u, v, float(weight), kind)
+        self._edges.append(edge)
+        self._adjacency[u].append((v, edge.weight, kind))
+        self._adjacency[v].append((u, edge.weight, kind))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def nodes(self, kind: str | None = None) -> list[str]:
+        if kind is None:
+            return sorted(self._nodes)
+        return sorted(n for n, node in self._nodes.items() if node.kind == kind)
+
+    def node_kind(self, node_id: str) -> str:
+        return self._nodes[node_id].kind
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def edges(self, kind: str | None = None) -> list[Edge]:
+        if kind is None:
+            return list(self._edges)
+        return [e for e in self._edges if e.kind == kind]
+
+    def neighbors(self, node_id: str) -> list[tuple[str, float, str]]:
+        return list(self._adjacency[node_id])
+
+    def degree(self, node_id: str) -> int:
+        return len(self._adjacency[node_id])
+
+    def average_degree(self) -> float:
+        if not self._nodes:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_nodes
+
+    def has_edge(self, u: str, v: str) -> bool:
+        return any(n == v for n, _, _ in self._adjacency.get(u, []))
+
+    # ------------------------------------------------------------------ #
+    def index(self) -> dict[str, int]:
+        """Stable node → integer index (sorted order)."""
+        return {n: i for i, n in enumerate(self.nodes())}
+
+    def adjacency_matrix(self, weighted: bool = True) -> np.ndarray:
+        """Dense symmetric adjacency (parallel edges sum their weights)."""
+        idx = self.index()
+        a = np.zeros((self.num_nodes, self.num_nodes))
+        for e in self._edges:
+            value = e.weight if weighted else 1.0
+            a[idx[e.u], idx[e.v]] += value
+            a[idx[e.v], idx[e.u]] += value
+        return a
+
+    def feature_matrix(self, default_dim: int | None = None) -> np.ndarray:
+        """Node features stacked in index order; zero rows where absent."""
+        names = self.nodes()
+        dims = {f.shape[0] for f in self.node_features.values()}
+        if len(dims) > 1:
+            raise ValueError(f"inconsistent node-feature dims: {sorted(dims)}")
+        if not dims:
+            if default_dim is None:
+                raise ValueError("graph has no node features")
+            dims = {default_dim}
+        dim = dims.pop()
+        out = np.zeros((len(names), dim))
+        for i, name in enumerate(names):
+            feat = self.node_features.get(name)
+            if feat is not None:
+                out[i] = feat
+        return out
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float]:
+        """The Table II statistics of this graph."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_model_nodes": len(self.nodes("model")),
+            "num_dataset_nodes": len(self.nodes("dataset")),
+            "num_edges": self.num_edges,
+            "num_dd_edges": len(self.edges("similarity")),
+            "num_md_accuracy_edges": len(self.edges("accuracy")),
+            "num_md_transferability_edges": len(self.edges("transferability")),
+            "average_degree": self.average_degree(),
+        }
+
+    def to_networkx(self):
+        """Export to a networkx Graph (for inspection/visualisation)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for node_id, node in self._nodes.items():
+            g.add_node(node_id, kind=node.kind)
+        for e in self._edges:
+            # networkx collapses parallel edges; keep the max weight.
+            if g.has_edge(e.u, e.v):
+                g[e.u][e.v]["weight"] = max(g[e.u][e.v]["weight"], e.weight)
+            else:
+                g.add_edge(e.u, e.v, weight=e.weight, kind=e.kind)
+        return g

@@ -1,0 +1,81 @@
+"""Graph learners: the common interface + Node2Vec / Node2Vec+ (§V-B).
+
+Every learner consumes a :class:`ModelDatasetGraph` (plus, for the GNNs,
+link-prediction examples) and yields a node → embedding mapping used as
+"graph features" by the prediction model (Stage 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.builder import LinkExamples
+from repro.graph.graph import ModelDatasetGraph
+from repro.graph.skipgram import SkipGramConfig, train_skipgram
+from repro.graph.walks import WalkConfig, generate_walks
+from repro.utils.rng import derive_seed
+
+__all__ = ["GraphLearner", "Node2Vec", "Node2VecPlus"]
+
+
+class GraphLearner:
+    """Interface: ``embed(graph, links) -> {node_id: vector}``."""
+
+    name: str = "base"
+
+    def __init__(self, dim: int = 128, seed: int = 0):
+        if dim <= 0:
+            raise ValueError("embedding dim must be positive")
+        self.dim = dim
+        self.seed = seed
+
+    def embed(self, graph: ModelDatasetGraph,
+              links: LinkExamples | None = None) -> dict[str, np.ndarray]:
+        raise NotImplementedError  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+@dataclass(frozen=True)
+class _N2VParams:
+    walks: WalkConfig = field(default_factory=WalkConfig)
+    skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
+
+
+class Node2Vec(GraphLearner):
+    """Node2Vec (Grover & Leskovec 2016): unweighted p/q walks + SGNS.
+
+    Per the paper's characterisation (§V-B1) this variant learns the link
+    structure only — edge weights do not influence the walks.
+    """
+
+    name = "node2vec"
+    weighted_walks = False
+
+    def __init__(self, dim: int = 128, seed: int = 0, num_walks: int = 30,
+                 walk_length: int = 20, p: float = 1.0, q: float = 1.0,
+                 window: int = 5, epochs: int = 3, negatives: int = 5):
+        super().__init__(dim=dim, seed=seed)
+        self.walk_config = WalkConfig(num_walks=num_walks,
+                                      walk_length=walk_length, p=p, q=q,
+                                      weighted=self.weighted_walks)
+        self.skipgram_config = SkipGramConfig(dim=dim, window=window,
+                                              epochs=epochs,
+                                              negatives=negatives)
+
+    def embed(self, graph: ModelDatasetGraph,
+              links: LinkExamples | None = None) -> dict[str, np.ndarray]:
+        walk_rng = np.random.default_rng(derive_seed(self.seed, self.name, "walks"))
+        sg_rng = np.random.default_rng(derive_seed(self.seed, self.name, "sgns"))
+        walks = generate_walks(graph, self.walk_config, walk_rng)
+        return train_skipgram(walks, graph.nodes(), self.skipgram_config, sg_rng)
+
+
+class Node2VecPlus(Node2Vec):
+    """Node2Vec+ (Liu et al. 2023): edge-weight-aware walks + SGNS (§V-B1)."""
+
+    name = "node2vec+"
+    weighted_walks = True

@@ -1,0 +1,129 @@
+"""Skip-gram with negative sampling (SGNS) over random walks (§VIII-B1).
+
+Walks are treated as sentences; co-occurring nodes within a window become
+(center, context) pairs, trained with the word2vec SGNS objective:
+
+    maximise  log σ(u_c · v_o) + Σ_neg log σ(-u_c · v_n)
+
+Negatives are drawn from the unigram distribution raised to 3/4.  Updates
+are hand-vectorised over mini-batches (our autograd would be needless
+overhead for two embedding tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SkipGramConfig", "train_skipgram"]
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """SGNS hyperparameters."""
+
+    dim: int = 128
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.025
+    min_learning_rate: float = 1e-4
+    batch_size: int = 512
+
+    def __post_init__(self):
+        if self.dim <= 0 or self.window <= 0 or self.negatives <= 0:
+            raise ValueError("dim, window and negatives must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+
+
+def _pairs_from_walks(walks: list[list[int]], window: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """(center, context) index pairs with word2vec-style random windows."""
+    pairs = []
+    for walk in walks:
+        length = len(walk)
+        for i, center in enumerate(walk):
+            span = int(rng.integers(1, window + 1))
+            for j in range(max(0, i - span), min(length, i + span + 1)):
+                if j != i:
+                    pairs.append((center, walk[j]))
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_skipgram(walks: list[list[str]], vocabulary: list[str],
+                   config: SkipGramConfig,
+                   rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Train SGNS embeddings; returns {node: vector(dim)}.
+
+    Nodes that never appear in a walk keep their random initialisation
+    (they are isolated in the graph; downstream code treats their
+    embedding as uninformative noise, which is the honest signal).
+    """
+    index = {node: i for i, node in enumerate(vocabulary)}
+    walks_idx = [[index[n] for n in walk] for walk in walks]
+    v = len(vocabulary)
+
+    counts = np.zeros(v)
+    for walk in walks_idx:
+        for node in walk:
+            counts[node] += 1
+    noise = counts**0.75
+    noise_sum = noise.sum()
+    noise = noise / noise_sum if noise_sum > 0 else np.full(v, 1.0 / v)
+
+    emb_in = (rng.random((v, config.dim)) - 0.5) / config.dim
+    emb_out = np.zeros((v, config.dim))
+
+    pairs = _pairs_from_walks(walks_idx, config.window, rng)
+    if pairs.shape[0] == 0:
+        return {node: emb_in[index[node]].copy() for node in vocabulary}
+
+    total_steps = config.epochs * int(np.ceil(len(pairs) / config.batch_size))
+    step = 0
+    for _ in range(config.epochs):
+        order = rng.permutation(len(pairs))
+        for start in range(0, len(pairs), config.batch_size):
+            batch = pairs[order[start:start + config.batch_size]]
+            centers, contexts = batch[:, 0], batch[:, 1]
+            b = len(batch)
+            lr = max(config.min_learning_rate,
+                     config.learning_rate * (1.0 - step / max(1, total_steps)))
+            step += 1
+
+            negs = rng.choice(v, size=(b, config.negatives), p=noise)
+            c_vec = emb_in[centers]                       # (b, dim)
+            pos_vec = emb_out[contexts]                   # (b, dim)
+            neg_vec = emb_out[negs]                       # (b, k, dim)
+
+            pos_score = _sigmoid((c_vec * pos_vec).sum(axis=1))       # (b,)
+            neg_score = _sigmoid(np.einsum("bd,bkd->bk", c_vec, neg_vec))
+
+            g_pos = (pos_score - 1.0)[:, None]            # d/d(dot) of -log σ
+            g_neg = neg_score[:, :, None]                 # (b, k, 1)
+
+            # Clip per-coordinate gradients: prolonged training on tiny,
+            # heavily-revisited graphs can otherwise blow embeddings up.
+            clip = 5.0
+            grad_center = np.clip(
+                g_pos * pos_vec + (g_neg * neg_vec).sum(axis=1), -clip, clip)
+            grad_context = np.clip(g_pos * c_vec, -clip, clip)
+            grad_neg = np.clip(g_neg * c_vec[:, None, :], -clip, clip)
+
+            np.add.at(emb_in, centers, -lr * grad_center)
+            np.add.at(emb_out, contexts, -lr * grad_context)
+            np.add.at(emb_out.reshape(-1, config.dim),
+                      negs.reshape(-1),
+                      (-lr * grad_neg).reshape(-1, config.dim))
+            # Light decay keeps norms bounded regardless of training length.
+            emb_in[centers] *= 1.0 - lr * 1e-3
+            emb_out[contexts] *= 1.0 - lr * 1e-3
+
+    return {node: emb_in[index[node]].copy() for node in vocabulary}

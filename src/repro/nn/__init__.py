@@ -1,0 +1,72 @@
+"""A minimal reverse-mode autograd neural-network substrate (numpy only).
+
+The paper's substrate is PyTorch + HuggingFace; neither is available in
+this environment, so ``repro.nn`` provides the pieces the reproduction
+actually needs:
+
+- :mod:`repro.nn.tensor` — a broadcasting-aware autograd ``Tensor``;
+- :mod:`repro.nn.layers` — ``Module``/``Linear``/activations/``LayerNorm``/
+  ``Dropout``/``Sequential``;
+- :mod:`repro.nn.losses` — cross-entropy and MSE;
+- :mod:`repro.nn.optim` — SGD with momentum and AdamW;
+- :mod:`repro.nn.schedulers` — cyclical and linear LR schedules (the two
+  schedules used for fine-tuning in §VII-A of the paper);
+- :mod:`repro.nn.lora` — LoRA adapters for the Fig. 11 experiment.
+
+The engine is intentionally small but real: gradients are exact (verified
+against numeric differentiation in the test suite), training loops converge,
+and every model in the simulated zoo is genuinely trained with it.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.layers import (
+    Module,
+    Linear,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    GELU,
+    Sigmoid,
+    Dropout,
+    LayerNorm,
+    Sequential,
+    Identity,
+)
+from repro.nn.losses import cross_entropy, mse_loss, binary_cross_entropy_with_logits
+from repro.nn.optim import SGD, AdamW, Optimizer
+from repro.nn.schedulers import (
+    LRScheduler,
+    ConstantLR,
+    CyclicalLR,
+    LinearDecayLR,
+)
+from repro.nn.lora import LoRALinear, inject_lora, lora_parameters
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "GELU",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "Identity",
+    "cross_entropy",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "SGD",
+    "AdamW",
+    "Optimizer",
+    "LRScheduler",
+    "ConstantLR",
+    "CyclicalLR",
+    "LinearDecayLR",
+    "LoRALinear",
+    "inject_lora",
+    "lora_parameters",
+]

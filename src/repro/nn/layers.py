@@ -1,0 +1,226 @@
+"""Neural-network modules built on :class:`repro.nn.tensor.Tensor`.
+
+The ``Module`` protocol mirrors the familiar torch one at a small scale:
+``parameters()`` yields trainable tensors, ``train()``/``eval()`` toggle
+dropout, and ``state_dict()``/``load_state_dict()`` allow snapshotting
+pre-trained weights (used by the zoo to clone models before fine-tuning).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import init as _init
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "GELU",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+]
+
+
+class Module:
+    """Base class: parameter discovery via attribute inspection."""
+
+    training: bool = True
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # -------------------------------------------------------------- #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -------------------------------------------------------------- #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs "
+                    f"{state[name].shape}"
+                )
+            param.data = state[name].copy()
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None, bias: bool = True,
+                 init_scheme: str = "kaiming"):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        if init_scheme == "kaiming":
+            weight = _init.kaiming_uniform(rng, in_features, out_features)
+        elif init_scheme == "xavier":
+            weight = _init.xavier_uniform(rng, in_features, out_features)
+        else:
+            raise ValueError(f"unknown init scheme {init_scheme!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(weight, requires_grad=True, name="weight")
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="bias") \
+            if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        if not (0.0 <= p < 1.0):
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learnable affine."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        self.eps = eps
+        self.gamma = Tensor(np.ones(normalized_shape), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros(normalized_shape), requires_grad=True, name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self

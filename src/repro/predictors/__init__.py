@@ -1,0 +1,39 @@
+"""Stage-3 prediction models (§VI-C): LR, RF, and XGBoost-style boosting.
+
+All three follow the same ``fit``/``predict`` interface and the paper's
+stated hyperparameters (RF: 100 trees depth 5; XGB: 500 trees depth 5).
+"""
+
+from repro.predictors.base import Regressor, validate_xy
+from repro.predictors.linear import LinearRegression
+from repro.predictors.tree import DecisionTreeRegressor
+from repro.predictors.forest import RandomForestRegressor
+from repro.predictors.boosting import GradientBoostingRegressor
+
+PREDICTORS: dict[str, type[Regressor]] = {
+    "lr": LinearRegression,
+    "rf": RandomForestRegressor,
+    "xgb": GradientBoostingRegressor,
+}
+
+
+def get_predictor(name: str, **kwargs) -> Regressor:
+    """Instantiate a prediction model by its paper alias (lr/rf/xgb)."""
+    try:
+        return PREDICTORS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: {sorted(PREDICTORS)}"
+        ) from None
+
+
+__all__ = [
+    "Regressor",
+    "validate_xy",
+    "LinearRegression",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "PREDICTORS",
+    "get_predictor",
+]

@@ -1,0 +1,57 @@
+"""Random forest regressor (§VI-C: "number of trees 100, max depth 5")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Regressor, validate_xy
+from repro.predictors.tree import DecisionTreeRegressor
+from repro.utils.rng import derive_seed
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor(Regressor):
+    """Bootstrap-aggregated CART trees with feature subsampling."""
+
+    name = "random_forest"
+
+    def __init__(self, n_estimators: int = 100, max_depth: int = 5,
+                 min_samples_leaf: int = 1, max_features: int | str = "sqrt",
+                 seed: int = 0):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self._n_features = 0
+
+    def fit(self, x, y) -> "RandomForestRegressor":
+        x, y = validate_xy(x, y)
+        self._n_features = x.shape[1]
+        n = x.shape[0]
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            rng = np.random.default_rng(derive_seed(self.seed, "tree", str(i)))
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("predict() called before fit()")
+        x = self._check_predict_input(x, self._n_features)
+        preds = np.zeros(x.shape[0])
+        for tree in self.trees_:
+            preds += tree.predict(x)
+        return preds / len(self.trees_)

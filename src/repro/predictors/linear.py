@@ -1,0 +1,57 @@
+"""Linear regression (the paper's LR prediction model, §VI-C).
+
+Solved in closed form with a small ridge term for numerical stability —
+the one-hot metadata columns are frequently collinear, so pure OLS would
+be ill-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Regressor, validate_xy
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression(Regressor):
+    """Ridge-stabilised least squares with intercept."""
+
+    name = "linear"
+
+    def __init__(self, alpha: float = 1.0, standardize: bool = True):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.standardize = standardize
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, x, y) -> "LinearRegression":
+        x, y = validate_xy(x, y)
+        if self.standardize:
+            self._mean = x.mean(axis=0)
+            scale = x.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self._scale = scale
+            x = (x - self._mean) / self._scale
+        n, d = x.shape
+        x_aug = np.hstack([x, np.ones((n, 1))])
+        gram = x_aug.T @ x_aug
+        # Do not penalise the intercept.
+        penalty = self.alpha * np.eye(d + 1)
+        penalty[d, d] = 0.0
+        theta = np.linalg.solve(gram + penalty, x_aug.T @ y)
+        self.coef_ = theta[:d]
+        self.intercept_ = float(theta[d])
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() called before fit()")
+        x = self._check_predict_input(x, self.coef_.shape[0])
+        if self.standardize:
+            x = (x - self._mean) / self._scale
+        return x @ self.coef_ + self.intercept_

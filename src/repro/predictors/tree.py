@@ -1,0 +1,170 @@
+"""CART regression trees — the building block of RF and gradient boosting.
+
+Split search is vectorised per feature: sort once, then evaluate every
+candidate threshold with prefix sums of y and y², choosing the split that
+minimises the weighted sum of child variances (equivalently, maximises
+variance reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predictors.base import Regressor, validate_xy
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """Either a leaf (value set) or an internal node (feature/threshold)."""
+
+    value: float = 0.0
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_for_feature(values: np.ndarray, y: np.ndarray,
+                            min_leaf: int) -> tuple[float, float]:
+    """(score, threshold) of the best split on one feature.
+
+    Score = total squared-error reduction; -inf when no valid split.
+    """
+    order = np.argsort(values, kind="mergesort")
+    v = values[order]
+    ys = y[order]
+    n = len(ys)
+
+    csum = np.cumsum(ys)
+    csq = np.cumsum(ys**2)
+    total_sum, total_sq = csum[-1], csq[-1]
+
+    # candidate split after position i (left = [0..i]), need both children
+    # to satisfy min_leaf and the threshold to separate distinct values.
+    idx = np.arange(min_leaf - 1, n - min_leaf)
+    if idx.size == 0:
+        return -np.inf, 0.0
+    distinct = v[idx] < v[idx + 1]
+    idx = idx[distinct]
+    if idx.size == 0:
+        return -np.inf, 0.0
+
+    left_n = idx + 1.0
+    right_n = n - left_n
+    left_sum = csum[idx]
+    right_sum = total_sum - left_sum
+    left_sq = csq[idx]
+    right_sq = total_sq - left_sq
+
+    # SSE of a group = sum(y²) - (sum y)²/n ; minimise children total.
+    sse = (left_sq - left_sum**2 / left_n) + (right_sq - right_sum**2 / right_n)
+    parent_sse = total_sq - total_sum**2 / n
+    gains = parent_sse - sse
+    best = int(np.argmax(gains))
+    threshold = 0.5 * (v[idx[best]] + v[idx[best] + 1])
+    return float(gains[best]), threshold
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regressor with depth / leaf-size / feature-subsample controls."""
+
+    name = "tree"
+
+    def __init__(self, max_depth: int = 5, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1,
+                 max_features: int | str | None = None,
+                 rng: np.random.Generator | None = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------ #
+    def _features_to_consider(self, d: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(d)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(d)))
+        elif isinstance(self.max_features, int):
+            k = max(1, min(self.max_features, d))
+        else:
+            raise ValueError(f"bad max_features: {self.max_features!r}")
+        return self._rng.choice(d, size=k, replace=False)
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or np.all(y == y[0])):
+            return node
+
+        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+        for feature in self._features_to_consider(x.shape[1]):
+            gain, threshold = _best_split_for_feature(
+                x[:, feature], y, self.min_samples_leaf)
+            if gain > best_gain + 1e-12:
+                best_gain, best_feature, best_threshold = gain, int(feature), threshold
+
+        if best_feature < 0:
+            return node
+
+        mask = x[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, x, y) -> "DecisionTreeRegressor":
+        x, y = validate_xy(x, y)
+        self._n_features = x.shape[1]
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def predict(self, x) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("predict() called before fit()")
+        x = self._check_predict_input(x, self._n_features)
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        return walk(self._root)
+
+    def num_leaves(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        return walk(self._root)

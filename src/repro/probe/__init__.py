@@ -1,0 +1,32 @@
+"""Dataset representations via a probe network (§IV-B, Appendix A).
+
+- :mod:`repro.probe.domain_similarity` — aggregate probe-network features
+  (Eq. 3; the paper probes with ResNet34 for images and GPT-Neo for text;
+  we designate the strongest pre-trained zoo model as probe);
+- :mod:`repro.probe.task2vec` — diagonal Fisher-information embeddings
+  (Eq. 6) that additionally use the dataset's labels;
+- :mod:`repro.probe.similarity` — correlation-distance dataset similarity
+  and catalog recording (the D-D edges of the graph).
+"""
+
+from repro.probe.domain_similarity import (
+    choose_probe_model,
+    domain_similarity_embedding,
+    compute_dataset_embeddings,
+)
+from repro.probe.task2vec import task2vec_embedding
+from repro.probe.similarity import (
+    correlation_distance,
+    similarity_from_embeddings,
+    record_dataset_similarities,
+)
+
+__all__ = [
+    "choose_probe_model",
+    "domain_similarity_embedding",
+    "compute_dataset_embeddings",
+    "task2vec_embedding",
+    "correlation_distance",
+    "similarity_from_embeddings",
+    "record_dataset_similarities",
+]

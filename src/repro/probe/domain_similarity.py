@@ -1,0 +1,68 @@
+"""Domain Similarity embeddings (Cui et al., 2018; paper §IV-B1, Eq. 3).
+
+A dataset is embedded by aggregating the features a *probe network*
+extracts from its samples:
+
+    E_k = Σ_j g(x_j),   x_j ∈ d_k
+
+The paper uses ResNet34 (images) / GPT-Neo (text) pre-trained on large
+corpora as probes.  Our zoo's analogue of "a strong generic reference
+model" is the pre-trained zoo model with the highest source accuracy —
+chosen deterministically so experiments are reproducible.
+
+We additionally L2-normalise the aggregated embedding: correlation
+distance (used downstream) is shift/scale-invariant, and normalisation
+prevents dataset size from dominating the representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["choose_probe_model", "domain_similarity_embedding",
+           "compute_dataset_embeddings"]
+
+
+def choose_probe_model(zoo) -> str:
+    """Pick the probe: the model with the best pre-train accuracy.
+
+    Ties break lexicographically on model id, keeping the choice stable
+    across runs and platforms.
+    """
+    rows = zoo.catalog.models.to_records()
+    if not rows:
+        raise ValueError("zoo catalog contains no models")
+    best = max(rows, key=lambda r: (r["pretrain_accuracy"], r["model_id"]))
+    return best["model_id"]
+
+
+def domain_similarity_embedding(zoo, dataset_name: str,
+                                probe_model_id: str | None = None) -> np.ndarray:
+    """Aggregate probe features of a dataset into a single vector (Eq. 3)."""
+    probe_id = probe_model_id or choose_probe_model(zoo)
+    features = zoo.features(probe_id, dataset_name, split="all")
+    embedding = features.sum(axis=0)
+    norm = np.linalg.norm(embedding)
+    return embedding / norm if norm > 0 else embedding
+
+
+def compute_dataset_embeddings(zoo, method: str = "domain_similarity",
+                               probe_model_id: str | None = None,
+                               dataset_names: list[str] | None = None,
+                               ) -> dict[str, np.ndarray]:
+    """Embed every dataset of the zoo with the chosen representation."""
+    from repro.probe.task2vec import task2vec_embedding  # cycle-free import
+
+    probe_id = probe_model_id or choose_probe_model(zoo)
+    names = dataset_names if dataset_names is not None else zoo.dataset_names()
+    embeddings: dict[str, np.ndarray] = {}
+    for name in names:
+        if method == "domain_similarity":
+            embeddings[name] = domain_similarity_embedding(zoo, name, probe_id)
+        elif method == "task2vec":
+            embeddings[name] = task2vec_embedding(zoo, name, probe_id)
+        else:
+            raise ValueError(
+                f"unknown representation {method!r}; expected "
+                "'domain_similarity' or 'task2vec'")
+    return embeddings

@@ -1,0 +1,52 @@
+"""Dataset similarity from embeddings (§IV-B2) and catalog recording.
+
+The paper quantifies similarity "by calculating the correlation distance
+between datasets, where a shorter distance signifies greater similarity".
+We follow scipy's convention: correlation distance = 1 - Pearson(u, v),
+and define similarity = 1 - distance = Pearson(u, v), clipped to [0, 1]
+for use as a graph edge weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import pearson_correlation
+
+__all__ = ["correlation_distance", "similarity_from_embeddings",
+           "record_dataset_similarities"]
+
+
+def correlation_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """1 - Pearson correlation of two embedding vectors (range [0, 2])."""
+    return 1.0 - pearson_correlation(np.asarray(u), np.asarray(v))
+
+
+def similarity_from_embeddings(embeddings: dict[str, np.ndarray],
+                               ) -> tuple[list[str], np.ndarray]:
+    """Pairwise similarity matrix over all embedded datasets.
+
+    Returns (sorted names, matrix) with ``sim = max(0, pearson)`` — negative
+    correlations carry no "these are alike" information for edges.
+    """
+    names = sorted(embeddings)
+    n = len(names)
+    sim = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = pearson_correlation(embeddings[names[i]], embeddings[names[j]])
+            sim[i, j] = sim[j, i] = max(0.0, rho)
+    return names, sim
+
+
+def record_dataset_similarities(zoo, embeddings: dict[str, np.ndarray],
+                                method: str = "domain_similarity") -> int:
+    """Write all pairwise similarities into the zoo catalog; returns count."""
+    names, sim = similarity_from_embeddings(embeddings)
+    count = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            zoo.catalog.record_similarity(names[i], names[j],
+                                          float(sim[i, j]), method=method)
+            count += 1
+    return count

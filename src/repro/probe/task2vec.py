@@ -1,0 +1,80 @@
+"""Task2Vec embeddings via the diagonal Fisher Information Matrix (Eq. 6).
+
+Task2Vec (Achille et al., 2019) embeds a *task* (dataset + labels) by:
+
+1. fitting a classifier head on top of a frozen probe network;
+2. computing the diagonal of the Fisher Information Matrix of the head
+   parameters:  F = E[ (∇_w log p_w(y|x))² ];
+3. averaging the FIM over the per-class axis so tasks with different
+   class counts map to a fixed-size vector (the paper's "average the FIM
+   for all weights in each filter").
+
+Unlike Domain Similarity, Task2Vec sees the labels, so two datasets with
+identical inputs but different labelings embed differently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import AdamW, Linear, Tensor, cross_entropy
+from repro.utils.rng import derive_seed
+
+__all__ = ["task2vec_embedding", "fit_probe_head"]
+
+
+def fit_probe_head(features: np.ndarray, labels: np.ndarray,
+                   num_classes: int, seed: int = 0, epochs: int = 60,
+                   lr: float = 5e-2) -> Linear:
+    """Fit a linear head on frozen probe features (full-batch AdamW)."""
+    rng = np.random.default_rng(seed)
+    head = Linear(features.shape[1], num_classes, rng=rng)
+    opt = AdamW(head.parameters(), lr=lr, weight_decay=1e-4)
+    x = Tensor(features)
+    for _ in range(epochs):
+        loss = cross_entropy(head(x), labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return head
+
+
+def _diagonal_fim(head: Linear, features: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:
+    """Diagonal FIM of the head weight matrix, per-sample averaged.
+
+    For a linear softmax head the per-sample gradient of the log-likelihood
+    w.r.t. W is the outer product  x · (onehot(y) - p)ᵀ, so the squared
+    gradient needed for the diagonal FIM is computed in closed form — no
+    autograd loop over samples required.
+    """
+    logits = features @ head.weight.data + head.bias.data
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=1, keepdims=True)
+
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(len(labels)), labels] = 1.0
+    delta = onehot - probs                      # (n, classes)
+    # squared gradient for W[i, c] on sample j: (x_ji * delta_jc)^2
+    fim = (features**2).T @ (delta**2)          # (d, classes)
+    return fim / len(labels)
+
+
+def task2vec_embedding(zoo, dataset_name: str,
+                       probe_model_id: str | None = None) -> np.ndarray:
+    """Task2Vec embedding of a dataset under the zoo's probe network."""
+    from repro.probe.domain_similarity import choose_probe_model
+
+    probe_id = probe_model_id or choose_probe_model(zoo)
+    dataset = zoo.dataset(dataset_name)
+    features = zoo.features(probe_id, dataset_name, split="train")
+    labels = dataset.y_train
+
+    seed = derive_seed(0, "task2vec", probe_id, dataset_name)
+    head = fit_probe_head(features, labels, dataset.num_classes, seed=seed)
+    fim = _diagonal_fim(head, features, labels)   # (d, classes)
+    # Average over the class axis -> fixed-size embedding (paper App. A).
+    embedding = fim.mean(axis=1)
+    norm = np.linalg.norm(embedding)
+    return embedding / norm if norm > 0 else embedding

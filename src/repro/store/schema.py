@@ -1,0 +1,106 @@
+"""Typed table schemas with record validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Column", "Schema", "SchemaError"]
+
+_DTYPES = {
+    "str": str,
+    "int": int,
+    "float": float,
+    "bool": bool,
+}
+
+
+class SchemaError(ValueError):
+    """Raised when a record violates its table schema."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column.
+
+    ``dtype`` is one of ``str|int|float|bool``.  ``required`` columns must
+    be present and non-None; optional columns default to ``default``.
+    """
+
+    name: str
+    dtype: str
+    required: bool = True
+    default: object = None
+
+    def __post_init__(self):
+        if self.dtype not in _DTYPES:
+            raise SchemaError(
+                f"column {self.name!r}: unknown dtype {self.dtype!r} "
+                f"(expected one of {sorted(_DTYPES)})"
+            )
+
+    def coerce(self, value):
+        """Validate/coerce a single value for this column."""
+        if value is None:
+            if self.required:
+                raise SchemaError(f"column {self.name!r} is required")
+            return self.default
+        expected = _DTYPES[self.dtype]
+        if self.dtype == "float" and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self.dtype == "int" and isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r}: bool is not a valid int")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r}: expected {self.dtype}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        return value
+
+
+@dataclass
+class Schema:
+    """An ordered collection of :class:`Column` plus a primary key."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    _by_name: dict[str, Column] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"table {self.name!r}: duplicate column names")
+        self._by_name = {c.name: c for c in self.columns}
+        for key in self.primary_key:
+            if key not in self._by_name:
+                raise SchemaError(
+                    f"table {self.name!r}: primary key column {key!r} missing"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def validate(self, record: dict) -> dict:
+        """Return a validated, defaults-filled copy of ``record``."""
+        unknown = set(record) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown columns {sorted(unknown)}"
+            )
+        out = {}
+        for col in self.columns:
+            out[col.name] = col.coerce(record.get(col.name))
+        return out
+
+    def key_of(self, record: dict) -> tuple:
+        """Extract the primary-key tuple from a validated record."""
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        return tuple(record[k] for k in self.primary_key)

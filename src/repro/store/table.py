@@ -1,0 +1,141 @@
+"""An indexed in-memory table over a :class:`~repro.store.schema.Schema`."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterator
+
+from repro.store.schema import Schema, SchemaError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Typed records with primary-key upserts and equality-indexed filters.
+
+    The table maintains hash indexes for any columns registered through
+    ``add_index``; ``filter`` uses an index when the predicate is a simple
+    equality on an indexed column, and falls back to a scan otherwise.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._rows: dict[tuple, dict] = {}
+        self._indexes: dict[str, dict[object, set[tuple]]] = {}
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(list(self._rows.values()))
+
+    def __contains__(self, key: tuple) -> bool:
+        return tuple(key) in self._rows
+
+    # ------------------------------------------------------------------ #
+    def add_index(self, column: str) -> "Table":
+        """Register (and build) a hash index on ``column``."""
+        self.schema.column(column)  # raises on unknown column
+        if column not in self._indexes:
+            index: dict[object, set[tuple]] = defaultdict(set)
+            for key, row in self._rows.items():
+                index[row[column]].add(key)
+            self._indexes[column] = index
+        return self
+
+    def insert(self, record: dict, *, upsert: bool = False) -> tuple:
+        """Insert a record; with ``upsert`` replace an existing key."""
+        validated = self.schema.validate(record)
+        key = self.schema.key_of(validated)
+        if key in self._rows and not upsert:
+            raise SchemaError(
+                f"table {self.schema.name!r}: duplicate primary key {key}"
+            )
+        if key in self._rows:
+            self._remove_from_indexes(key, self._rows[key])
+        self._rows[key] = validated
+        for column, index in self._indexes.items():
+            index[validated[column]].add(key)
+        return key
+
+    def get(self, *key_values) -> dict:
+        """Fetch a record by primary key; raises ``KeyError`` if absent."""
+        key = tuple(key_values)
+        try:
+            return dict(self._rows[key])
+        except KeyError:
+            raise KeyError(
+                f"table {self.schema.name!r}: no record with key {key}"
+            ) from None
+
+    def get_or_none(self, *key_values) -> dict | None:
+        key = tuple(key_values)
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def delete(self, *key_values) -> None:
+        key = tuple(key_values)
+        row = self._rows.pop(key, None)
+        if row is None:
+            raise KeyError(f"table {self.schema.name!r}: no record with key {key}")
+        self._remove_from_indexes(key, row)
+
+    def _remove_from_indexes(self, key: tuple, row: dict) -> None:
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(key)
+
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[dict], bool] | None = None,
+               **equals) -> list[dict]:
+        """Return records matching all equality constraints and the predicate.
+
+        Equality constraints on indexed columns are answered from the index;
+        remaining constraints are checked per-row.
+        """
+        for column in equals:
+            self.schema.column(column)
+
+        candidate_keys = None
+        residual = dict(equals)
+        for column in list(residual):
+            index = self._indexes.get(column)
+            if index is not None:
+                keys = index.get(residual.pop(column), set())
+                candidate_keys = keys if candidate_keys is None \
+                    else candidate_keys & keys
+
+        if candidate_keys is None:
+            rows = self._rows.values()
+        else:
+            rows = (self._rows[k] for k in candidate_keys)
+
+        out = []
+        for row in rows:
+            if all(row[c] == v for c, v in residual.items()):
+                if predicate is None or predicate(row):
+                    out.append(dict(row))
+        # Deterministic order regardless of hash iteration.
+        out.sort(key=lambda r: self.schema.key_of(r))
+        return out
+
+    def distinct(self, column: str) -> list:
+        """Sorted distinct values of ``column``."""
+        self.schema.column(column)
+        return sorted({row[column] for row in self._rows.values()})
+
+    def to_records(self) -> list[dict]:
+        """All rows, sorted by primary key."""
+        return self.filter()
+
+    # ------------------------------------------------------------------ #
+    def to_json_obj(self) -> dict:
+        return {"table": self.schema.name, "rows": self.to_records()}
+
+    def load_records(self, rows: list[dict], *, upsert: bool = True) -> int:
+        """Bulk-insert ``rows``; returns the number inserted."""
+        for row in rows:
+            self.insert(row, upsert=upsert)
+        return len(rows)

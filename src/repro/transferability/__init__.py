@@ -1,0 +1,49 @@
+"""Transferability estimators (feature-based model selection, §II-A).
+
+Implemented from their original papers:
+
+- :class:`LogME` — log maximum evidence (You et al., 2021);
+- :class:`LEEP` — log expected empirical prediction (Nguyen et al., 2020);
+- :class:`NCE` — negative conditional entropy (Tran et al., 2019);
+- :class:`PARC` — pairwise representation comparison (Bolya et al., 2021);
+- :class:`TransRate` — coding-rate difference (Huang et al., 2022);
+- :class:`HScore` — H-score (Bao et al., 2019).
+"""
+
+from repro.transferability.base import TransferabilityEstimator, validate_inputs
+from repro.transferability.logme import LogME, log_maximum_evidence
+from repro.transferability.leep import LEEP, leep_score
+from repro.transferability.nce import NCE, nce_score
+from repro.transferability.parc import PARC, parc_score
+from repro.transferability.transrate import TransRate, transrate_score, coding_rate
+from repro.transferability.hscore import HScore, h_score
+from repro.transferability.scoring import (
+    ESTIMATORS,
+    get_estimator,
+    normalise_scores,
+    score_model_on_dataset,
+    score_zoo,
+)
+
+__all__ = [
+    "TransferabilityEstimator",
+    "validate_inputs",
+    "LogME",
+    "log_maximum_evidence",
+    "LEEP",
+    "leep_score",
+    "NCE",
+    "nce_score",
+    "PARC",
+    "parc_score",
+    "TransRate",
+    "transrate_score",
+    "coding_rate",
+    "HScore",
+    "h_score",
+    "ESTIMATORS",
+    "get_estimator",
+    "normalise_scores",
+    "score_model_on_dataset",
+    "score_zoo",
+]

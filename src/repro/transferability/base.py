@@ -1,0 +1,47 @@
+"""Common interface for transferability estimators (§II-A, feature-based).
+
+Every estimator maps (features extracted by a pre-trained model on the
+target dataset, target labels) — and for source-label-based estimators the
+model's source-class probabilities — to a scalar score.  Higher scores
+predict better fine-tuning performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_2d, check_finite, check_same_length
+
+__all__ = ["TransferabilityEstimator", "validate_inputs"]
+
+
+def validate_inputs(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Standard shape/sanity validation used by every estimator."""
+    f = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels)
+    check_2d(f, "features")
+    check_1d(y, "labels")
+    check_same_length(f, y, "features", "labels")
+    check_finite(f, "features")
+    if len(np.unique(y)) < 2:
+        raise ValueError("labels must contain at least two classes")
+    return f, y
+
+
+class TransferabilityEstimator:
+    """Base class.  Subclasses implement :meth:`score`."""
+
+    #: registry name, e.g. ``"logme"``
+    name: str = "base"
+    #: whether :meth:`score` requires source-classifier probabilities
+    needs_source_probs: bool = False
+
+    def score(self, features: np.ndarray, labels: np.ndarray,
+              source_probs: np.ndarray | None = None) -> float:
+        raise NotImplementedError  # pragma: no cover
+
+    def __call__(self, features, labels, source_probs=None) -> float:
+        return self.score(features, labels, source_probs=source_probs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,68 @@
+"""LEEP — Log Expected Empirical Prediction (Nguyen et al., ICML 2020).
+
+LEEP scores a source classifier by routing its source-class probabilities
+through the empirical source→target label joint:
+
+    P̂(y, z) = mean over samples with target label y of theta(x)_z
+    P̂(y | z) = P̂(y, z) / P̂(z)
+    LEEP = (1/n) Σ_i log Σ_z P̂(y_i | z) · theta(x_i)_z
+
+Higher (closer to 0) is better; LEEP is always ≤ 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transferability.base import TransferabilityEstimator
+from repro.utils.validation import check_2d, check_same_length
+
+__all__ = ["LEEP", "leep_score"]
+
+
+def _validate_probs(source_probs: np.ndarray, n: int) -> np.ndarray:
+    p = np.asarray(source_probs, dtype=np.float64)
+    check_2d(p, "source_probs")
+    if p.shape[0] != n:
+        raise ValueError(
+            f"source_probs has {p.shape[0]} rows, expected {n}")
+    if (p < -1e-9).any():
+        raise ValueError("source_probs must be non-negative")
+    row_sums = p.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        raise ValueError("source_probs rows must sum to 1 (softmax outputs)")
+    return p
+
+
+def leep_score(source_probs: np.ndarray, labels: np.ndarray) -> float:
+    """LEEP transferability from source-class probabilities and labels."""
+    y = np.asarray(labels)
+    check_same_length(source_probs, y, "source_probs", "labels")
+    theta = _validate_probs(source_probs, len(y))
+    n, num_source = theta.shape
+    classes = np.unique(y)
+
+    # joint P(y, z): average theta over samples of each target class
+    joint = np.zeros((classes.size, num_source))
+    for row, c in enumerate(classes):
+        joint[row] = theta[y == c].sum(axis=0)
+    joint /= n
+    marginal_z = joint.sum(axis=0)           # P(z)
+    cond = joint / np.maximum(marginal_z, 1e-12)[None, :]   # P(y|z)
+
+    class_index = {c: i for i, c in enumerate(classes)}
+    rows = np.array([class_index[c] for c in y])
+    eep = (cond[rows] * theta).sum(axis=1)   # expected empirical prediction
+    return float(np.log(np.maximum(eep, 1e-12)).mean())
+
+
+class LEEP(TransferabilityEstimator):
+    """LEEP estimator; requires the model's source-class probabilities."""
+
+    name = "leep"
+    needs_source_probs = True
+
+    def score(self, features, labels, source_probs=None) -> float:
+        if source_probs is None:
+            raise ValueError("LEEP requires source_probs (softmax outputs)")
+        return leep_score(source_probs, labels)

@@ -1,0 +1,55 @@
+"""NCE — Negative Conditional Entropy (Tran et al., ICCV 2019).
+
+NCE measures transferability as the negative conditional entropy of the
+target label given the source model's hard pseudo-label:
+
+    NCE = -H(Y | Z) = Σ_{y,z} P̂(y,z) log ( P̂(y,z) / P̂(z) )
+
+Always ≤ 0; equals 0 when the source predictions determine the target
+labels exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transferability.base import TransferabilityEstimator
+from repro.utils.validation import check_1d, check_same_length
+
+__all__ = ["NCE", "nce_score"]
+
+
+def nce_score(source_labels: np.ndarray, target_labels: np.ndarray) -> float:
+    """Negative conditional entropy between hard label assignments."""
+    z = np.asarray(source_labels)
+    y = np.asarray(target_labels)
+    check_1d(z, "source_labels")
+    check_1d(y, "target_labels")
+    check_same_length(z, y, "source_labels", "target_labels")
+    n = len(y)
+    if n == 0:
+        raise ValueError("empty label arrays")
+
+    z_values, z_idx = np.unique(z, return_inverse=True)
+    y_values, y_idx = np.unique(y, return_inverse=True)
+    joint = np.zeros((y_values.size, z_values.size))
+    np.add.at(joint, (y_idx, z_idx), 1.0)
+    joint /= n
+    p_z = joint.sum(axis=0)
+
+    mask = joint > 0
+    ratios = joint[mask] / np.take(p_z, np.nonzero(mask)[1])
+    return float((joint[mask] * np.log(ratios)).sum())
+
+
+class NCE(TransferabilityEstimator):
+    """NCE estimator; uses argmax of the source probabilities."""
+
+    name = "nce"
+    needs_source_probs = True
+
+    def score(self, features, labels, source_probs=None) -> float:
+        if source_probs is None:
+            raise ValueError("NCE requires source_probs to derive pseudo-labels")
+        pseudo = np.asarray(source_probs).argmax(axis=1)
+        return nce_score(pseudo, np.asarray(labels))

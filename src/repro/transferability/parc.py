@@ -1,0 +1,61 @@
+"""PARC — Pairwise Annotation Representation Comparison (Bolya et al., 2021).
+
+PARC compares the *pairwise-distance structure* of the features with that
+of the labels: compute the Pearson-correlation distance matrix between
+sample features, the same between one-hot labels, and report the Spearman
+correlation of their lower triangles (scaled to [-100, 100] in the
+original paper; we keep the raw [-1, 1] correlation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transferability.base import TransferabilityEstimator, validate_inputs
+from repro.utils.stats import spearman_correlation
+
+__all__ = ["PARC", "parc_score"]
+
+
+def _pearson_distance_matrix(x: np.ndarray) -> np.ndarray:
+    """1 - rowwise Pearson correlation; constant rows correlate as 0."""
+    centered = x - x.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1)
+    norms = np.where(norms == 0, 1.0, norms)
+    normalised = centered / norms[:, None]
+    corr = np.clip(normalised @ normalised.T, -1.0, 1.0)
+    return 1.0 - corr
+
+
+def parc_score(features: np.ndarray, labels: np.ndarray,
+               max_samples: int = 500, seed: int = 0) -> float:
+    """PARC score in [-1, 1]; subsamples to bound the O(n^2) cost."""
+    f, y = validate_inputs(features, labels)
+    n = len(y)
+    if n > max_samples:
+        idx = np.random.default_rng(seed).choice(n, size=max_samples,
+                                                 replace=False)
+        f, y = f[idx], y[idx]
+        n = max_samples
+
+    classes, y_idx = np.unique(y, return_inverse=True)
+    onehot = np.eye(classes.size)[y_idx]
+
+    dist_f = _pearson_distance_matrix(f)
+    dist_y = _pearson_distance_matrix(onehot)
+    tri = np.tril_indices(n, k=-1)
+    return float(spearman_correlation(dist_y[tri], dist_f[tri]))
+
+
+class PARC(TransferabilityEstimator):
+    """PARC estimator (see :func:`parc_score`)."""
+
+    name = "parc"
+
+    def __init__(self, max_samples: int = 500, seed: int = 0):
+        self.max_samples = max_samples
+        self.seed = seed
+
+    def score(self, features, labels, source_probs=None) -> float:
+        return parc_score(features, labels, max_samples=self.max_samples,
+                          seed=self.seed)

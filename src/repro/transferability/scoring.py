@@ -1,0 +1,95 @@
+"""Scoring zoo models on datasets with transferability estimators.
+
+This is Step ③ of the TransferGraph pipeline (Fig. 5): run a forward pass
+of each model on the target dataset, feed features (and, for source-label
+methods, softmax outputs) to an estimator, and record the score in the
+catalog so the graph builder can use it as an M-D edge weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transferability.base import TransferabilityEstimator
+from repro.transferability.hscore import HScore
+from repro.transferability.leep import LEEP
+from repro.transferability.logme import LogME
+from repro.transferability.nce import NCE
+from repro.transferability.parc import PARC
+from repro.transferability.transrate import TransRate
+
+__all__ = ["ESTIMATORS", "get_estimator", "score_model_on_dataset",
+           "score_zoo", "normalise_scores"]
+
+ESTIMATORS: dict[str, type[TransferabilityEstimator]] = {
+    cls.name: cls for cls in (LogME, LEEP, NCE, PARC, TransRate, HScore)
+}
+
+
+def get_estimator(name: str, **kwargs) -> TransferabilityEstimator:
+    """Instantiate an estimator by registry name (e.g. ``"logme"``)."""
+    try:
+        return ESTIMATORS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; available: {sorted(ESTIMATORS)}"
+        ) from None
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def score_model_on_dataset(zoo, model_id: str, dataset_name: str,
+                           estimator: TransferabilityEstimator | str = "logme",
+                           split: str = "train") -> float:
+    """Forward pass + estimator score for one (model, dataset) pair."""
+    if isinstance(estimator, str):
+        estimator = get_estimator(estimator)
+    dataset = zoo.dataset(dataset_name)
+    features = zoo.features(model_id, dataset_name, split=split)
+    labels = dataset.y_train if split == "train" else dataset.y_test
+
+    source_probs = None
+    if estimator.needs_source_probs:
+        model = zoo.model(model_id)
+        x = dataset.x_train if split == "train" else dataset.x_test
+        source_probs = _softmax(model.logits(x))
+    return estimator.score(features, labels, source_probs=source_probs)
+
+
+def score_zoo(zoo, metric: str = "logme", targets: list[str] | None = None,
+              record: bool = True) -> dict[tuple[str, str], float]:
+    """Score every model on every target dataset; optionally record.
+
+    Returns ``{(model_id, dataset): score}``.  With ``record=True`` the
+    scores are written to ``zoo.catalog`` (transferability table), making
+    them available as graph edges.
+    """
+    estimator = get_estimator(metric)
+    targets = targets if targets is not None else zoo.target_names()
+    scores: dict[tuple[str, str], float] = {}
+    for dataset_name in targets:
+        for model_id in zoo.model_ids():
+            value = score_model_on_dataset(zoo, model_id, dataset_name, estimator)
+            scores[(model_id, dataset_name)] = value
+            if record:
+                zoo.catalog.record_transferability(model_id, dataset_name,
+                                                   metric, value)
+    return scores
+
+
+def normalise_scores(scores: np.ndarray) -> np.ndarray:
+    """Min-max normalise scores to [0, 1] (constant input maps to 0.5).
+
+    Graph edge weights must be comparable across estimators with very
+    different ranges (LogME evidence vs LEEP log-likelihoods), so the
+    graph builder normalises per (estimator, dataset) group.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    lo, hi = s.min(), s.max()
+    if hi - lo < 1e-12:
+        return np.full_like(s, 0.5)
+    return (s - lo) / (hi - lo)

@@ -1,0 +1,61 @@
+"""TransRate (Huang et al., ICML 2022) — "frustratingly easy" estimation.
+
+TransRate measures the mutual information between features and labels via
+coding rates:
+
+    R(Z, eps)   = 1/2 · logdet( I_d + d/(n·eps²) · Zᵀ Z )
+    TransRate   = R(Z, eps) - Σ_c (n_c/n) · R(Z_c, eps)
+
+where Z are (centred) features and Z_c the features of class c.  Higher
+is better: features that are globally diverse but compact within each
+class are easy to classify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transferability.base import TransferabilityEstimator, validate_inputs
+
+__all__ = ["TransRate", "transrate_score", "coding_rate"]
+
+
+def coding_rate(z: np.ndarray, eps: float = 1e-2) -> float:
+    """Rate-distortion coding rate of (already centred) features."""
+    n, d = z.shape
+    if n == 0:
+        return 0.0
+    gram = z.T @ z
+    scaled = np.eye(d) + (d / (n * eps**2)) * gram
+    sign, logdet = np.linalg.slogdet(scaled)
+    if sign <= 0:
+        raise ValueError("coding-rate matrix is not positive definite")
+    return 0.5 * float(logdet)
+
+
+def transrate_score(features: np.ndarray, labels: np.ndarray,
+                    eps: float = 1e-2) -> float:
+    """TransRate: whole-set coding rate minus within-class coding rates."""
+    f, y = validate_inputs(features, labels)
+    f = f - f.mean(axis=0, keepdims=True)
+    n = len(y)
+    total = coding_rate(f, eps)
+    within = 0.0
+    for c in np.unique(y):
+        mask = y == c
+        within += mask.sum() / n * coding_rate(f[mask], eps)
+    return float(total - within)
+
+
+class TransRate(TransferabilityEstimator):
+    """TransRate estimator (see :func:`transrate_score`)."""
+
+    name = "transrate"
+
+    def __init__(self, eps: float = 1e-2):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+
+    def score(self, features, labels, source_probs=None) -> float:
+        return transrate_score(features, labels, eps=self.eps)

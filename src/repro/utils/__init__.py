@@ -1,0 +1,42 @@
+"""Shared utilities: seeded randomness, statistics, tabular encoding.
+
+These helpers are deliberately dependency-light (numpy only) and are used
+by every other subpackage.  Nothing in here knows about models, datasets,
+or graphs.
+"""
+
+from repro.utils.rng import RngRegistry, default_rng, derive_seed
+from repro.utils.stats import (
+    pearson_correlation,
+    spearman_correlation,
+    rank_of,
+    top_k_indices,
+    summary_stats,
+)
+from repro.utils.tabular import OneHotEncoder, FeatureMatrixBuilder, StandardScaler
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_finite,
+    check_same_length,
+    check_probability,
+)
+
+__all__ = [
+    "RngRegistry",
+    "default_rng",
+    "derive_seed",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rank_of",
+    "top_k_indices",
+    "summary_stats",
+    "OneHotEncoder",
+    "FeatureMatrixBuilder",
+    "StandardScaler",
+    "check_1d",
+    "check_2d",
+    "check_finite",
+    "check_same_length",
+    "check_probability",
+]

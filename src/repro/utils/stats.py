@@ -1,0 +1,122 @@
+"""Statistics helpers used throughout the evaluation pipeline.
+
+Pearson correlation (Eq. 1 in the paper) is the headline metric; Spearman
+and top-k helpers support the recommendation experiments (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_same_length
+
+__all__ = [
+    "pearson_correlation",
+    "spearman_correlation",
+    "rank_of",
+    "top_k_indices",
+    "summary_stats",
+    "SummaryStats",
+]
+
+
+def pearson_correlation(truth, predicted) -> float:
+    """Pearson's correlation coefficient between two score vectors.
+
+    Implements Eq. (1) of the paper: the correlation between the actual
+    fine-tuning accuracies ``truth`` (T) and the predicted transferability
+    scores ``predicted`` (S).  Returns 0.0 when either vector is constant
+    (the correlation is undefined; 0 is the conventional "no signal" value
+    used by model-selection papers so that degenerate predictors score
+    poorly rather than crash the evaluation).
+    """
+    t = np.asarray(truth, dtype=np.float64)
+    s = np.asarray(predicted, dtype=np.float64)
+    check_1d(t, "truth")
+    check_1d(s, "predicted")
+    check_same_length(t, s, "truth", "predicted")
+    if t.size < 2:
+        raise ValueError("Pearson correlation needs at least two points")
+    # A vector of identical values has undefined correlation.  Checking
+    # max == min (rather than post-centering variance) avoids float noise:
+    # the mean of n identical floats need not equal them exactly.
+    if t.max() == t.min() or s.max() == s.min():
+        return 0.0
+    t_centered = t - t.mean()
+    s_centered = s - s.mean()
+    denom = np.sqrt((t_centered**2).sum() * (s_centered**2).sum())
+    if denom == 0.0 or not np.isfinite(denom):
+        return 0.0
+    return float(np.clip((t_centered * s_centered).sum() / denom, -1.0, 1.0))
+
+
+def rank_of(values) -> np.ndarray:
+    """Return average ranks (1-based) of ``values``, ties share the mean rank.
+
+    >>> rank_of([10.0, 20.0, 20.0]).tolist()
+    [1.0, 2.5, 2.5]
+    """
+    v = np.asarray(values, dtype=np.float64)
+    check_1d(v, "values")
+    order = np.argsort(v, kind="mergesort")
+    ranks = np.empty(v.size, dtype=np.float64)
+    ranks[order] = np.arange(1, v.size + 1, dtype=np.float64)
+    # Average ranks over ties.
+    sorted_vals = v[order]
+    i = 0
+    while i < v.size:
+        j = i
+        while j + 1 < v.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            mean_rank = ranks[order[i : j + 1]].mean()
+            ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(truth, predicted) -> float:
+    """Spearman rank correlation (Pearson over the rank vectors)."""
+    t = np.asarray(truth, dtype=np.float64)
+    s = np.asarray(predicted, dtype=np.float64)
+    check_same_length(t, s, "truth", "predicted")
+    return pearson_correlation(rank_of(t), rank_of(s))
+
+
+def top_k_indices(scores, k: int) -> np.ndarray:
+    """Indices of the ``k`` highest scores, best first (stable order)."""
+    s = np.asarray(scores, dtype=np.float64)
+    check_1d(s, "scores")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, s.size)
+    # argsort on negated scores; mergesort keeps ties in input order.
+    return np.argsort(-s, kind="mergesort")[:k]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / std / min / max of a sample, as reported in Fig. 6."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summary_stats(values) -> SummaryStats:
+    """Compute :class:`SummaryStats` over a non-empty sample."""
+    v = np.asarray(values, dtype=np.float64)
+    check_1d(v, "values")
+    if v.size == 0:
+        raise ValueError("summary_stats requires a non-empty sample")
+    return SummaryStats(
+        mean=float(v.mean()),
+        std=float(v.std()),
+        minimum=float(v.min()),
+        maximum=float(v.max()),
+        count=int(v.size),
+    )

@@ -1,0 +1,174 @@
+"""Tabular feature encoding for the prediction-model training set (Stage 3).
+
+The paper's Stage 3 turns (model, dataset) pairs into rows of a table:
+categorical metadata (architecture family, pre-train dataset, ...) become
+one-hot columns, numeric metadata are passed through (optionally
+standardised), and graph/node embeddings are appended as dense blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+__all__ = ["OneHotEncoder", "StandardScaler", "FeatureMatrixBuilder"]
+
+
+class OneHotEncoder:
+    """One-hot encode a categorical column with a stable category order.
+
+    Unknown categories at transform time map to the all-zero vector (the
+    leave-one-out evaluation routinely encounters a target dataset whose
+    name was never seen during training).
+    """
+
+    def __init__(self):
+        self.categories_: list[str] = []
+        self._index: dict[str, int] = {}
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._index)
+
+    def fit(self, values) -> "OneHotEncoder":
+        self.categories_ = sorted({str(v) for v in values})
+        self._index = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("OneHotEncoder.transform called before fit")
+        out = np.zeros((len(values), len(self.categories_)), dtype=np.float64)
+        for row, value in enumerate(values):
+            col = self._index.get(str(value))
+            if col is not None:
+                out[row, col] = 1.0
+        return out
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def feature_names(self, prefix: str) -> list[str]:
+        return [f"{prefix}={c}" for c in self.categories_]
+
+
+class StandardScaler:
+    """Standardise columns to zero mean / unit variance (constant cols → 0)."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix) -> "StandardScaler":
+        m = np.asarray(matrix, dtype=np.float64)
+        check_2d(m, "matrix")
+        self.mean_ = m.mean(axis=0)
+        std = m.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, matrix) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        m = np.asarray(matrix, dtype=np.float64)
+        check_2d(m, "matrix")
+        if m.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"matrix has {m.shape[1]} columns, scaler was fit on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (m - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+@dataclass
+class _Column:
+    name: str
+    kind: str  # "numeric" | "categorical" | "embedding"
+    encoder: OneHotEncoder | None = None
+    width: int = 1
+
+
+@dataclass
+class FeatureMatrixBuilder:
+    """Assemble a dense feature matrix from heterogeneous columns.
+
+    Usage::
+
+        builder = FeatureMatrixBuilder()
+        builder.add_numeric("num_params", [1e6, 2e6, ...])
+        builder.add_categorical("architecture", ["vit", "resnet", ...])
+        builder.add_embedding("model_emb", np.zeros((n, 128)))
+        X, names = builder.build()
+
+    The builder records per-column encoders so a *second* builder (for the
+    prediction set) can reuse them via :meth:`like`, guaranteeing aligned
+    columns between training and prediction matrices.
+    """
+
+    n_rows: int | None = None
+    _columns: list[_Column] = field(default_factory=list)
+    _blocks: list[np.ndarray] = field(default_factory=list)
+
+    def _check_rows(self, n: int, name: str) -> None:
+        if self.n_rows is None:
+            self.n_rows = n
+        elif self.n_rows != n:
+            raise ValueError(
+                f"column {name!r} has {n} rows, builder expects {self.n_rows}"
+            )
+
+    def add_numeric(self, name: str, values) -> "FeatureMatrixBuilder":
+        v = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+        self._check_rows(v.shape[0], name)
+        self._columns.append(_Column(name=name, kind="numeric"))
+        self._blocks.append(v)
+        return self
+
+    def add_categorical(
+        self, name: str, values, encoder: OneHotEncoder | None = None
+    ) -> "FeatureMatrixBuilder":
+        if encoder is None:
+            encoder = OneHotEncoder().fit(values)
+        block = encoder.transform(values)
+        self._check_rows(block.shape[0], name)
+        self._columns.append(
+            _Column(name=name, kind="categorical", encoder=encoder, width=block.shape[1])
+        )
+        self._blocks.append(block)
+        return self
+
+    def add_embedding(self, name: str, matrix) -> "FeatureMatrixBuilder":
+        m = np.asarray(matrix, dtype=np.float64)
+        check_2d(m, name)
+        self._check_rows(m.shape[0], name)
+        self._columns.append(_Column(name=name, kind="embedding", width=m.shape[1]))
+        self._blocks.append(m)
+        return self
+
+    def build(self) -> tuple[np.ndarray, list[str]]:
+        """Return (matrix, column names)."""
+        if not self._blocks:
+            raise ValueError("FeatureMatrixBuilder has no columns")
+        names: list[str] = []
+        for col in self._columns:
+            if col.kind == "numeric":
+                names.append(col.name)
+            elif col.kind == "categorical":
+                assert col.encoder is not None
+                names.extend(col.encoder.feature_names(col.name))
+            else:
+                names.extend(f"{col.name}[{i}]" for i in range(col.width))
+        return np.hstack(self._blocks), names
+
+    def encoders(self) -> dict[str, OneHotEncoder]:
+        """Return the fitted encoders keyed by categorical column name."""
+        return {
+            c.name: c.encoder for c in self._columns if c.kind == "categorical" and c.encoder
+        }

@@ -1,0 +1,49 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_1d",
+    "check_2d",
+    "check_finite",
+    "check_same_length",
+    "check_probability",
+]
+
+
+def check_1d(array, name: str) -> None:
+    """Raise ``ValueError`` unless ``array`` is one-dimensional."""
+    a = np.asarray(array)
+    if a.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {a.shape}")
+
+
+def check_2d(array, name: str) -> None:
+    """Raise ``ValueError`` unless ``array`` is two-dimensional."""
+    a = np.asarray(array)
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {a.shape}")
+
+
+def check_finite(array, name: str) -> None:
+    """Raise ``ValueError`` if ``array`` contains NaN or infinity."""
+    a = np.asarray(array, dtype=np.float64)
+    if not np.isfinite(a).all():
+        raise ValueError(f"{name} contains non-finite values")
+
+
+def check_same_length(a, b, name_a: str, name_b: str) -> None:
+    """Raise ``ValueError`` unless the two arrays have equal first dims."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")

@@ -1,0 +1,199 @@
+"""Heterogeneous model architectures for the simulated zoo.
+
+The paper's zoo contains 185 image models (ViT, Swin, ConvNeXT, ResNet, …)
+and 163 text models (BERT, FNet, ELECTRA, …) "with different architectures
+... and pre-trained on diverse datasets" (§VII-A).  What matters for model
+selection is that families differ in *inductive bias* and models differ in
+*capacity*.  We reproduce that with MLP feature extractors whose family
+determines activation function, normalisation and depth/width ranges; the
+paper's family names are kept as labels so that the metadata features
+("architecture" one-hots, §IV-A2) have the same role as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import (
+    GELU,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+
+__all__ = ["FamilyConfig", "ModelSpec", "IMAGE_FAMILIES", "TEXT_FAMILIES",
+           "family_config", "build_feature_extractor", "sample_model_specs"]
+
+
+@dataclass(frozen=True)
+class FamilyConfig:
+    """Architecture family: the knobs that encode its inductive bias."""
+
+    name: str
+    modality: str
+    activation: str            # relu | gelu | tanh | leaky_relu
+    use_layernorm: bool
+    depth_choices: tuple[int, ...]
+    width_choices: tuple[int, ...]
+    embedding_choices: tuple[int, ...]
+    size_labels: tuple[str, ...] = ("tiny", "small", "base")
+
+
+# Families share the same capacity ranges on purpose: their differences
+# are *inductive biases* (activation, receptive mask), not raw size —
+# making the optimal architecture task-dependent rather than global
+# ("the optimal architecture ... is usually task-dependent", §II-B1).
+IMAGE_FAMILIES: dict[str, FamilyConfig] = {
+    "resnet": FamilyConfig("resnet", "image", "relu", True, (2, 3), (32, 64), (24,)),
+    "vit": FamilyConfig("vit", "image", "gelu", True, (2, 3), (32, 64), (24,)),
+    "swin": FamilyConfig("swin", "image", "gelu", True, (2, 3), (32, 64), (24,)),
+    "convnext": FamilyConfig("convnext", "image", "leaky_relu", True, (2, 3), (32, 64), (24,)),
+    "mobilenet": FamilyConfig("mobilenet", "image", "relu", True, (2, 3), (32, 64), (24,)),
+}
+
+TEXT_FAMILIES: dict[str, FamilyConfig] = {
+    "bert": FamilyConfig("bert", "text", "gelu", True, (2, 3), (32, 64), (24,)),
+    "roberta": FamilyConfig("roberta", "text", "gelu", True, (2, 3), (32, 64), (24,)),
+    "electra": FamilyConfig("electra", "text", "relu", True, (2, 3), (32, 64), (24,)),
+    "fnet": FamilyConfig("fnet", "text", "tanh", True, (2, 3), (32, 64), (24,)),
+    "gpt_neo": FamilyConfig("gpt_neo", "text", "leaky_relu", True, (2, 3), (32, 64), (24,)),
+}
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "gelu": GELU,
+    "tanh": Tanh,
+    "leaky_relu": LeakyReLU,
+}
+
+
+def family_config(family: str, modality: str) -> FamilyConfig:
+    table = IMAGE_FAMILIES if modality == "image" else TEXT_FAMILIES
+    try:
+        return table[family]
+    except KeyError:
+        raise KeyError(f"unknown {modality} family {family!r}") from None
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one zoo model (its metadata, §IV-A2)."""
+
+    model_id: str
+    family: str
+    architecture: str        # e.g. "vit-small"
+    modality: str
+    pretrain_dataset: str
+    input_shape: int         # expected input dimensionality
+    embedding_dim: int
+    depth: int
+    width: int
+    activation: str
+    use_layernorm: bool
+    pretrain_epochs: int     # heterogeneous training budgets
+    init_seed: int
+    #: hidden representation-collapse strength in [0, 1].  Mimics
+    #: checkpoints whose features collapsed towards the source classes
+    #: (neural collapse): source accuracy is preserved, but transfer to
+    #: new tasks degrades.  Deliberately NOT exported to the catalog —
+    #: metadata-only strategies cannot see it, history-based ones can.
+    feature_collapse: float = 0.0
+
+    def num_params(self) -> int:
+        """Parameter count of the backbone (weights + biases [+ LN])."""
+        dims = [self.input_shape] + [self.width] * self.depth + [self.embedding_dim]
+        count = sum(d_in * d_out + d_out for d_in, d_out in zip(dims[:-1], dims[1:]))
+        if self.use_layernorm:
+            count += sum(2 * d for d in dims[1:-1])
+        return count
+
+    def memory_mb(self) -> float:
+        """Float64 parameter memory in MB (a model-complexity indicator)."""
+        return self.num_params() * 8 / 1e6
+
+
+def build_feature_extractor(spec: ModelSpec) -> Sequential:
+    """Instantiate the backbone network described by ``spec``."""
+    rng = np.random.default_rng(spec.init_seed)
+    act = _ACTIVATIONS[spec.activation]
+    init_scheme = "kaiming" if spec.activation in ("relu", "leaky_relu") else "xavier"
+    layers: list[Module] = []
+    dims = [spec.input_shape] + [spec.width] * spec.depth
+    for d_in, d_out in zip(dims[:-1], dims[1:]):
+        layers.append(Linear(d_in, d_out, rng=rng, init_scheme=init_scheme))
+        if spec.use_layernorm:
+            layers.append(LayerNorm(d_out))
+        layers.append(act())
+    layers.append(Linear(dims[-1], spec.embedding_dim, rng=rng,
+                         init_scheme=init_scheme))
+    return Sequential(*layers)
+
+
+def sample_model_specs(modality: str, num_models: int, source_datasets: list[str],
+                       rng: np.random.Generator,
+                       input_dims: tuple[int, ...] = (24, 32, 48),
+                       pretrain_epoch_choices: tuple[int, ...] = (8, 20, 40),
+                       source_input_dims: dict[str, int] | None = None,
+                       ) -> list[ModelSpec]:
+    """Sample a heterogeneous roster of model specs.
+
+    Families are cycled so every family is represented; the remaining
+    attributes (size, source dataset, training budget) are drawn
+    independently, mirroring the diversity of a public model zoo.
+
+    ``source_input_dims`` maps source dataset → its input dimensionality;
+    when given, each model's ``input_shape`` equals its source dataset's
+    dimension (models are built *for* their pre-training data).  Input
+    shape then matters through model×dataset compatibility rather than as
+    a free capacity axis.
+    """
+    if num_models <= 0:
+        raise ValueError("num_models must be positive")
+    if not source_datasets:
+        raise ValueError("need at least one source dataset to pre-train on")
+    families = sorted((IMAGE_FAMILIES if modality == "image" else TEXT_FAMILIES))
+    specs = []
+    for i in range(num_models):
+        family = families[i % len(families)]
+        config = family_config(family, modality)
+        depth = int(rng.choice(config.depth_choices))
+        width = int(rng.choice(config.width_choices))
+        embedding_dim = int(rng.choice(config.embedding_choices))
+        size_label = config.size_labels[
+            min(len(config.size_labels) - 1,
+                int(np.searchsorted(np.quantile(config.width_choices, [0.5]), width)))
+        ]
+        pretrain_dataset = str(rng.choice(source_datasets))
+        # Half the zoo is healthy; the rest ships with mild-to-severe
+        # hidden damage (see ModelSpec.feature_collapse).  The spread is
+        # wide on purpose: per-checkpoint quality must dominate per-
+        # architecture-group quality, as it does in public zoos.
+        collapse = float(rng.choice((0.0, 0.0, 0.65, 1.0)))
+        if source_input_dims is not None:
+            input_shape = int(source_input_dims[pretrain_dataset])
+        else:
+            input_shape = int(rng.choice(input_dims))
+        spec = ModelSpec(
+            model_id=f"{family}-{size_label}-{i:03d}",
+            family=family,
+            architecture=f"{family}-{size_label}",
+            modality=modality,
+            pretrain_dataset=pretrain_dataset,
+            input_shape=input_shape,
+            embedding_dim=embedding_dim,
+            depth=depth,
+            width=width,
+            activation=config.activation,
+            use_layernorm=config.use_layernorm,
+            pretrain_epochs=int(rng.choice(pretrain_epoch_choices)),
+            init_seed=int(rng.integers(0, 2**31 - 1)),
+            feature_collapse=collapse,
+        )
+        specs.append(spec)
+    return specs

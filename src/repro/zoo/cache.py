@@ -1,0 +1,136 @@
+"""Disk cache for built zoos.
+
+Building a zoo means pre-training and fine-tuning dozens of models.  The
+cache persists everything needed to restore a :class:`ModelZoo` without
+retraining: the config, the model specs, every model's weights, and the
+catalog (which holds the ground-truth fine-tuning history).  Datasets are
+*not* stored — they are regenerated deterministically from the config.
+
+Layout (one directory per config hash)::
+
+    <cache_dir>/<key>/config.json      the exact ZooConfig used
+    <cache_dir>/<key>/catalog.json     the ZooCatalog tables
+    <cache_dir>/<key>/specs.json       the ModelSpec list
+    <cache_dir>/<key>/weights.npz      flattened model state dicts
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.store import ZooCatalog
+from repro.zoo.architectures import ModelSpec
+from repro.zoo.finetune import FinetuneConfig
+from repro.zoo.models import ZooModel
+from repro.zoo.pretrain import PretrainConfig
+from repro.zoo.tasks import TaskUniverse
+from repro.zoo.zoo import ModelZoo, ZooConfig, build_zoo, _select_names
+
+__all__ = ["zoo_cache_key", "save_zoo", "load_zoo", "get_or_build_zoo",
+           "default_cache_dir", "build_default_zoo"]
+
+_CACHE_VERSION = 12
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro_transfergraph"
+
+
+def zoo_cache_key(config: ZooConfig) -> str:
+    """Stable content hash of a config (includes the cache version)."""
+    payload = json.dumps({"v": _CACHE_VERSION, **config.to_dict()}, sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=10).hexdigest()
+
+
+def save_zoo(zoo: ModelZoo, cache_dir: Path | str | None = None) -> Path:
+    """Persist a built zoo; returns its cache directory."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    out = root / zoo_cache_key(zoo.config)
+    out.mkdir(parents=True, exist_ok=True)
+
+    (out / "config.json").write_text(json.dumps(zoo.config.to_dict(), indent=1))
+    zoo.catalog.save(out / "catalog.json")
+    specs = [asdict(m.spec) for m in zoo.models.values()]
+    (out / "specs.json").write_text(json.dumps(specs, indent=1))
+
+    arrays: dict[str, np.ndarray] = {}
+    for model_id, model in zoo.models.items():
+        for name, value in model.state().items():
+            arrays[f"{model_id}::{name}"] = value
+    np.savez_compressed(out / "weights.npz", **arrays)
+    return out
+
+
+def _config_from_dict(payload: dict) -> ZooConfig:
+    payload = dict(payload)
+    payload["input_dims"] = tuple(payload["input_dims"])
+    payload["sample_budget"] = tuple(payload["sample_budget"])
+    payload["pretrain_epoch_choices"] = tuple(payload["pretrain_epoch_choices"])
+    payload["finetune"] = FinetuneConfig(**payload["finetune"])
+    payload["pretrain"] = PretrainConfig(**payload["pretrain"])
+    return ZooConfig(**payload)
+
+
+def load_zoo(config: ZooConfig, cache_dir: Path | str | None = None) -> ModelZoo | None:
+    """Restore a zoo for ``config`` from cache, or None when absent."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = root / zoo_cache_key(config)
+    required = ["config.json", "catalog.json", "specs.json", "weights.npz"]
+    if not all((path / f).exists() for f in required):
+        return None
+
+    catalog = ZooCatalog.load(path / "catalog.json")
+    specs = [ModelSpec(**s) for s in json.loads((path / "specs.json").read_text())]
+
+    universe = TaskUniverse(
+        config.modality, seed=config.seed, semantic_dim=config.semantic_dim,
+        input_dims=config.input_dims, sample_budget=config.sample_budget,
+        class_budget=config.class_budget,
+    )
+    targets, sources = _select_names(universe, config)
+    datasets = universe.materialise_all(targets + sources)
+
+    with np.load(path / "weights.npz") as arrays:
+        grouped: dict[str, dict[str, np.ndarray]] = {}
+        for key in arrays.files:
+            model_id, name = key.split("::", 1)
+            grouped.setdefault(model_id, {})[name] = arrays[key]
+
+    models = []
+    for spec in specs:
+        model = ZooModel(spec)
+        model.load_state(grouped[spec.model_id])
+        row = catalog.models.get_or_none(spec.model_id)
+        model.pretrain_accuracy = row["pretrain_accuracy"] if row else None
+        models.append(model)
+
+    return ModelZoo(config, universe, datasets, models, catalog)
+
+
+def get_or_build_zoo(config: ZooConfig, cache_dir: Path | str | None = None,
+                     progress: bool = False) -> ModelZoo:
+    """Load a cached zoo or build (+cache) it."""
+    zoo = load_zoo(config, cache_dir)
+    if zoo is None:
+        zoo = build_zoo(config, progress=progress)
+        save_zoo(zoo, cache_dir)
+    if config.include_lora and zoo.ensure_lora_history() > 0:
+        save_zoo(zoo, cache_dir)
+    return zoo
+
+
+def build_default_zoo(modality: str = "image", seed: int = 0,
+                      cache_dir: Path | str | None = None,
+                      progress: bool = False) -> ModelZoo:
+    """The zoo configuration used by the benchmark suite."""
+    return get_or_build_zoo(ZooConfig.default(modality=modality, seed=seed),
+                            cache_dir=cache_dir, progress=progress)

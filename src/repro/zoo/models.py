@@ -1,0 +1,149 @@
+"""Zoo model objects: a backbone, a classifier head, and input adapters.
+
+A :class:`ZooModel` mirrors the paper's description of a pre-trained model
+(§VII-A "Ground truth"): a feature extractor plus a classifier.  Datasets
+in a zoo come in different input dimensionalities; models expect a fixed
+``input_shape``.  A deterministic random-projection *adapter* bridges
+mismatched dimensions — the analogue of image resizing, and the mechanism
+by which input-shape mismatch genuinely hurts transfer (§II-A, [10]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Sequential, Tensor, no_grad
+from repro.utils.rng import derive_seed
+from repro.zoo.architectures import ModelSpec, build_feature_extractor
+from repro.zoo.tasks import Dataset
+
+__all__ = ["ZooModel"]
+
+
+class ZooModel:
+    """A pre-trained (or freshly initialised) model in the zoo."""
+
+    def __init__(self, spec: ModelSpec, backbone: Sequential | None = None,
+                 head: Linear | None = None, head_classes: int | None = None):
+        self.spec = spec
+        self.backbone = backbone if backbone is not None else build_feature_extractor(spec)
+        self.head = head
+        self.head_classes = head_classes
+        self.pretrain_accuracy: float | None = None
+        self._adapters: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def model_id(self) -> str:
+        return self.spec.model_id
+
+    def __repr__(self) -> str:
+        return f"ZooModel({self.model_id}, pretrained_on={self.spec.pretrain_dataset})"
+
+    # ------------------------------------------------------------------ #
+    def adapter_for(self, input_dim: int) -> np.ndarray | None:
+        """Projection from a dataset's input dim to the model's input shape.
+
+        Identity (None) when dimensions match; otherwise a fixed random
+        orthonormal-ish projection derived deterministically from the model
+        id and the dataset dimension, so every fine-tune/evaluation of the
+        same (model, dataset) pair sees the same adapter.
+        """
+        if input_dim == self.spec.input_shape:
+            return None
+        adapter = self._adapters.get(input_dim)
+        if adapter is None:
+            seed = derive_seed(self.spec.init_seed, "adapter", str(input_dim))
+            rng = np.random.default_rng(seed)
+            adapter = rng.normal(size=(input_dim, self.spec.input_shape))
+            adapter /= np.sqrt(input_dim)
+            self._adapters[input_dim] = adapter
+        return adapter
+
+    def _family_mask(self) -> np.ndarray:
+        """Fixed per-family receptive mask over input coordinates.
+
+        Architecture families attend to different parts of the input
+        (locality, pooling, tokenisation).  We model this as a fixed mask
+        shared by every model of a family: coordinates outside the mask
+        are strongly attenuated.  Whether a family's mask covers the
+        coordinates a *domain* concentrates its signal on creates the
+        family×domain affinity the paper attributes to inductive bias —
+        visible in training history, invisible in metadata.
+        """
+        mask = getattr(self, "_family_mask_cache", None)
+        if mask is None:
+            seed = derive_seed(0, "family_mask", self.spec.family,
+                               str(self.spec.input_shape))
+            rng = np.random.default_rng(seed)
+            mask = np.where(rng.random(self.spec.input_shape) < 0.7, 1.0, 0.15)
+            self._family_mask_cache = mask
+        return mask
+
+    def adapt(self, x: np.ndarray) -> np.ndarray:
+        adapter = self.adapter_for(x.shape[1])
+        out = x if adapter is None else x @ adapter
+        return out * self._family_mask()[None, :]
+
+    # ------------------------------------------------------------------ #
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass through adapter + backbone (no gradients)."""
+        self.backbone.eval()
+        with no_grad():
+            out = self.backbone(Tensor(self.adapt(x)))
+        return out.numpy()
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        if self.head is None:
+            raise RuntimeError(f"{self.model_id} has no classifier head")
+        feats = self.features(x)
+        with no_grad():
+            out = self.head(Tensor(feats))
+        return out.numpy()
+
+    def accuracy_on(self, x: np.ndarray, y: np.ndarray) -> float:
+        pred = self.logits(x).argmax(axis=1)
+        return float((pred == y).mean())
+
+    def new_head(self, num_classes: int, rng: np.random.Generator) -> Linear:
+        """A randomly initialised classifier head (fine-tuning §VII-A)."""
+        return Linear(self.spec.embedding_dim, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def clone_backbone(self) -> Sequential:
+        """A structurally identical backbone with copied weights."""
+        clone = build_feature_extractor(self.spec)
+        clone.load_state_dict(self.backbone.state_dict())
+        return clone
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Snapshot backbone (+head) weights for the artifact cache."""
+        state = {f"backbone.{k}": v for k, v in self.backbone.state_dict().items()}
+        if self.head is not None:
+            state.update({f"head.{k}": v for k, v in self.head.state_dict().items()})
+        return state
+
+    def load_state(self, state: dict[str, np.ndarray],
+                   head_classes: int | None = None) -> None:
+        backbone_state = {k[len("backbone."):]: v for k, v in state.items()
+                          if k.startswith("backbone.")}
+        self.backbone.load_state_dict(backbone_state)
+        head_state = {k[len("head."):]: v for k, v in state.items()
+                      if k.startswith("head.")}
+        if head_state:
+            if head_classes is None:
+                head_classes = head_state["weight"].shape[1]
+            self.head = Linear(self.spec.embedding_dim, head_classes)
+            self.head.load_state_dict(head_state)
+            self.head_classes = head_classes
+
+    # ------------------------------------------------------------------ #
+    def features_for(self, dataset: Dataset, split: str = "train") -> np.ndarray:
+        """Features of a dataset split (the forward pass of §II-A)."""
+        if split == "train":
+            return self.features(dataset.x_train)
+        if split == "test":
+            return self.features(dataset.x_test)
+        if split == "all":
+            return self.features(dataset.all_x())
+        raise ValueError(f"unknown split {split!r}")

@@ -1,0 +1,129 @@
+"""Pre-training zoo models on their source datasets.
+
+Each zoo model is genuinely trained (backbone + head) on its source
+dataset with AdamW.  Heterogeneous ``pretrain_epochs`` budgets produce the
+quality spread a real zoo exhibits — some checkpoints are under-trained,
+some converged — which is exactly the variation the "model performance"
+metadata feature (§IV-A2) is meant to capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import AdamW, Tensor, cross_entropy
+from repro.zoo.models import ZooModel
+from repro.zoo.tasks import Dataset
+
+__all__ = ["PretrainConfig", "pretrain_model", "apply_feature_collapse"]
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Hyperparameters of the pre-training stage."""
+
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-4
+    batch_size: int = 64
+
+
+def _iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                         rng: np.random.Generator):
+    order = rng.permutation(len(x))
+    for start in range(0, len(x), batch_size):
+        idx = order[start:start + batch_size]
+        yield x[idx], y[idx]
+
+
+def apply_feature_collapse(model: ZooModel, dataset: Dataset,
+                           strength: float,
+                           rng: np.random.Generator,
+                           config: "PretrainConfig | None" = None) -> None:
+    """Degrade a checkpoint's *transferability* without its source accuracy.
+
+    Real zoos are full of pruned / distilled / over-compressed checkpoints
+    whose model cards look healthy.  We reproduce that failure mode:
+
+    1. every backbone layer's weight matrix is SVD-truncated to a fraction
+       ``(1 - strength)`` of its full rank — capacity for *new* tasks is
+       permanently reduced;
+    2. the classifier head is then re-trained on the source dataset, so
+       the source accuracy (the only quality signal metadata carries)
+       largely recovers.
+
+    Metadata-only strategies cannot see the damage; training history and
+    forward-pass estimators can.
+    """
+    if strength <= 0.0:
+        return
+    config = config or PretrainConfig()
+
+    # Project the embedding towards the span of the source class means
+    # ("neural collapse").  At strength 1.0 the embedding carries exactly
+    # the directions the source task needs and nothing else: source
+    # accuracy is preserved by construction, transfer to tasks with other
+    # discriminative directions is crippled.
+    features = model.features(dataset.x_train)
+    classes = np.unique(dataset.y_train)
+    means = np.vstack([features[dataset.y_train == c].mean(axis=0)
+                       for c in classes])
+    q, _ = np.linalg.qr(means.T)               # (emb_dim, n_classes)
+    q = q[:, : len(classes)]
+    projector = q @ q.T
+    blend = (1.0 - strength) * np.eye(projector.shape[0]) + strength * projector
+
+    last = model.backbone.layers[-1]
+    last.weight.data = last.weight.data @ blend
+    if last.bias is not None:
+        last.bias.data = last.bias.data @ blend
+
+    # Brief head refresh on the collapsed features (the checkpoint author
+    # would have re-validated the classifier before publishing).
+    if model.head is not None:
+        opt = AdamW(model.head.parameters(), lr=config.learning_rate,
+                    weight_decay=config.weight_decay)
+        collapsed = model.features(dataset.x_train)
+        for _ in range(15):
+            loss = cross_entropy(model.head(Tensor(collapsed)), dataset.y_train)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+
+
+def pretrain_model(model: ZooModel, dataset: Dataset,
+                   rng: np.random.Generator,
+                   config: PretrainConfig | None = None) -> float:
+    """Train ``model`` on ``dataset``; returns held-out accuracy.
+
+    The model's head is (re)created for the dataset's class count; the
+    number of epochs comes from the model spec (heterogeneous budgets).
+    Hidden representation collapse (``spec.feature_collapse``) is applied
+    *after* training and *before* the held-out evaluation, so the reported
+    pre-train accuracy honestly reflects the shipped checkpoint.
+    """
+    config = config or PretrainConfig()
+    model.head = model.new_head(dataset.num_classes, rng)
+    model.head_classes = dataset.num_classes
+    model.backbone.train()
+
+    params = model.backbone.parameters() + model.head.parameters()
+    opt = AdamW(params, lr=config.learning_rate, weight_decay=config.weight_decay)
+
+    x_train = model.adapt(dataset.x_train)
+    y_train = dataset.y_train
+    for _ in range(model.spec.pretrain_epochs):
+        for xb, yb in _iterate_minibatches(x_train, y_train, config.batch_size, rng):
+            logits = model.head(model.backbone(Tensor(xb)))
+            loss = cross_entropy(logits, yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+
+    model.backbone.eval()
+    apply_feature_collapse(model, dataset, model.spec.feature_collapse,
+                           rng, config)
+    accuracy = model.accuracy_on(dataset.x_test, dataset.y_test)
+    model.pretrain_accuracy = accuracy
+    return accuracy

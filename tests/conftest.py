@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+The expensive fixture here is the session-scoped small model zoo: building
+it means genuinely pre-training and fine-tuning dozens of small networks,
+so tests share one build per modality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_image_zoo():
+    """A miniature image-modality zoo shared across integration tests."""
+    from repro.zoo import ZooConfig, build_zoo
+
+    config = ZooConfig.tiny(modality="image", seed=7)
+    return build_zoo(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_text_zoo():
+    """A miniature text-modality zoo shared across integration tests."""
+    from repro.zoo import ZooConfig, build_zoo
+
+    config = ZooConfig.tiny(modality="text", seed=11)
+    return build_zoo(config)

@@ -1,0 +1,64 @@
+"""Additional behavioural tests for gradient boosting and forests."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    GradientBoostingRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+)
+
+
+def friedman_like(n=250, seed=0):
+    """A standard nonlinear regression benchmark surface."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 5))
+    y = (10 * np.sin(np.pi * x[:, 0] * x[:, 1])
+         + 20 * (x[:, 2] - 0.5) ** 2 + 10 * x[:, 3] + 5 * x[:, 4])
+    return x, y + 0.5 * rng.normal(size=n)
+
+
+class TestNonlinearFit:
+    def test_boosting_beats_linear_on_nonlinear_surface(self):
+        x, y = friedman_like()
+        x_test, y_test = friedman_like(seed=1)
+        linear_mse = ((LinearRegression().fit(x, y).predict(x_test)
+                       - y_test) ** 2).mean()
+        boost = GradientBoostingRegressor(n_estimators=150, max_depth=3,
+                                          colsample=None, seed=0)
+        boost_mse = ((boost.fit(x, y).predict(x_test) - y_test) ** 2).mean()
+        assert boost_mse < linear_mse
+
+    def test_forest_beats_linear_on_nonlinear_surface(self):
+        x, y = friedman_like()
+        x_test, y_test = friedman_like(seed=2)
+        linear_mse = ((LinearRegression().fit(x, y).predict(x_test)
+                       - y_test) ** 2).mean()
+        forest = RandomForestRegressor(n_estimators=50, max_depth=8,
+                                       max_features=None, seed=0)
+        forest_mse = ((forest.fit(x, y).predict(x_test) - y_test) ** 2).mean()
+        assert forest_mse < linear_mse
+
+    def test_more_boosting_rounds_reduce_train_error(self):
+        x, y = friedman_like(n=120)
+        short = GradientBoostingRegressor(n_estimators=10, subsample=1.0,
+                                          colsample=None, seed=0).fit(x, y)
+        long = GradientBoostingRegressor(n_estimators=100, subsample=1.0,
+                                         colsample=None, seed=0).fit(x, y)
+        short_mse = ((short.predict(x) - y) ** 2).mean()
+        long_mse = ((long.predict(x) - y) ** 2).mean()
+        assert long_mse < short_mse
+
+    def test_learning_rate_tradeoff(self):
+        """Tiny learning rate with few trees underfits vs a moderate one."""
+        x, y = friedman_like(n=150)
+        slow = GradientBoostingRegressor(n_estimators=20, learning_rate=0.001,
+                                         subsample=1.0, colsample=None,
+                                         seed=0).fit(x, y)
+        fast = GradientBoostingRegressor(n_estimators=20, learning_rate=0.2,
+                                         subsample=1.0, colsample=None,
+                                         seed=0).fit(x, y)
+        slow_mse = ((slow.predict(x) - y) ** 2).mean()
+        fast_mse = ((fast.predict(x) - y) ** 2).mean()
+        assert fast_mse < slow_mse

@@ -1,0 +1,66 @@
+"""Additional catalog query-path tests (indexes, filters, bulk loads)."""
+
+import numpy as np
+import pytest
+
+from repro.store import ZooCatalog
+
+
+@pytest.fixture
+def catalog():
+    cat = ZooCatalog()
+    for i in range(6):
+        cat.add_model(model_id=f"m{i}", architecture="vit-s", family="vit",
+                      modality="image", pretrain_dataset=f"src{i % 2}",
+                      pretrain_accuracy=0.5 + i / 20, num_params=1000 + i,
+                      memory_mb=1.0, input_shape=32, embedding_dim=16,
+                      depth=2)
+    for j in range(3):
+        cat.add_dataset(dataset_id=f"d{j}", modality="image",
+                        num_samples=100, num_classes=4, input_dim=32,
+                        is_target=j < 2)
+    for i in range(6):
+        for j in range(3):
+            cat.record_history(f"m{i}", f"d{j}", accuracy=0.1 * i + 0.05 * j)
+            cat.record_transferability(f"m{i}", f"d{j}", "logme",
+                                       score=float(i - j))
+    return cat
+
+
+class TestIndexedQueries:
+    def test_history_for_dataset_uses_index(self, catalog):
+        rows = catalog.history_for_dataset("d1")
+        assert len(rows) == 6
+        assert all(r["dataset_id"] == "d1" for r in rows)
+
+    def test_transferability_filter_by_metric(self, catalog):
+        rows = catalog.transferability.filter(metric="logme", dataset_id="d0")
+        assert len(rows) == 6
+
+    def test_upsert_overwrites_history(self, catalog):
+        catalog.record_history("m0", "d0", accuracy=0.99)
+        assert catalog.get_accuracy("m0", "d0") == 0.99
+        assert len(catalog.history_for_dataset("d0")) == 6
+
+    def test_accuracy_matrix_ordering(self, catalog):
+        ids = [f"m{i}" for i in range(6)]
+        M = catalog.accuracy_matrix(ids, ["d0", "d1", "d2"])
+        # accuracy = 0.1*i + 0.05*j is monotone in both indexes
+        assert (np.diff(M, axis=0) > 0).all()
+        assert (np.diff(M, axis=1) > 0).all()
+
+    def test_target_listing(self, catalog):
+        assert catalog.target_dataset_ids() == ["d0", "d1"]
+
+    def test_modality_filter(self, catalog):
+        catalog.add_dataset(dataset_id="t0", modality="text",
+                            num_samples=50, num_classes=2, input_dim=16)
+        assert catalog.dataset_ids(modality="text") == ["t0"]
+        assert "t0" not in catalog.dataset_ids(modality="image")
+
+    def test_round_trip_preserves_indexes(self, catalog, tmp_path):
+        path = tmp_path / "cat.json"
+        catalog.save(path)
+        loaded = ZooCatalog.load(path)
+        assert len(loaded.history_for_dataset("d2")) == 6
+        assert loaded.get_transferability("m3", "d1", "logme") == 2.0

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_arguments(self):
+        args = build_parser().parse_args(
+            ["--scale", "tiny", "rank", "dtd", "--top", "3"])
+        assert args.command == "rank"
+        assert args.target == "dtd"
+        assert args.top == 3
+        assert args.scale == "tiny"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.modality == "image"
+        assert args.predictor == "xgb"
+
+    def test_rejects_bad_modality(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--modality", "audio", "stats"])
+
+
+class TestCommands:
+    """End-to-end CLI runs on the tiny preset (uses the shared cache)."""
+
+    ARGS = ["--scale", "tiny", "--seed", "7"]
+
+    def test_build_zoo(self, capsys):
+        assert main(self.ARGS + ["build-zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo ready" in out
+
+    def test_stats(self, capsys):
+        assert main(self.ARGS + ["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "num_dd_edges" in out
+        assert "link examples" in out
+
+    def test_rank_unknown_target(self, capsys):
+        assert main(self.ARGS + ["rank", "not_a_dataset"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_rank_known_target(self, capsys):
+        assert main(self.ARGS + ["rank", "caltech101", "--top", "2",
+                                 "--predictor", "lr"]) == 0
+        out = capsys.readouterr().out
+        assert "top 2 models for caltech101" in out

@@ -1,0 +1,108 @@
+"""Tests for the Stage-3 feature assembly and TG configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureAssembler, FeatureSet, TransferGraphConfig
+from repro.graph import build_graph, get_graph_learner
+
+
+@pytest.fixture(scope="module")
+def assembled(tiny_image_zoo):
+    """A fitted assembler + embeddings shared by the tests below."""
+    zoo = tiny_image_zoo
+    graph, links = build_graph(zoo)
+    embeddings = get_graph_learner("node2vec", dim=8, seed=0).embed(graph, links)
+    assembler = FeatureAssembler(zoo=zoo, features=FeatureSet.everything(),
+                                 embeddings=embeddings)
+    pairs = [(m, d) for m in zoo.model_ids() for d in zoo.target_names()[:2]]
+    x, names = assembler.assemble(pairs, fit=True)
+    return zoo, assembler, pairs, x, names
+
+
+class TestFeatureSet:
+    def test_paper_variants(self):
+        assert FeatureSet.basic() == FeatureSet(
+            metadata=True, dataset_similarity=False, transferability=False,
+            graph_features=False)
+        assert FeatureSet.all_logme().transferability
+        assert not FeatureSet.graph_only().metadata
+        assert FeatureSet.everything().graph_features
+
+    def test_any_active(self):
+        assert not FeatureSet(metadata=False, dataset_similarity=False,
+                              transferability=False, graph_features=False).any_active()
+
+    def test_strategy_names(self):
+        assert TransferGraphConfig().strategy_name() == "TG:LR,N2V,all"
+        cfg = TransferGraphConfig(predictor="xgb", graph_learner="node2vec+",
+                                  features=FeatureSet.graph_only())
+        assert cfg.strategy_name() == "TG:XGB,N2V+"
+
+
+class TestFeatureAssembler:
+    def test_shapes(self, assembled):
+        zoo, _, pairs, x, names = assembled
+        assert x.shape == (len(pairs), len(names))
+        assert np.isfinite(x).all()
+
+    def test_feature_groups_present(self, assembled):
+        _, _, _, _, names = assembled
+        assert any(n.startswith("model.num_params") for n in names)
+        assert any(n.startswith("model.family=") for n in names)
+        assert "pair.source_target_similarity" in names
+        assert any("graph_emb_product" in n for n in names)
+        assert "pair.graph_emb_dot" in names
+
+    def test_prediction_set_aligned(self, assembled):
+        zoo, assembler, _, x, names = assembled
+        target = zoo.target_names()[-1]
+        pred_pairs = [(m, target) for m in zoo.model_ids()]
+        x_pred, names_pred = assembler.assemble(pred_pairs, fit=False)
+        assert names_pred == names
+        assert x_pred.shape == (len(pred_pairs), x.shape[1])
+
+    def test_predict_before_fit_raises(self, tiny_image_zoo):
+        assembler = FeatureAssembler(zoo=tiny_image_zoo,
+                                     features=FeatureSet.basic())
+        with pytest.raises(RuntimeError, match="fit=True"):
+            assembler.assemble([(tiny_image_zoo.model_ids()[0],
+                                 tiny_image_zoo.target_names()[0])], fit=False)
+
+    def test_empty_pairs_rejected(self, tiny_image_zoo):
+        assembler = FeatureAssembler(zoo=tiny_image_zoo,
+                                     features=FeatureSet.basic())
+        with pytest.raises(ValueError, match="no pairs"):
+            assembler.assemble([], fit=True)
+
+    def test_graph_features_need_embeddings(self, tiny_image_zoo):
+        with pytest.raises(ValueError, match="embeddings"):
+            FeatureAssembler(zoo=tiny_image_zoo,
+                             features=FeatureSet.everything(),
+                             embeddings=None)
+
+    def test_empty_featureset_rejected(self, tiny_image_zoo):
+        empty = FeatureSet(metadata=False, dataset_similarity=False,
+                           transferability=False, graph_features=False)
+        with pytest.raises(ValueError, match="no feature groups"):
+            FeatureAssembler(zoo=tiny_image_zoo, features=empty)
+
+    def test_similarity_feature_self_is_one(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        assembler = FeatureAssembler(zoo=zoo, features=FeatureSet.all_no_graph())
+        model_id = zoo.model_ids()[0]
+        source = zoo.model(model_id).spec.pretrain_dataset
+        x, names = assembler.assemble([(model_id, source)], fit=True)
+        col = names.index("pair.source_target_similarity")
+        assert x[0, col] == 1.0
+
+    def test_transferability_feature_normalised(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        assembler = FeatureAssembler(zoo=zoo, features=FeatureSet.all_logme())
+        target = zoo.target_names()[0]
+        pairs = [(m, target) for m in zoo.model_ids()]
+        x, names = assembler.assemble(pairs, fit=True)
+        col = names.index("pair.transferability")
+        values = x[:, col]
+        assert values.min() >= 0.0 and values.max() <= 1.0
+        assert values.max() == pytest.approx(1.0)

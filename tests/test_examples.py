@@ -1,0 +1,24 @@
+"""The examples must at least import cleanly and expose a main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples")
+                  .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+
+
+def test_example_roster_complete():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "image_zoo_selection", "text_zoo_selection",
+            "ablation_study", "no_history_cold_start"} <= names

@@ -1,0 +1,93 @@
+"""Unit tests for the GNN encoder internals (masking, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GATEncoder,
+    GraphSAGEEncoder,
+    LinkExamples,
+    ModelDatasetGraph,
+    train_link_prediction,
+)
+from repro.graph.gnn import _mean_adjacency, _sample_extra_negatives
+from repro.nn import Tensor
+
+
+def path_graph(n=4):
+    g = ModelDatasetGraph()
+    names = [f"n{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        g.add_node(name, "model" if i % 2 == 0 else "dataset")
+        g.node_features[name] = np.eye(n)[i]
+    for a, b in zip(names[:-1], names[1:]):
+        g.add_edge(a, b, 1.0, "accuracy")
+    return g
+
+
+class TestMeanAdjacency:
+    def test_rows_sum_to_one(self):
+        g = path_graph()
+        a = _mean_adjacency(g)
+        np.testing.assert_allclose(a.sum(axis=1), 1.0)
+
+    def test_self_loops_included(self):
+        g = path_graph()
+        a = _mean_adjacency(g)
+        assert (np.diag(a) > 0).all()
+
+
+class TestGraphSAGEEncoder:
+    def test_output_shape(self):
+        g = path_graph()
+        enc = GraphSAGEEncoder(4, 8, 6, np.random.default_rng(0))
+        out = enc.encode(Tensor(g.feature_matrix()),
+                         Tensor(_mean_adjacency(g)))
+        assert out.shape == (4, 6)
+
+    def test_neighbors_influence_output(self):
+        """Changing a neighbor's features must change a node's encoding."""
+        g = path_graph()
+        enc = GraphSAGEEncoder(4, 8, 6, np.random.default_rng(0))
+        adj = Tensor(_mean_adjacency(g))
+        base = enc.encode(Tensor(g.feature_matrix()), adj).numpy()
+        perturbed_features = g.feature_matrix()
+        idx = g.index()
+        perturbed_features[idx["n1"]] += 5.0
+        perturbed = enc.encode(Tensor(perturbed_features), adj).numpy()
+        assert not np.allclose(base[idx["n0"]], perturbed[idx["n0"]])
+
+
+class TestGATEncoder:
+    def test_attention_respects_mask(self):
+        """A non-neighbor's features must NOT change a node's encoding."""
+        g = path_graph(5)  # n0-n1-n2-n3-n4; n0 and n4 are 4 hops apart
+        enc = GATEncoder(5, 8, 6, np.random.default_rng(1))
+        support = g.adjacency_matrix(weighted=False) + np.eye(5)
+        idx = g.index()
+        base = enc.encode(Tensor(g.feature_matrix()), support).numpy()
+        perturbed_features = g.feature_matrix()
+        perturbed_features[idx["n4"]] += 5.0
+        perturbed = enc.encode(Tensor(perturbed_features), support).numpy()
+        # single attention layer: n0 only sees {n0, n1}
+        np.testing.assert_allclose(base[idx["n0"]], perturbed[idx["n0"]])
+        assert not np.allclose(base[idx["n4"]], perturbed[idx["n4"]])
+
+
+class TestLinkPredictionTrainer:
+    def test_handles_empty_links(self):
+        g = path_graph()
+        enc = GraphSAGEEncoder(4, 8, 6, np.random.default_rng(2))
+        emb = train_link_prediction(enc, g, LinkExamples(), use_mask=False,
+                                    epochs=3, lr=1e-3, seed=0)
+        assert set(emb) == set(g.nodes())
+
+    def test_negative_topup_balances_classes(self):
+        g = path_graph(6)
+        links = LinkExamples(positive=[("n0", "n1"), ("n2", "n3"),
+                                       ("n4", "n5")],
+                             negative=[("n0", "n3")])
+        extras = _sample_extra_negatives(g, links, np.random.default_rng(0))
+        assert len(extras) == len(links.positive) - len(links.negative)
+        existing = set(links.positive) | set(links.negative)
+        assert all(pair not in existing for pair in extras)

@@ -1,0 +1,231 @@
+"""Tests for walks, SGNS, and the four graph learners."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GAT,
+    GraphSAGE,
+    GRAPH_LEARNERS,
+    LinkExamples,
+    ModelDatasetGraph,
+    Node2Vec,
+    Node2VecPlus,
+    SkipGramConfig,
+    WalkConfig,
+    generate_walks,
+    get_graph_learner,
+    train_skipgram,
+)
+
+
+def barbell_graph():
+    """Two dense clusters joined by one bridge — clear community structure."""
+    g = ModelDatasetGraph()
+    left = [f"m{i}" for i in range(4)]
+    right = [f"d{i}" for i in range(4)]
+    for n in left:
+        g.add_node(n, "model")
+    for n in right:
+        g.add_node(n, "dataset")
+    for i in range(4):
+        for j in range(i + 1, 4):
+            g.add_edge(left[i], right[j], 1.0, "accuracy")
+            g.add_edge(left[j], right[i], 1.0, "accuracy")
+    g.add_edge(left[0], right[0], 0.1, "transferability")
+    return g
+
+
+def two_cluster_graph():
+    g = ModelDatasetGraph()
+    a = [f"a{i}" for i in range(5)]
+    b = [f"b{i}" for i in range(5)]
+    for n in a + b:
+        g.add_node(n, "dataset")
+    for group in (a, b):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(group[i], group[j], 1.0, "similarity")
+    g.add_edge(a[0], b[0], 0.2, "similarity")  # weak bridge
+    return g
+
+
+class TestWalks:
+    def test_walk_shape(self):
+        g = two_cluster_graph()
+        walks = generate_walks(g, WalkConfig(num_walks=2, walk_length=10),
+                               np.random.default_rng(0))
+        assert len(walks) == 2 * g.num_nodes
+        assert all(len(w) <= 10 for w in walks)
+
+    def test_walks_follow_edges(self):
+        g = two_cluster_graph()
+        walks = generate_walks(g, WalkConfig(num_walks=1, walk_length=8),
+                               np.random.default_rng(1))
+        for walk in walks:
+            for u, v in zip(walk[:-1], walk[1:]):
+                assert g.has_edge(u, v)
+
+    def test_isolated_node_skipped(self):
+        g = two_cluster_graph()
+        g.add_node("lonely", "dataset")
+        walks = generate_walks(g, WalkConfig(num_walks=1, walk_length=5),
+                               np.random.default_rng(2))
+        assert all(w[0] != "lonely" for w in walks)
+
+    def test_deterministic_given_rng(self):
+        g = two_cluster_graph()
+        config = WalkConfig(num_walks=2, walk_length=6)
+        w1 = generate_walks(g, config, np.random.default_rng(5))
+        w2 = generate_walks(g, config, np.random.default_rng(5))
+        assert w1 == w2
+
+    def test_weighted_walks_prefer_heavy_edges(self):
+        """Node2Vec+ walks should cross a weak bridge less often."""
+        g = two_cluster_graph()
+        rng = np.random.default_rng(0)
+
+        def bridge_crossings(weighted):
+            config = WalkConfig(num_walks=30, walk_length=12, weighted=weighted)
+            walks = generate_walks(g, config, np.random.default_rng(7))
+            crossings = 0
+            for walk in walks:
+                for u, v in zip(walk[:-1], walk[1:]):
+                    if {u, v} == {"a0", "b0"}:
+                        crossings += 1
+            return crossings
+
+        assert bridge_crossings(weighted=True) < bridge_crossings(weighted=False)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkConfig(num_walks=0)
+        with pytest.raises(ValueError):
+            WalkConfig(p=0.0)
+
+
+class TestSkipGram:
+    def test_embeddings_for_all_nodes(self):
+        g = two_cluster_graph()
+        walks = generate_walks(g, WalkConfig(num_walks=3, walk_length=10),
+                               np.random.default_rng(0))
+        emb = train_skipgram(walks, g.nodes(), SkipGramConfig(dim=16, epochs=2),
+                             np.random.default_rng(0))
+        assert set(emb) == set(g.nodes())
+        assert all(v.shape == (16,) for v in emb.values())
+
+    def test_cluster_structure_captured(self):
+        """Nodes in the same cluster should embed closer than across."""
+        g = two_cluster_graph()
+        walks = generate_walks(g, WalkConfig(num_walks=20, walk_length=10),
+                               np.random.default_rng(1))
+        emb = train_skipgram(walks, g.nodes(),
+                             SkipGramConfig(dim=16, epochs=5),
+                             np.random.default_rng(1))
+
+        def cos(u, v):
+            return float(u @ v / (np.linalg.norm(u) * np.linalg.norm(v) + 1e-12))
+
+        within = np.mean([cos(emb[f"a{i}"], emb[f"a{j}"])
+                          for i in range(5) for j in range(i + 1, 5)])
+        across = np.mean([cos(emb[f"a{i}"], emb[f"b{j}"])
+                          for i in range(5) for j in range(5)])
+        assert within > across
+
+    def test_long_training_stays_finite(self):
+        """Regression: prolonged SGNS training must not blow up."""
+        g = two_cluster_graph()
+        walks = generate_walks(g, WalkConfig(num_walks=80, walk_length=10),
+                               np.random.default_rng(1))
+        emb = train_skipgram(walks, g.nodes(),
+                             SkipGramConfig(dim=8, epochs=30),
+                             np.random.default_rng(1))
+        assert all(np.isfinite(v).all() for v in emb.values())
+
+    def test_empty_walks_yield_random_init(self):
+        emb = train_skipgram([], ["x", "y"], SkipGramConfig(dim=8),
+                             np.random.default_rng(0))
+        assert set(emb) == {"x", "y"}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramConfig(dim=0)
+        with pytest.raises(ValueError):
+            SkipGramConfig(epochs=0)
+
+
+class TestLearnerRegistry:
+    def test_registry_names(self):
+        assert set(GRAPH_LEARNERS) == {"node2vec", "node2vec+", "graphsage", "gat"}
+
+    def test_get_graph_learner(self):
+        learner = get_graph_learner("node2vec", dim=16)
+        assert isinstance(learner, Node2Vec)
+        assert learner.dim == 16
+
+    def test_unknown_learner(self):
+        with pytest.raises(KeyError):
+            get_graph_learner("gcn9000")
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Node2Vec(dim=0)
+
+
+@pytest.mark.parametrize("name", ["node2vec", "node2vec+", "graphsage", "gat"])
+class TestAllLearners:
+    def _graph_with_features(self):
+        g = barbell_graph()
+        rng = np.random.default_rng(0)
+        for node in g.nodes():
+            g.node_features[node] = rng.normal(size=6)
+        links = LinkExamples(
+            positive=[("m0", "d1"), ("m1", "d2")],
+            negative=[("m3", "d0")],
+        )
+        return g, links
+
+    def test_embeds_every_node(self, name):
+        g, links = self._graph_with_features()
+        emb = get_graph_learner(name, dim=12, seed=0).embed(g, links)
+        assert set(emb) == set(g.nodes())
+        assert all(v.shape == (12,) for v in emb.values())
+        assert all(np.isfinite(v).all() for v in emb.values())
+
+    def test_deterministic(self, name):
+        g, links = self._graph_with_features()
+        e1 = get_graph_learner(name, dim=8, seed=3).embed(g, links)
+        e2 = get_graph_learner(name, dim=8, seed=3).embed(g, links)
+        for node in g.nodes():
+            assert np.allclose(e1[node], e2[node])
+
+    def test_seed_changes_embedding(self, name):
+        g, links = self._graph_with_features()
+        e1 = get_graph_learner(name, dim=8, seed=0).embed(g, links)
+        e2 = get_graph_learner(name, dim=8, seed=1).embed(g, links)
+        assert any(not np.allclose(e1[n], e2[n]) for n in g.nodes())
+
+
+class TestGNNOnZooGraph:
+    def test_gnn_learners_on_real_graph(self, tiny_image_zoo):
+        from repro.graph import build_graph
+
+        graph, links = build_graph(tiny_image_zoo)
+        for cls in (GraphSAGE, GAT):
+            emb = cls(dim=16, seed=0, epochs=30).embed(graph, links)
+            assert set(emb) == set(graph.nodes())
+            assert all(np.isfinite(v).all() for v in emb.values())
+
+    def test_link_predictor_separates_labels(self, tiny_image_zoo):
+        """After training, positive pairs should outscore negatives on avg."""
+        from repro.graph import build_graph
+
+        graph, links = build_graph(tiny_image_zoo)
+        emb = GraphSAGE(dim=16, seed=0, epochs=120).embed(graph, links)
+
+        def score(pair):
+            return float(emb[pair[0]] @ emb[pair[1]])
+
+        pos = np.mean([score(p) for p in links.positive])
+        neg = np.mean([score(p) for p in links.negative])
+        assert pos > neg

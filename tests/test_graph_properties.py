@@ -1,0 +1,84 @@
+"""Property-based tests for the graph structures (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import ModelDatasetGraph, WalkConfig, generate_walks
+from repro.transferability import normalise_scores
+
+
+def random_graph(seed: int, n_models: int, n_datasets: int,
+                 edge_prob: float) -> ModelDatasetGraph:
+    rng = np.random.default_rng(seed)
+    g = ModelDatasetGraph()
+    models = [f"m{i}" for i in range(n_models)]
+    datasets = [f"d{i}" for i in range(n_datasets)]
+    for m in models:
+        g.add_node(m, "model")
+    for d in datasets:
+        g.add_node(d, "dataset")
+    for m in models:
+        for d in datasets:
+            if rng.random() < edge_prob:
+                g.add_edge(m, d, float(rng.random()), "accuracy")
+    for i in range(n_datasets):
+        for j in range(i + 1, n_datasets):
+            if rng.random() < edge_prob:
+                g.add_edge(datasets[i], datasets[j], float(rng.random()),
+                           "similarity")
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 6), st.integers(2, 6),
+       st.floats(0.1, 0.9))
+def test_adjacency_symmetric_nonnegative(seed, n_models, n_datasets, p):
+    g = random_graph(seed, n_models, n_datasets, p)
+    a = g.adjacency_matrix()
+    assert np.allclose(a, a.T)
+    assert (a >= 0).all()
+    assert np.allclose(np.diag(a), 0.0)  # no self-loops
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 5), st.integers(2, 5),
+       st.floats(0.2, 0.9))
+def test_handshake_lemma(seed, n_models, n_datasets, p):
+    g = random_graph(seed, n_models, n_datasets, p)
+    degree_sum = sum(g.degree(n) for n in g.nodes())
+    assert degree_sum == 2 * g.num_edges
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_walks_never_leave_edge_set(seed):
+    g = random_graph(seed, 4, 4, 0.5)
+    walks = generate_walks(g, WalkConfig(num_walks=2, walk_length=6),
+                           np.random.default_rng(seed))
+    for walk in walks:
+        for u, v in zip(walk[:-1], walk[1:]):
+            assert g.has_edge(u, v)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                max_size=30))
+def test_normalise_scores_idempotent_range(values):
+    out = normalise_scores(values)
+    assert (out >= 0).all() and (out <= 1).all()
+    again = normalise_scores(out)
+    np.testing.assert_allclose(np.argsort(out), np.argsort(again))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.2, 0.8))
+def test_stats_consistent_with_edge_lists(seed, p):
+    g = random_graph(seed, 3, 4, p)
+    stats = g.stats()
+    assert stats["num_edges"] == (stats["num_dd_edges"]
+                                  + stats["num_md_accuracy_edges"]
+                                  + stats["num_md_transferability_edges"])
+    assert stats["num_nodes"] == stats["num_model_nodes"] + \
+        stats["num_dataset_nodes"]

@@ -1,0 +1,201 @@
+"""Tests for the graph data structure and the Table II builder."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Edge,
+    GraphBuilder,
+    GraphConfig,
+    ModelDatasetGraph,
+    build_graph,
+)
+
+
+def toy_graph():
+    g = ModelDatasetGraph()
+    g.add_node("d1", "dataset")
+    g.add_node("d2", "dataset")
+    g.add_node("m1", "model")
+    g.add_node("m2", "model")
+    g.add_edge("d1", "d2", 0.7, "similarity")
+    g.add_edge("m1", "d1", 0.9, "accuracy")
+    g.add_edge("m1", "d1", 0.6, "transferability")
+    g.add_edge("m2", "d2", 0.8, "accuracy")
+    return g
+
+
+class TestGraphStructure:
+    def test_counts(self):
+        g = toy_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert len(g.edges("accuracy")) == 2
+        assert len(g.edges("similarity")) == 1
+
+    def test_nodes_by_kind(self):
+        g = toy_graph()
+        assert g.nodes("model") == ["m1", "m2"]
+        assert g.nodes("dataset") == ["d1", "d2"]
+
+    def test_degree_counts_parallel_edges(self):
+        g = toy_graph()
+        assert g.degree("m1") == 2  # accuracy + transferability to d1
+        assert g.degree("d2") == 2
+
+    def test_average_degree(self):
+        g = toy_graph()
+        assert g.average_degree() == pytest.approx(2 * 4 / 4)
+
+    def test_adjacency_sums_parallel_edges(self):
+        g = toy_graph()
+        idx = g.index()
+        a = g.adjacency_matrix()
+        assert a[idx["m1"], idx["d1"]] == pytest.approx(0.9 + 0.6)
+        assert np.allclose(a, a.T)
+
+    def test_unweighted_adjacency(self):
+        g = toy_graph()
+        idx = g.index()
+        a = g.adjacency_matrix(weighted=False)
+        assert a[idx["m1"], idx["d1"]] == 2.0  # two parallel edges
+
+    def test_rejects_unknown_endpoint(self):
+        g = toy_graph()
+        with pytest.raises(KeyError):
+            g.add_edge("m1", "ghost", 0.5, "accuracy")
+
+    def test_rejects_self_loop(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            g.add_edge("m1", "m1", 0.5, "accuracy")
+
+    def test_rejects_bad_kinds(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            g.add_node("x", "gizmo")
+        with pytest.raises(ValueError):
+            g.add_edge("m1", "d2", 0.5, "friendship")
+
+    def test_node_kind_conflict(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            g.add_node("m1", "dataset")
+
+    def test_has_edge(self):
+        g = toy_graph()
+        assert g.has_edge("m1", "d1")
+        assert g.has_edge("d1", "m1")
+        assert not g.has_edge("m1", "d2")
+
+    def test_feature_matrix(self):
+        g = toy_graph()
+        g.node_features["m1"] = np.ones(3)
+        g.node_features["d1"] = np.full(3, 2.0)
+        X = g.feature_matrix()
+        idx = g.index()
+        assert X.shape == (4, 3)
+        assert np.allclose(X[idx["m1"]], 1.0)
+        assert np.allclose(X[idx["m2"]], 0.0)  # missing -> zeros
+
+    def test_feature_matrix_dim_mismatch(self):
+        g = toy_graph()
+        g.node_features["m1"] = np.ones(3)
+        g.node_features["d1"] = np.ones(5)
+        with pytest.raises(ValueError, match="inconsistent"):
+            g.feature_matrix()
+
+    def test_to_networkx(self):
+        nx_graph = toy_graph().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        # parallel m1-d1 edges collapse with max weight
+        assert nx_graph["m1"]["d1"]["weight"] == pytest.approx(0.9)
+
+    def test_stats_keys(self):
+        stats = toy_graph().stats()
+        assert stats["num_dd_edges"] == 1
+        assert stats["num_md_accuracy_edges"] == 2
+        assert stats["num_md_transferability_edges"] == 1
+
+
+class TestGraphConfig:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GraphConfig(accuracy_threshold=1.5)
+        with pytest.raises(ValueError):
+            GraphConfig(history_ratio=-0.1)
+
+
+class TestGraphBuilder:
+    def test_dd_edges_all_pairs(self, tiny_image_zoo):
+        graph, _ = build_graph(tiny_image_zoo)
+        n = len(tiny_image_zoo.dataset_names())
+        assert len(graph.edges("similarity")) == n * (n - 1) // 2
+
+    def test_loo_removes_target_md_edges(self, tiny_image_zoo):
+        target = tiny_image_zoo.target_names()[0]
+        graph, _ = build_graph(tiny_image_zoo, exclude_target=target)
+        for edge in graph.edges():
+            if target in (edge.u, edge.v):
+                assert edge.kind == "similarity"
+
+    def test_loo_keeps_dd_edges_of_target(self, tiny_image_zoo):
+        target = tiny_image_zoo.target_names()[0]
+        graph, _ = build_graph(tiny_image_zoo, exclude_target=target)
+        assert graph.degree(target) > 0
+
+    def test_unknown_target_rejected(self, tiny_image_zoo):
+        with pytest.raises(KeyError):
+            build_graph(tiny_image_zoo, exclude_target="nope")
+
+    def test_links_follow_threshold(self, tiny_image_zoo):
+        _, links = build_graph(tiny_image_zoo)
+        n_models = len(tiny_image_zoo.model_ids())
+        n_targets = len(tiny_image_zoo.target_names())
+        assert len(links) == n_models * n_targets
+        assert links.positive and links.negative
+
+    def test_accuracy_edges_pruned_by_threshold(self, tiny_image_zoo):
+        strict, _ = build_graph(tiny_image_zoo,
+                                config=GraphConfig(accuracy_threshold=0.9,
+                                                   include_pretrain_edges=False))
+        loose, _ = build_graph(tiny_image_zoo,
+                               config=GraphConfig(accuracy_threshold=0.1,
+                                                  include_pretrain_edges=False))
+        assert len(strict.edges("accuracy")) < len(loose.edges("accuracy"))
+
+    def test_no_history_scenario(self, tiny_image_zoo):
+        """§VII-C: graph built only from transferability edges."""
+        config = GraphConfig(use_accuracy_edges=False,
+                             include_pretrain_edges=False)
+        graph, links = build_graph(tiny_image_zoo, config=config)
+        assert len(graph.edges("accuracy")) == 0
+        assert len(graph.edges("transferability")) > 0
+        assert len(links) > 0  # labels from transferability scores
+
+    def test_history_ratio_reduces_edges(self, tiny_image_zoo):
+        full, full_links = build_graph(
+            tiny_image_zoo, config=GraphConfig(include_pretrain_edges=False))
+        partial, partial_links = build_graph(
+            tiny_image_zoo,
+            config=GraphConfig(history_ratio=0.3, include_pretrain_edges=False))
+        assert len(partial_links) < len(full_links)
+        assert len(partial.edges("accuracy")) <= len(full.edges("accuracy"))
+
+    def test_history_ratio_deterministic(self, tiny_image_zoo):
+        config = GraphConfig(history_ratio=0.5, seed=3)
+        g1, l1 = build_graph(tiny_image_zoo, config=config)
+        g2, l2 = build_graph(tiny_image_zoo, config=config)
+        assert l1.positive == l2.positive
+        assert g1.num_edges == g2.num_edges
+
+    def test_node_features_attached(self, tiny_image_zoo):
+        graph, _ = build_graph(tiny_image_zoo)
+        X = graph.feature_matrix()
+        assert X.shape[0] == graph.num_nodes
+        assert np.abs(X).sum() > 0
+
+    def test_edge_weights_in_unit_range(self, tiny_image_zoo):
+        graph, _ = build_graph(tiny_image_zoo)
+        for edge in graph.edges():
+            assert 0.0 <= edge.weight <= 1.0

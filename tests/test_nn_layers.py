@@ -1,0 +1,301 @@
+"""Tests for layers, losses, optimizers, schedulers, and LoRA."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AdamW,
+    ConstantLR,
+    CyclicalLR,
+    Dropout,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    LinearDecayLR,
+    LoRALinear,
+    ReLU,
+    SGD,
+    Sequential,
+    Tanh,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    inject_lora,
+    lora_parameters,
+    mse_loss,
+)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(8, 4, rng=rng)
+        out = layer(Tensor(np.ones((5, 8))))
+        assert out.shape == (5, 4)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4)
+
+    def test_rejects_unknown_init(self):
+        with pytest.raises(ValueError):
+            Linear(3, 3, init_scheme="mystery")
+
+    def test_deterministic_init_per_rng(self):
+        a = Linear(4, 4, rng=np.random.default_rng(0))
+        b = Linear(4, 4, rng=np.random.default_rng(0))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestModuleProtocol:
+    def _model(self):
+        r = np.random.default_rng(0)
+        return Sequential(Linear(4, 8, rng=r), ReLU(), Linear(8, 2, rng=r))
+
+    def test_parameter_discovery(self):
+        model = self._model()
+        assert len(model.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_named_parameters_unique(self):
+        names = [n for n, _ in self._model().named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_num_parameters(self):
+        model = self._model()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_round_trip(self):
+        model = self._model()
+        state = model.state_dict()
+        other = self._model()
+        for p in other.parameters():
+            p.data += 1.0
+        other.load_state_dict(state)
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(model(x).numpy(), other(x).numpy())
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = self._model()
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_train_eval_toggles_all_modules(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = np.ones((4, 4))
+        assert np.allclose(drop(Tensor(x)).numpy(), x)
+
+    def test_masks_in_train(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100)))).numpy()
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_scaling_preserves_expectation(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        out = drop(Tensor(np.ones((200, 200)))).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_p_one(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(6)
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(10, 6))
+        out = ln(Tensor(x)).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.eye(3) * 100.0)
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_shape_checks(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0, 1, 2]))
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_bce_with_logits_midpoint(self):
+        logits = Tensor(np.zeros(4))
+        targets = np.array([0.0, 1.0, 0.0, 1.0])
+        assert binary_cross_entropy_with_logits(logits, targets).item() == \
+            pytest.approx(np.log(2))
+
+    def test_bce_extreme_logits_finite(self):
+        logits = Tensor(np.array([50.0, -50.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestOptimizers:
+    def _quadratic_min(self, make_opt, steps=200):
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = make_opt([x])
+        for _ in range(steps):
+            loss = (x * x).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return np.abs(x.data).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic_min(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_min(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adamw_converges(self):
+        assert self._quadratic_min(lambda p: AdamW(p, lr=0.1, weight_decay=0.0)) < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=0.5)
+        # zero gradient: only decay acts
+        x.grad = np.array([0.0])
+        opt.step()
+        assert x.data[0] < 1.0
+
+    def test_rejects_bad_lr(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(2))], lr=0.1)  # not trainable
+
+
+class TestSchedulers:
+    def _opt(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        return SGD([x], lr=1.0)
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantLR(opt, lr=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_cyclical_triangle(self):
+        opt = self._opt()
+        sched = CyclicalLR(opt, base_lr=0.1, max_lr=1.1, step_size_up=5)
+        lrs = [sched.step() for _ in range(10)]
+        assert max(lrs) == pytest.approx(1.1)
+        assert lrs[4] < lrs[5 - 1] + 1e-12  # rising then falling
+        assert lrs[-1] == pytest.approx(0.1)
+
+    def test_cyclical_validation(self):
+        with pytest.raises(ValueError):
+            CyclicalLR(self._opt(), base_lr=0.5, max_lr=0.1, step_size_up=5)
+
+    def test_linear_decay_reaches_zero(self):
+        opt = self._opt()
+        sched = LinearDecayLR(opt, initial_lr=1.0, total_steps=4)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.75)
+        assert lrs[3] == pytest.approx(0.0)
+        assert lrs[5] == pytest.approx(0.0)  # clamps, never negative
+
+
+class TestLoRA:
+    def _base(self):
+        return Sequential(
+            Linear(6, 8, rng=np.random.default_rng(0)),
+            Tanh(),
+            Linear(8, 3, rng=np.random.default_rng(1)),
+        )
+
+    def test_starts_as_identity(self):
+        model = self._base()
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 6)))
+        before = model(x).numpy().copy()
+        lora = inject_lora(model, rank=2)
+        assert np.allclose(lora(x).numpy(), before)
+
+    def test_backbone_frozen(self):
+        lora = inject_lora(self._base(), rank=2)
+        trainable = {name for name, _ in lora.named_parameters()}
+        assert all("lora_" in name for name in trainable)
+
+    def test_lora_parameters_selector(self):
+        lora = inject_lora(self._base(), rank=3)
+        params = lora_parameters(lora)
+        assert len(params) == 4  # (A, B) for each of the two Linears
+
+    def test_merged_weight(self):
+        base = Linear(4, 4, rng=np.random.default_rng(3))
+        lora = LoRALinear(base, rank=2, rng=np.random.default_rng(4))
+        lora.lora_b.data[:] = np.random.default_rng(5).normal(size=lora.lora_b.shape)
+        merged = lora.merged_weight()
+        x = np.random.default_rng(6).normal(size=(2, 4))
+        expected = x @ merged + lora.base_bias.data
+        assert np.allclose(lora(Tensor(x)).numpy(), expected)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            LoRALinear(Linear(2, 2), rank=0)
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.ones((2, 2)))
+        assert np.allclose(Identity()(x).numpy(), x.numpy())
+
+    def test_gelu_module(self):
+        x = Tensor(np.array([[0.0, 1.0]]))
+        out = GELU()(x).numpy()
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, 1] == pytest.approx(0.841, abs=1e-2)
+
+
+class TestEndToEndTraining:
+    def test_classifier_learns_xor(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = Sequential(Linear(2, 16, rng=rng), Tanh(), Linear(16, 2, rng=rng))
+        opt = AdamW(model.parameters(), lr=0.02, weight_decay=0.0)
+        for _ in range(150):
+            loss = cross_entropy(model(Tensor(X)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        acc = (model(Tensor(X)).numpy().argmax(axis=1) == y).mean()
+        assert acc > 0.95

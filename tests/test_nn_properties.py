@@ -1,0 +1,123 @@
+"""Property-based tests for the autograd substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    AdamW,
+    LayerNorm,
+    Linear,
+    SGD,
+    Sequential,
+    Tanh,
+    Tensor,
+    cross_entropy,
+    mse_loss,
+)
+
+small_floats = st.floats(min_value=-5.0, max_value=5.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2,
+                                               min_side=1, max_side=6),
+                  elements=small_floats))
+def test_add_commutes(a):
+    b = a * 0.5 + 1.0
+    left = (Tensor(a) + Tensor(b)).numpy()
+    right = (Tensor(b) + Tensor(a)).numpy()
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, st.integers(2, 20), elements=small_floats))
+def test_softmax_is_distribution(v):
+    probs = Tensor(v.reshape(1, -1)).softmax(axis=-1).numpy()
+    assert probs.min() >= 0.0
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2,
+                                               min_side=2, max_side=8),
+                  elements=small_floats))
+def test_layernorm_output_standardised(x):
+    ln = LayerNorm(x.shape[1])
+    out = ln(Tensor(x)).numpy()
+    # rows with meaningful variance are standardised (the eps in the
+    # denominator intentionally biases near-constant rows towards zero)
+    for row_in, row_out in zip(x, out):
+        if row_in.std() > 1e-1:
+            assert abs(row_out.mean()) < 1e-6
+            assert row_out.std() == pytest.approx(1.0, abs=1e-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 5), st.integers(0, 10_000))
+def test_cross_entropy_nonnegative_and_bounded_at_uniform(n, k, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(n, k)))
+    labels = rng.integers(0, k, size=n)
+    loss = cross_entropy(logits, labels).item()
+    assert loss >= 0.0
+    uniform = cross_entropy(Tensor(np.zeros((n, k))), labels).item()
+    assert uniform == pytest.approx(np.log(k), abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_sgd_step_decreases_quadratic(seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=4), requires_grad=True)
+    loss_before = float((x.numpy() ** 2).sum())
+    opt = SGD([x], lr=0.05)
+    (x * x).sum().backward()
+    opt.step()
+    loss_after = float((x.numpy() ** 2).sum())
+    assert loss_after <= loss_before + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_mse_zero_iff_equal(seed):
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=6)
+    assert mse_loss(Tensor(v), v).item() == pytest.approx(0.0)
+    assert mse_loss(Tensor(v), v + 1.0).item() == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_state_dict_roundtrip_preserves_function(seed):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(3, 5, rng=rng), Tanh(), Linear(5, 2, rng=rng))
+    clone = Sequential(Linear(3, 5), Tanh(), Linear(5, 2))
+    clone.load_state_dict(model.state_dict())
+    x = Tensor(rng.normal(size=(4, 3)))
+    np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_adamw_invariant_to_gradient_scale_direction(seed):
+    """Adam normalises by second moments: a scaled loss moves params in
+    the same direction on the first step."""
+    rng = np.random.default_rng(seed)
+    init = rng.normal(size=3)
+
+    def first_step(scale):
+        x = Tensor(init.copy(), requires_grad=True)
+        opt = AdamW([x], lr=0.1, weight_decay=0.0)
+        ((x * x).sum() * scale).backward()
+        opt.step()
+        return x.numpy() - init
+
+    d1 = first_step(1.0)
+    d2 = first_step(10.0)
+    if np.linalg.norm(d1) > 1e-12:
+        cos = d1 @ d2 / (np.linalg.norm(d1) * np.linalg.norm(d2))
+        assert cos > 0.99

@@ -1,0 +1,231 @@
+"""Tests for the autograd engine: exact gradients vs numeric differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, no_grad
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = f(x)
+        flat[i] = original - eps
+        down = f(x)
+        flat[i] = original
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(op, x: np.ndarray, atol: float = 1e-5):
+    """Compare autograd gradient of sum(op(x)) with numeric gradient."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = numeric_grad(lambda v: op(Tensor(v)).sum().item(), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.x = self.rng.normal(size=(4, 5))
+
+    def test_add(self):
+        check_grad(lambda t: t + 3.0, self.x)
+
+    def test_mul(self):
+        check_grad(lambda t: t * t, self.x)
+
+    def test_div(self):
+        check_grad(lambda t: 1.0 / (t * t + 1.0), self.x)
+
+    def test_sub_neg(self):
+        check_grad(lambda t: 5.0 - t, self.x)
+
+    def test_pow(self):
+        check_grad(lambda t: (t * t + 1.0) ** 1.5, self.x)
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp(), self.x)
+
+    def test_log(self):
+        check_grad(lambda t: (t * t + 1.0).log(), self.x)
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh(), self.x)
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid(), self.x)
+
+    def test_relu(self):
+        x = self.x + 0.05  # keep away from the kink
+        check_grad(lambda t: t.relu(), x)
+
+    def test_leaky_relu(self):
+        x = self.x + 0.05
+        check_grad(lambda t: t.leaky_relu(0.1), x)
+
+    def test_gelu(self):
+        check_grad(lambda t: t.gelu(), self.x)
+
+    def test_sqrt(self):
+        check_grad(lambda t: (t * t + 1.0).sqrt(), self.x)
+
+
+class TestReductionsAndShapes:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+        self.x = self.rng.normal(size=(3, 4))
+
+    def test_sum_all(self):
+        check_grad(lambda t: t.sum() * 2.0, self.x)
+
+    def test_sum_axis(self):
+        check_grad(lambda t: (t.sum(axis=0) ** 2.0), self.x)
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(axis=1) * t.mean(axis=1), self.x)
+
+    def test_max(self):
+        # keep values distinct so the max subgradient is unique
+        x = np.arange(12.0).reshape(3, 4) + self.rng.normal(scale=0.01, size=(3, 4))
+        check_grad(lambda t: t.max(axis=1), x)
+
+    def test_reshape(self):
+        check_grad(lambda t: t.reshape(12) * t.reshape(12), self.x)
+
+    def test_transpose(self):
+        check_grad(lambda t: t.T @ Tensor(np.ones((3, 2))), self.x)
+
+    def test_getitem(self):
+        check_grad(lambda t: t[1:3] * 2.0, self.x)
+
+    def test_fancy_index(self):
+        idx = (np.array([0, 2]), np.array([1, 3]))
+        check_grad(lambda t: t[idx] ** 2.0, self.x)
+
+    def test_concat(self):
+        a = Tensor(self.x.copy(), requires_grad=True)
+        b = Tensor(self.x.copy() * 2, requires_grad=True)
+        out = Tensor.concat([a, b], axis=0).sum()
+        out.backward()
+        assert np.allclose(a.grad, np.ones_like(self.x))
+        assert np.allclose(b.grad, np.ones_like(self.x))
+
+
+class TestMatmulGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(2)
+
+    def test_2d_2d(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(4, 2))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.ones((3, 2)) @ b.T, atol=1e-9)
+        np.testing.assert_allclose(tb.grad, a.T @ np.ones((3, 2)), atol=1e-9)
+
+    def test_1d_2d(self):
+        a = self.rng.normal(size=4)
+        b = self.rng.normal(size=(4, 3))
+        check_grad(lambda t: t @ Tensor(b), a)
+
+    def test_2d_1d(self):
+        a = self.rng.normal(size=(3, 4))
+        v = self.rng.normal(size=4)
+        check_grad(lambda t: t @ Tensor(v), a)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones((2, 2, 2))) @ Tensor(np.ones((2, 2)))
+
+
+class TestSoftmax:
+    def test_log_softmax_grad(self):
+        x = np.random.default_rng(3).normal(size=(5, 4))
+        check_grad(lambda t: t.log_softmax(axis=-1), x)
+
+    def test_softmax_sums_to_one(self):
+        x = np.random.default_rng(4).normal(size=(6, 3))
+        probs = Tensor(x).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = np.array([[1000.0, 1001.0, 999.0]])
+        out = Tensor(x).log_softmax().numpy()
+        assert np.isfinite(out).all()
+
+
+class TestBroadcasting:
+    def test_bias_broadcast_grad(self):
+        x = np.random.default_rng(5).normal(size=(6, 3))
+        bias = np.random.default_rng(6).normal(size=3)
+        tb = Tensor(bias, requires_grad=True)
+        ((Tensor(x) + tb) ** 2.0).sum().backward()
+        expected = (2 * (x + bias)).sum(axis=0)
+        np.testing.assert_allclose(tb.grad, expected, atol=1e-9)
+
+    def test_scalar_broadcast_grad(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((3, 3)))
+        (x * s).sum().backward()
+        assert s.grad == pytest.approx(9.0)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).sum().backward()  # d/dx 6x^2 = 12x
+        assert x.grad[0] == pytest.approx(18.0)
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_chain_gradcheck_random_shapes(rows, cols):
+    """Property: a composite expression gradchecks for arbitrary 2-D shapes."""
+    rng = np.random.default_rng(rows * 31 + cols)
+    x = rng.normal(size=(rows, cols))
+    check_grad(lambda t: (t.tanh() * 2.0 + t.sigmoid()).mean(axis=0), x)

@@ -1,0 +1,129 @@
+"""Tests for dataset representations and similarity (probe package)."""
+
+import numpy as np
+import pytest
+
+from repro.probe import (
+    choose_probe_model,
+    compute_dataset_embeddings,
+    correlation_distance,
+    domain_similarity_embedding,
+    record_dataset_similarities,
+    similarity_from_embeddings,
+    task2vec_embedding,
+)
+
+
+class TestProbeSelection:
+    def test_probe_is_best_pretrained(self, tiny_image_zoo):
+        probe = choose_probe_model(tiny_image_zoo)
+        best = max(tiny_image_zoo.models.values(),
+                   key=lambda m: (m.pretrain_accuracy, m.model_id))
+        assert probe == best.model_id
+
+    def test_probe_deterministic(self, tiny_image_zoo):
+        assert choose_probe_model(tiny_image_zoo) == \
+            choose_probe_model(tiny_image_zoo)
+
+
+class TestDomainSimilarity:
+    def test_embedding_shape(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        probe = choose_probe_model(zoo)
+        emb = domain_similarity_embedding(zoo, zoo.dataset_names()[0], probe)
+        assert emb.shape == (zoo.model(probe).spec.embedding_dim,)
+
+    def test_embedding_normalised(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        emb = domain_similarity_embedding(zoo, zoo.dataset_names()[0])
+        assert np.linalg.norm(emb) == pytest.approx(1.0)
+
+    def test_embeddings_differ_across_datasets(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        names = zoo.dataset_names()[:2]
+        e0 = domain_similarity_embedding(zoo, names[0])
+        e1 = domain_similarity_embedding(zoo, names[1])
+        assert not np.allclose(e0, e1)
+
+    def test_compute_all(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        embeddings = compute_dataset_embeddings(zoo)
+        assert set(embeddings) == set(zoo.dataset_names())
+
+    def test_unknown_method_rejected(self, tiny_image_zoo):
+        with pytest.raises(ValueError, match="unknown representation"):
+            compute_dataset_embeddings(tiny_image_zoo, method="pca")
+
+
+class TestTask2Vec:
+    def test_embedding_fixed_size(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        probe = choose_probe_model(zoo)
+        dim = zoo.model(probe).spec.embedding_dim
+        for name in zoo.dataset_names()[:2]:
+            emb = task2vec_embedding(zoo, name, probe)
+            assert emb.shape == (dim,)
+
+    def test_embedding_nonnegative(self, tiny_image_zoo):
+        """Diagonal Fisher information is a sum of squares."""
+        zoo = tiny_image_zoo
+        emb = task2vec_embedding(zoo, zoo.dataset_names()[0])
+        assert (emb >= 0).all()
+
+    def test_deterministic(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        name = zoo.dataset_names()[0]
+        assert np.allclose(task2vec_embedding(zoo, name),
+                           task2vec_embedding(zoo, name))
+
+
+class TestSimilarity:
+    def test_correlation_distance_range(self):
+        rng = np.random.default_rng(0)
+        u, v = rng.normal(size=16), rng.normal(size=16)
+        assert 0.0 <= correlation_distance(u, v) <= 2.0
+        assert correlation_distance(u, u) == pytest.approx(0.0)
+
+    def test_similarity_matrix_properties(self):
+        rng = np.random.default_rng(1)
+        embeddings = {f"d{i}": rng.normal(size=12) for i in range(4)}
+        names, sim = similarity_from_embeddings(embeddings)
+        assert names == sorted(embeddings)
+        assert np.allclose(sim, sim.T)
+        assert np.allclose(np.diag(sim), 1.0)
+        assert (sim >= 0).all() and (sim <= 1).all()
+
+    def test_correlated_embeddings_more_similar(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=20)
+        embeddings = {
+            "a": base,
+            "b": base + 0.1 * rng.normal(size=20),
+            "c": rng.normal(size=20),
+        }
+        names, sim = similarity_from_embeddings(embeddings)
+        idx = {n: i for i, n in enumerate(names)}
+        assert sim[idx["a"], idx["b"]] > sim[idx["a"], idx["c"]]
+
+    def test_record_similarities(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        embeddings = compute_dataset_embeddings(zoo)
+        count = record_dataset_similarities(zoo, embeddings)
+        n = len(zoo.dataset_names())
+        assert count == n * (n - 1) // 2
+        a, b = zoo.dataset_names()[:2]
+        assert zoo.catalog.get_similarity(a, b) is not None
+
+    def test_same_domain_pairs_more_similar_on_average(self, tiny_image_zoo):
+        """Structural property: within-domain similarity > cross-domain."""
+        zoo = tiny_image_zoo
+        embeddings = compute_dataset_embeddings(zoo)
+        names, sim = similarity_from_embeddings(embeddings)
+        domain = {n: zoo.universe.domain_of(n) for n in names}
+        same, cross = [], []
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                value = sim[i, j]
+                (same if domain[names[i]] == domain[names[j]] else cross).append(value)
+        if same and cross:  # tiny zoo may lack same-domain pairs
+            assert np.mean(same) > np.mean(cross) - 0.05

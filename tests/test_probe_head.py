@@ -1,0 +1,34 @@
+"""Tests for the probe-head fitting used by Task2Vec (Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.probe.task2vec import fit_probe_head
+
+
+class TestFitProbeHead:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 3, size=150)
+        means = np.eye(3) * 4.0
+        x = means[y][:, :3].repeat(2, axis=1) + rng.normal(size=(150, 6))
+        head = fit_probe_head(x, y, num_classes=3, seed=0)
+        with no_grad():
+            pred = head(Tensor(x)).numpy().argmax(axis=1)
+        assert (pred == y).mean() > 0.9
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(60, 4))
+        y = rng.integers(0, 2, size=60)
+        h1 = fit_probe_head(x, y, 2, seed=5)
+        h2 = fit_probe_head(x, y, 2, seed=5)
+        assert np.allclose(h1.weight.data, h2.weight.data)
+
+    def test_output_width_matches_classes(self):
+        rng = np.random.default_rng(2)
+        head = fit_probe_head(rng.normal(size=(30, 5)),
+                              rng.integers(0, 4, size=30), num_classes=4,
+                              seed=0)
+        assert head.weight.data.shape == (5, 4)

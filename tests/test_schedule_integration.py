@@ -1,0 +1,89 @@
+"""Integration tests: schedulers driving real training loops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CyclicalLR,
+    LinearDecayLR,
+    Linear,
+    SGD,
+    AdamW,
+    Sequential,
+    Tanh,
+    Tensor,
+    cross_entropy,
+)
+
+
+def make_problem(seed=0, n=200, d=6, k=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=(d, k))
+    y = (x @ w).argmax(axis=1)
+    return x, y
+
+
+class TestScheduledTraining:
+    def _train(self, scheduler_factory, steps=120, seed=1):
+        x, y = make_problem(seed)
+        rng = np.random.default_rng(seed)
+        model = Sequential(Linear(6, 16, rng=rng), Tanh(), Linear(16, 3, rng=rng))
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        sched = scheduler_factory(opt)
+        losses = []
+        for _ in range(steps):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+            losses.append(loss.item())
+        return losses
+
+    def test_cyclical_schedule_training_converges(self):
+        losses = self._train(
+            lambda opt: CyclicalLR(opt, base_lr=1e-3, max_lr=5e-2,
+                                   step_size_up=20))
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_linear_decay_training_converges(self):
+        losses = self._train(
+            lambda opt: LinearDecayLR(opt, initial_lr=5e-2, total_steps=120))
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_decayed_lr_freezes_training(self):
+        """Once LinearDecayLR reaches zero, parameters stop moving."""
+        x, y = make_problem(2)
+        rng = np.random.default_rng(2)
+        model = Sequential(Linear(6, 8, rng=rng), Tanh(), Linear(8, 3, rng=rng))
+        opt = SGD(model.parameters(), lr=0.1)
+        sched = LinearDecayLR(opt, initial_lr=0.05, total_steps=5)
+        for _ in range(10):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+        snapshot = model.state_dict()
+        loss = cross_entropy(model(Tensor(x)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        for key, value in model.state_dict().items():
+            assert np.allclose(value, snapshot[key])
+
+    def test_adamw_with_cyclical_schedule(self):
+        x, y = make_problem(3)
+        rng = np.random.default_rng(3)
+        model = Sequential(Linear(6, 8, rng=rng), Tanh(), Linear(8, 3, rng=rng))
+        opt = AdamW(model.parameters(), lr=1e-2, weight_decay=0.0)
+        sched = CyclicalLR(opt, base_lr=1e-4, max_lr=2e-2, step_size_up=10)
+        first = cross_entropy(model(Tensor(x)), y).item()
+        for _ in range(80):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+        assert cross_entropy(model(Tensor(x)), y).item() < first

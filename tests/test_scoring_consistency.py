@@ -1,0 +1,62 @@
+"""Consistency tests tying estimators, catalog, and features together."""
+
+import numpy as np
+import pytest
+
+from repro.transferability import (
+    get_estimator,
+    score_model_on_dataset,
+    score_zoo,
+)
+
+
+class TestScoringConsistency:
+    def test_score_matches_direct_estimator_call(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        model_id = zoo.model_ids()[0]
+        target = zoo.target_names()[0]
+        via_helper = score_model_on_dataset(zoo, model_id, target, "logme")
+        estimator = get_estimator("logme")
+        features = zoo.features(model_id, target, split="train")
+        labels = zoo.dataset(target).y_train
+        direct = estimator.score(features, labels)
+        assert via_helper == pytest.approx(direct)
+
+    def test_score_zoo_subset_of_targets(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        scores = score_zoo(zoo, metric="hscore", targets=[target],
+                           record=False)
+        assert {d for _, d in scores} == {target}
+        assert len(scores) == len(zoo.model_ids())
+
+    def test_record_false_leaves_catalog_untouched(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        before = len(zoo.catalog.transferability)
+        score_zoo(zoo, metric="transrate", targets=[target], record=False)
+        assert len(zoo.catalog.transferability) == before
+
+    def test_estimators_rank_differently_but_finitely(self, tiny_image_zoo):
+        """All estimators produce finite scores for every model."""
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        for metric in ("logme", "leep", "nce", "parc", "transrate", "hscore"):
+            values = [score_model_on_dataset(zoo, m, target, metric)
+                      for m in zoo.model_ids()]
+            assert all(np.isfinite(v) for v in values), metric
+
+    def test_train_vs_test_split_scores_correlate(self, tiny_image_zoo):
+        """LogME on train vs test features should broadly agree."""
+        from repro.utils import spearman_correlation
+
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        train_scores, test_scores = [], []
+        for m in zoo.model_ids():
+            train_scores.append(
+                score_model_on_dataset(zoo, m, target, "logme", split="train"))
+            test_scores.append(
+                score_model_on_dataset(zoo, m, target, "logme", split="test"))
+        rho = spearman_correlation(train_scores, test_scores)
+        assert rho > 0.0

@@ -1,0 +1,233 @@
+"""Tests for repro.store — schema validation, table ops, catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import Column, Schema, SchemaError, Table, ZooCatalog
+
+
+def make_schema():
+    return Schema(
+        name="t",
+        columns=[
+            Column("id", "str"),
+            Column("score", "float"),
+            Column("count", "int", required=False, default=0),
+            Column("flag", "bool", required=False, default=False),
+        ],
+        primary_key=("id",),
+    )
+
+
+class TestSchema:
+    def test_validate_fills_defaults(self):
+        rec = make_schema().validate({"id": "a", "score": 0.5})
+        assert rec["count"] == 0
+        assert rec["flag"] is False
+
+    def test_int_coerced_to_float(self):
+        rec = make_schema().validate({"id": "a", "score": 1})
+        assert isinstance(rec["score"], float)
+
+    def test_bool_not_valid_int(self):
+        with pytest.raises(SchemaError, match="bool"):
+            make_schema().validate({"id": "a", "score": 0.5, "count": True})
+
+    def test_missing_required(self):
+        with pytest.raises(SchemaError, match="required"):
+            make_schema().validate({"id": "a"})
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            make_schema().validate({"id": "a", "score": 0.1, "bogus": 1})
+
+    def test_wrong_type(self):
+        with pytest.raises(SchemaError, match="expected float"):
+            make_schema().validate({"id": "a", "score": "high"})
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema("x", [Column("a", "int"), Column("a", "str")])
+
+    def test_bad_primary_key_rejected(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            Schema("x", [Column("a", "int")], primary_key=("b",))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchemaError, match="dtype"):
+            Column("a", "decimal")
+
+
+class TestTable:
+    def make(self):
+        return Table(make_schema())
+
+    def test_insert_get(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        assert t.get("a")["score"] == 0.9
+
+    def test_duplicate_key_rejected(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        with pytest.raises(SchemaError, match="duplicate"):
+            t.insert({"id": "a", "score": 0.1})
+
+    def test_upsert_replaces(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        t.insert({"id": "a", "score": 0.1}, upsert=True)
+        assert t.get("a")["score"] == 0.1
+        assert len(t) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.make().get("nope")
+
+    def test_get_or_none(self):
+        assert self.make().get_or_none("nope") is None
+
+    def test_returned_rows_are_copies(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        row = t.get("a")
+        row["score"] = 0.0
+        assert t.get("a")["score"] == 0.9
+
+    def test_delete(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        t.delete("a")
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.delete("a")
+
+    def test_filter_equality(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9, "count": 1})
+        t.insert({"id": "b", "score": 0.8, "count": 1})
+        t.insert({"id": "c", "score": 0.7, "count": 2})
+        assert [r["id"] for r in t.filter(count=1)] == ["a", "b"]
+
+    def test_filter_with_index_matches_scan(self):
+        t = self.make()
+        for i in range(20):
+            t.insert({"id": f"r{i}", "score": float(i % 3), "count": i % 4})
+        scan = t.filter(count=2)
+        t.add_index("count")
+        indexed = t.filter(count=2)
+        assert scan == indexed
+
+    def test_index_maintained_on_upsert_and_delete(self):
+        t = self.make()
+        t.add_index("count")
+        t.insert({"id": "a", "score": 0.5, "count": 1})
+        t.insert({"id": "a", "score": 0.5, "count": 2}, upsert=True)
+        assert t.filter(count=1) == []
+        assert len(t.filter(count=2)) == 1
+        t.delete("a")
+        assert t.filter(count=2) == []
+
+    def test_filter_predicate(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        t.insert({"id": "b", "score": 0.2})
+        rows = t.filter(lambda r: r["score"] > 0.5)
+        assert [r["id"] for r in rows] == ["a"]
+
+    def test_filter_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().filter(bogus=1)
+
+    def test_distinct(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9, "count": 2})
+        t.insert({"id": "b", "score": 0.8, "count": 2})
+        t.insert({"id": "c", "score": 0.8, "count": 5})
+        assert t.distinct("count") == [2, 5]
+
+    def test_contains(self):
+        t = self.make()
+        t.insert({"id": "a", "score": 0.9})
+        assert ("a",) in t
+        assert ("b",) not in t
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=5),
+                              st.floats(0, 1, allow_nan=False)),
+                    min_size=1, max_size=30, unique_by=lambda x: x[0]))
+    def test_roundtrip_property(self, rows):
+        t = self.make()
+        for rid, score in rows:
+            t.insert({"id": rid, "score": score})
+        assert len(t) == len(rows)
+        for rid, score in rows:
+            assert t.get(rid)["score"] == score
+
+
+class TestZooCatalog:
+    def populate(self) -> ZooCatalog:
+        cat = ZooCatalog()
+        cat.add_model(model_id="m1", architecture="vit-s", family="vit",
+                      modality="image", pretrain_dataset="imagenet",
+                      pretrain_accuracy=0.8, num_params=1000, memory_mb=4.0,
+                      input_shape=32, embedding_dim=16, depth=3)
+        cat.add_model(model_id="m2", architecture="resnet-s", family="resnet",
+                      modality="image", pretrain_dataset="cifar",
+                      pretrain_accuracy=0.7, num_params=2000, memory_mb=8.0,
+                      input_shape=32, embedding_dim=16, depth=4)
+        cat.add_dataset(dataset_id="d1", modality="image", num_samples=100,
+                        num_classes=5, input_dim=32, is_target=True)
+        cat.add_dataset(dataset_id="d2", modality="image", num_samples=200,
+                        num_classes=2, input_dim=32)
+        cat.record_history("m1", "d1", 0.91)
+        cat.record_history("m2", "d1", 0.55)
+        cat.record_history("m1", "d2", 0.70, method="lora")
+        cat.record_transferability("m1", "d1", "logme", 1.2)
+        cat.record_similarity("d2", "d1", 0.66)
+        return cat
+
+    def test_basic_lookups(self):
+        cat = self.populate()
+        assert cat.model_ids() == ["m1", "m2"]
+        assert cat.dataset_ids() == ["d1", "d2"]
+        assert cat.target_dataset_ids() == ["d1"]
+        assert cat.get_accuracy("m1", "d1") == 0.91
+        assert cat.get_accuracy("m1", "d2") is None
+        assert cat.get_accuracy("m1", "d2", method="lora") == 0.70
+        assert cat.get_transferability("m1", "d1") == 1.2
+        assert cat.get_transferability("m2", "d1") is None
+
+    def test_similarity_symmetric_key(self):
+        cat = self.populate()
+        assert cat.get_similarity("d1", "d2") == 0.66
+        assert cat.get_similarity("d2", "d1") == 0.66
+
+    def test_history_for_dataset(self):
+        cat = self.populate()
+        rows = cat.history_for_dataset("d1")
+        assert {r["model_id"] for r in rows} == {"m1", "m2"}
+
+    def test_accuracy_matrix(self):
+        cat = self.populate()
+        M = cat.accuracy_matrix(["m1", "m2"], ["d1", "d2"])
+        assert M[0, 0] == 0.91
+        assert M[1, 0] == 0.55
+        assert np.isnan(M[0, 1])
+
+    def test_save_load_round_trip(self, tmp_path):
+        cat = self.populate()
+        path = tmp_path / "catalog.json"
+        cat.save(path)
+        loaded = ZooCatalog.load(path)
+        assert loaded.stats() == cat.stats()
+        assert loaded.get_accuracy("m1", "d1") == 0.91
+        assert loaded.get_similarity("d1", "d2") == 0.66
+
+    def test_stats(self):
+        stats = self.populate().stats()
+        assert stats["models"] == 2
+        assert stats["history"] == 3
+        assert stats["similarity"] == 1

@@ -1,0 +1,290 @@
+"""Tests for transferability estimators: invariants and discrimination.
+
+The central property for every estimator: features that separate the
+classes well must score higher than features that do not.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transferability import (
+    ESTIMATORS,
+    HScore,
+    LEEP,
+    LogME,
+    NCE,
+    PARC,
+    TransRate,
+    coding_rate,
+    get_estimator,
+    h_score,
+    leep_score,
+    log_maximum_evidence,
+    nce_score,
+    normalise_scores,
+    parc_score,
+    score_model_on_dataset,
+    score_zoo,
+    transrate_score,
+)
+
+
+def separable_features(n=120, d=8, classes=3, separation=4.0, seed=0):
+    """Features with class means `separation` apart plus unit noise."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, classes, size=n)
+    means = rng.normal(0.0, separation, size=(classes, d))
+    x = means[y] + rng.normal(size=(n, d))
+    return x, y
+
+
+def noise_features(n=120, d=8, classes=3, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d)), rng.integers(0, classes, size=n)
+
+
+def softmax(z):
+    e = np.exp(z - z.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class TestSharedValidation:
+    @pytest.mark.parametrize("name", ["logme", "parc", "transrate", "hscore"])
+    def test_single_class_rejected(self, name):
+        est = get_estimator(name)
+        x = np.random.default_rng(0).normal(size=(20, 4))
+        with pytest.raises(ValueError, match="two classes"):
+            est.score(x, np.zeros(20, dtype=int))
+
+    @pytest.mark.parametrize("name", ["logme", "parc", "transrate", "hscore"])
+    def test_length_mismatch_rejected(self, name):
+        est = get_estimator(name)
+        with pytest.raises(ValueError):
+            est.score(np.ones((10, 3)), np.zeros(9, dtype=int))
+
+    def test_registry_contents(self):
+        assert set(ESTIMATORS) == {"logme", "leep", "nce", "parc",
+                                   "transrate", "hscore"}
+
+    def test_unknown_estimator(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            get_estimator("magic")
+
+
+class TestLogME:
+    def test_separable_beats_noise(self):
+        xs, ys = separable_features()
+        xn, yn = noise_features()
+        assert log_maximum_evidence(xs, ys) > log_maximum_evidence(xn, yn)
+
+    def test_finite_on_degenerate_features(self):
+        # rank-deficient features: a single informative column repeated
+        rng = np.random.default_rng(0)
+        col = rng.normal(size=(50, 1))
+        x = np.repeat(col, 6, axis=1)
+        y = (col[:, 0] > 0).astype(int)
+        assert np.isfinite(log_maximum_evidence(x, y))
+
+    def test_monotone_in_separation(self):
+        scores = [log_maximum_evidence(*separable_features(separation=s, seed=3))
+                  for s in (0.0, 1.0, 4.0)]
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_scale_of_scores_reasonable(self):
+        x, y = separable_features()
+        score = log_maximum_evidence(x, y)
+        assert -5.0 < score < 5.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_always_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 80))
+        d = int(rng.integers(2, 16))
+        x = rng.normal(size=(n, d)) * rng.uniform(0.1, 10)
+        y = rng.integers(0, 2, size=n)
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        assert np.isfinite(log_maximum_evidence(x, y))
+
+
+class TestLEEP:
+    def test_always_nonpositive(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(100, 7)))
+        y = rng.integers(0, 4, size=100)
+        assert leep_score(probs, y) <= 0.0
+
+    def test_perfectly_informative_source(self):
+        # source class == target class: LEEP approaches 0
+        n, k = 200, 4
+        y = np.random.default_rng(1).integers(0, k, size=n)
+        probs = np.full((n, k), 1e-6)
+        probs[np.arange(n), y] = 1.0
+        probs /= probs.sum(axis=1, keepdims=True)
+        assert leep_score(probs, y) > -0.01
+
+    def test_uninformative_source_scores_entropy(self):
+        n, k = 400, 3
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, k, size=n)
+        probs = np.full((n, 5), 0.2)
+        # uniform theta -> EEP = empirical P(y) -> LEEP ≈ -H(Y)
+        score = leep_score(probs, y)
+        assert score == pytest.approx(-np.log(k), abs=0.05)
+
+    def test_informative_beats_uninformative(self):
+        n, k = 200, 3
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, k, size=n)
+        informative = np.full((n, k), 1e-3)
+        informative[np.arange(n), y] = 1.0
+        informative /= informative.sum(axis=1, keepdims=True)
+        uniform = np.full((n, 4), 0.25)
+        assert leep_score(informative, y) > leep_score(uniform, y)
+
+    def test_requires_probabilities(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            leep_score(np.ones((10, 3)), np.zeros(10, dtype=int))
+
+    def test_estimator_requires_source_probs(self):
+        with pytest.raises(ValueError, match="source_probs"):
+            LEEP().score(np.ones((10, 3)), np.zeros(10, dtype=int))
+
+
+class TestNCE:
+    def test_always_nonpositive(self):
+        rng = np.random.default_rng(0)
+        z = rng.integers(0, 6, size=300)
+        y = rng.integers(0, 3, size=300)
+        assert nce_score(z, y) <= 1e-12
+
+    def test_deterministic_mapping_gives_zero(self):
+        z = np.array([0, 1, 2, 0, 1, 2] * 10)
+        y = z % 2  # fully determined by z
+        assert nce_score(z, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_independent_labels_give_negative_entropy(self):
+        rng = np.random.default_rng(1)
+        z = rng.integers(0, 2, size=5000)
+        y = rng.integers(0, 2, size=5000)
+        assert nce_score(z, y) == pytest.approx(-np.log(2), abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nce_score(np.array([]), np.array([]))
+
+
+class TestPARC:
+    def test_bounded(self):
+        x, y = separable_features(n=60)
+        assert -1.0 <= parc_score(x, y) <= 1.0
+
+    def test_separable_beats_noise(self):
+        xs, ys = separable_features(n=80)
+        xn, yn = noise_features(n=80)
+        assert parc_score(xs, ys) > parc_score(xn, yn)
+
+    def test_subsampling_bounds_cost(self):
+        x, y = separable_features(n=1200)
+        score = parc_score(x, y, max_samples=100)
+        assert np.isfinite(score)
+
+    def test_deterministic_subsample(self):
+        x, y = separable_features(n=700)
+        assert parc_score(x, y, max_samples=200, seed=5) == \
+            parc_score(x, y, max_samples=200, seed=5)
+
+
+class TestTransRate:
+    def test_separable_beats_noise(self):
+        xs, ys = separable_features()
+        xn, yn = noise_features()
+        assert transrate_score(xs, ys) > transrate_score(xn, yn)
+
+    def test_nonnegative_for_gaussian_classes(self):
+        x, y = separable_features()
+        assert transrate_score(x, y) >= 0.0
+
+    def test_coding_rate_zero_for_empty(self):
+        assert coding_rate(np.zeros((0, 4))) == 0.0
+
+    def test_coding_rate_monotone_in_scale(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(50, 4))
+        assert coding_rate(2 * z) > coding_rate(z)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            TransRate(eps=0.0)
+
+
+class TestHScore:
+    def test_separable_beats_noise(self):
+        xs, ys = separable_features()
+        xn, yn = noise_features()
+        assert h_score(xs, ys) > h_score(xn, yn)
+
+    def test_nonnegative(self):
+        x, y = noise_features()
+        assert h_score(x, y) >= -1e-9
+
+    def test_bounded_by_feature_dim(self):
+        x, y = separable_features(d=6)
+        assert h_score(x, y) <= 6.0 + 1e-6
+
+
+class TestNormaliseScores:
+    def test_range(self):
+        out = normalise_scores([1.0, 5.0, 3.0])
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_constant_maps_to_half(self):
+        assert np.allclose(normalise_scores([2.0, 2.0]), 0.5)
+
+    def test_preserves_order(self):
+        raw = np.array([3.0, -1.0, 10.0])
+        out = normalise_scores(raw)
+        assert np.argsort(out).tolist() == np.argsort(raw).tolist()
+
+
+class TestZooScoring:
+    def test_score_model_on_dataset(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        value = score_model_on_dataset(zoo, zoo.model_ids()[0],
+                                       zoo.target_names()[0], "logme")
+        assert np.isfinite(value)
+
+    def test_score_zoo_records_catalog(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        scores = score_zoo(zoo, metric="logme")
+        n = len(zoo.model_ids()) * len(zoo.target_names())
+        assert len(scores) == n
+        sample_key = next(iter(scores))
+        recorded = zoo.catalog.get_transferability(*sample_key, metric="logme")
+        assert recorded == pytest.approx(scores[sample_key])
+
+    def test_leep_via_zoo(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        value = score_model_on_dataset(zoo, zoo.model_ids()[0],
+                                       zoo.target_names()[0], "leep")
+        assert value <= 0.0
+
+    def test_logme_correlates_with_finetune_accuracy(self, tiny_image_zoo):
+        """LogME should carry *some* signal about fine-tuning outcomes.
+
+        We don't demand a strong correlation on a tiny zoo — only that the
+        average over targets is not clearly anti-correlated.
+        """
+        zoo = tiny_image_zoo
+        from repro.utils import pearson_correlation
+
+        corrs = []
+        for target in zoo.target_names():
+            ids, truth = zoo.ground_truth(target)
+            preds = [score_model_on_dataset(zoo, m, target, "logme") for m in ids]
+            corrs.append(pearson_correlation(truth, np.array(preds)))
+        assert np.mean(corrs) > -0.2

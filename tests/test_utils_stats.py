@@ -1,0 +1,139 @@
+"""Tests for repro.utils.stats — Pearson (Eq. 1), Spearman, top-k."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils import (
+    pearson_correlation,
+    rank_of,
+    spearman_correlation,
+    summary_stats,
+    top_k_indices,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        t = [0.1, 0.2, 0.3, 0.4]
+        assert pearson_correlation(t, t) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        t = np.array([0.1, 0.2, 0.3, 0.4])
+        assert pearson_correlation(t, -t) == pytest.approx(-1.0)
+
+    def test_linear_invariance(self):
+        t = np.array([1.0, 3.0, 2.0, 5.0])
+        s = 2.5 * t + 7.0
+        assert pearson_correlation(t, s) == pytest.approx(1.0)
+
+    def test_constant_vector_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [0.3, 0.5, 0.9]) == 0.0
+        assert pearson_correlation([0.3, 0.5, 0.9], [2.0, 2.0, 2.0]) == 0.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=50)
+        s = 0.6 * t + rng.normal(size=50)
+        expected = np.corrcoef(t, s)[0, 1]
+        assert pearson_correlation(t, s) == pytest.approx(expected, abs=1e-12)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="two points"):
+            pearson_correlation([1.0], [2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            pearson_correlation(np.ones((2, 2)), np.ones((2, 2)))
+
+    @given(hnp.arrays(np.float64, st.integers(3, 40), elements=finite_floats),
+           hnp.arrays(np.float64, st.integers(3, 40), elements=finite_floats))
+    def test_bounded_and_symmetric(self, a, b):
+        if len(a) != len(b):
+            n = min(len(a), len(b))
+            a, b = a[:n], b[:n]
+        r = pearson_correlation(a, b)
+        assert -1.0 <= r <= 1.0
+        assert r == pytest.approx(pearson_correlation(b, a), abs=1e-9)
+
+    @given(hnp.arrays(np.float64, st.integers(3, 30), elements=finite_floats),
+           st.floats(min_value=0.01, max_value=100),
+           st.floats(min_value=-50, max_value=50))
+    def test_invariant_under_positive_affine(self, a, scale, shift):
+        from hypothesis import assume
+
+        # Skip near-degenerate inputs whose spread underflows to a
+        # constant vector after the affine map (float rounding).
+        assume(a.max() - a.min() > 1e-6 * (1.0 + np.abs(a).max()))
+        b = a * 0.5 + 1.0  # arbitrary second vector correlated with a
+        r1 = pearson_correlation(a, b)
+        r2 = pearson_correlation(a, b * scale + shift)
+        assert r1 == pytest.approx(r2, abs=1e-7)
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        assert rank_of([30.0, 10.0, 20.0]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_tie_handling(self):
+        assert rank_of([10.0, 20.0, 20.0]).tolist() == [1.0, 2.5, 2.5]
+
+    def test_all_tied(self):
+        assert rank_of([5.0, 5.0, 5.0, 5.0]).tolist() == [2.5] * 4
+
+    def test_spearman_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        t = rng.normal(size=30)
+        assert spearman_correlation(t, np.exp(t)) == pytest.approx(1.0)
+
+    def test_spearman_robust_to_outlier(self):
+        t = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        s = np.array([1.0, 2.0, 3.0, 4.0, 1000.0])
+        assert spearman_correlation(t, s) == pytest.approx(1.0)
+
+
+class TestTopK:
+    def test_selects_best_first(self):
+        scores = [0.1, 0.9, 0.5, 0.7]
+        assert top_k_indices(scores, 2).tolist() == [1, 3]
+
+    def test_k_larger_than_n(self):
+        assert len(top_k_indices([0.1, 0.2], 10)) == 2
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            top_k_indices([0.1], 0)
+
+    def test_stable_on_ties(self):
+        assert top_k_indices([0.5, 0.5, 0.5], 2).tolist() == [0, 1]
+
+    @given(hnp.arrays(np.float64, st.integers(1, 30), elements=finite_floats),
+           st.integers(1, 10))
+    def test_returns_maximal_elements(self, scores, k):
+        idx = top_k_indices(scores, k)
+        selected_min = scores[idx].min()
+        unselected = np.delete(scores, idx)
+        if unselected.size:
+            assert selected_min >= unselected.max()
+
+
+class TestSummaryStats:
+    def test_basic(self):
+        s = summary_stats([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary_stats([])

@@ -1,0 +1,94 @@
+"""Tests for repro.utils.tabular — encoders and the feature-matrix builder."""
+
+import numpy as np
+import pytest
+
+from repro.utils import FeatureMatrixBuilder, OneHotEncoder, StandardScaler
+
+
+class TestOneHotEncoder:
+    def test_round_trip(self):
+        enc = OneHotEncoder().fit(["vit", "resnet", "vit"])
+        out = enc.transform(["resnet", "vit"])
+        assert out.shape == (2, 2)
+        assert out[0].tolist() == [1.0, 0.0]
+        assert out[1].tolist() == [0.0, 1.0]
+
+    def test_unknown_category_maps_to_zero(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        out = enc.transform(["c"])
+        assert out.sum() == 0.0
+
+    def test_stable_category_order(self):
+        enc1 = OneHotEncoder().fit(["b", "a", "c"])
+        enc2 = OneHotEncoder().fit(["c", "b", "a"])
+        assert enc1.categories_ == enc2.categories_
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(["a"])
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(["x", "y"])
+        assert enc.feature_names("arch") == ["arch=x", "arch=y"]
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(3.0, 2.0, size=(100, 4))
+        scaled = StandardScaler().fit_transform(m)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        m = np.hstack([np.ones((10, 1)), np.arange(10.0).reshape(-1, 1)])
+        scaled = StandardScaler().fit_transform(m)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_transform_checks_width(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestFeatureMatrixBuilder:
+    def test_mixed_columns(self):
+        builder = FeatureMatrixBuilder()
+        builder.add_numeric("params", [1.0, 2.0])
+        builder.add_categorical("arch", ["vit", "resnet"])
+        builder.add_embedding("emb", np.eye(2))
+        X, names = builder.build()
+        assert X.shape == (2, 1 + 2 + 2)
+        assert names == ["params", "arch=resnet", "arch=vit", "emb[0]", "emb[1]"]
+
+    def test_row_count_mismatch_raises(self):
+        builder = FeatureMatrixBuilder()
+        builder.add_numeric("a", [1.0, 2.0])
+        with pytest.raises(ValueError, match="rows"):
+            builder.add_numeric("b", [1.0, 2.0, 3.0])
+
+    def test_empty_build_raises(self):
+        with pytest.raises(ValueError):
+            FeatureMatrixBuilder().build()
+
+    def test_encoder_reuse_aligns_columns(self):
+        train = FeatureMatrixBuilder()
+        train.add_categorical("arch", ["vit", "resnet", "swin"])
+        encoders = train.encoders()
+
+        predict = FeatureMatrixBuilder()
+        predict.add_categorical("arch", ["swin"], encoder=encoders["arch"])
+        X, names = predict.build()
+        assert X.shape == (1, 3)
+        assert names == ["arch=resnet", "arch=swin", "arch=vit"]
+        assert X[0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_embedding_must_be_2d(self):
+        builder = FeatureMatrixBuilder()
+        with pytest.raises(ValueError):
+            builder.add_embedding("e", np.ones(3))

@@ -1,0 +1,121 @@
+"""Integration tests: zoo building, catalog contents, disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import (
+    ZooConfig,
+    build_zoo,
+    get_or_build_zoo,
+    load_zoo,
+    save_zoo,
+    zoo_cache_key,
+)
+
+
+class TestBuildZoo:
+    def test_catalog_populated(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        n_models = len(zoo.model_ids())
+        n_targets = len(zoo.target_names())
+        assert zoo.catalog.stats()["models"] == n_models
+        # one finetune row per (model, target) + one pretrain row per model
+        # (count per method: other tests may add LoRA rows to the shared zoo)
+        finetune_rows = zoo.catalog.history.filter(method="finetune")
+        pretrain_rows = zoo.catalog.history.filter(method="pretrain")
+        assert len(finetune_rows) == n_models * n_targets
+        assert len(pretrain_rows) == n_models
+
+    def test_ground_truth_vector(self, tiny_image_zoo):
+        target = tiny_image_zoo.target_names()[0]
+        ids, accs = tiny_image_zoo.ground_truth(target)
+        assert ids == tiny_image_zoo.model_ids()
+        assert accs.shape == (len(ids),)
+        assert ((0.0 <= accs) & (accs <= 1.0)).all()
+
+    def test_accuracy_matrix_complete(self, tiny_image_zoo):
+        M = tiny_image_zoo.accuracy_matrix()
+        assert not np.isnan(M).any()
+
+    def test_accuracies_vary_across_models(self, tiny_image_zoo):
+        M = tiny_image_zoo.accuracy_matrix()
+        assert (M.std(axis=0) > 0).any()
+
+    def test_features_cached(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        mid = zoo.model_ids()[0]
+        target = zoo.target_names()[0]
+        f1 = zoo.features(mid, target)
+        f2 = zoo.features(mid, target)
+        assert f1 is f2  # cache returns the same array
+
+    def test_feature_dimensions(self, tiny_image_zoo):
+        zoo = tiny_image_zoo
+        mid = zoo.model_ids()[0]
+        target = zoo.target_names()[0]
+        feats = zoo.features(mid, target, split="train")
+        model = zoo.model(mid)
+        dataset = zoo.dataset(target)
+        assert feats.shape == (len(dataset.x_train), model.spec.embedding_dim)
+
+    def test_unknown_lookups_raise(self, tiny_image_zoo):
+        with pytest.raises(KeyError):
+            tiny_image_zoo.model("nope")
+        with pytest.raises(KeyError):
+            tiny_image_zoo.dataset("nope")
+
+    def test_text_modality_builds(self, tiny_text_zoo):
+        assert tiny_text_zoo.modality == "text"
+        assert len(tiny_text_zoo.target_names()) == 3
+        M = tiny_text_zoo.accuracy_matrix()
+        assert not np.isnan(M).any()
+
+    def test_build_deterministic(self):
+        config = ZooConfig.tiny(modality="image", seed=99, num_models=3,
+                                num_targets=2, num_sources=2)
+        z1 = build_zoo(config)
+        z2 = build_zoo(config)
+        assert np.allclose(z1.accuracy_matrix(), z2.accuracy_matrix())
+
+    def test_lora_history_on_demand(self, tiny_image_zoo):
+        added = tiny_image_zoo.ensure_lora_history()
+        n = len(tiny_image_zoo.model_ids()) * len(tiny_image_zoo.target_names())
+        # first call computes everything (or tests ran before: 0), second is a no-op
+        assert added in (0, n)
+        assert tiny_image_zoo.ensure_lora_history() == 0
+        M = tiny_image_zoo.accuracy_matrix(method="lora")
+        assert not np.isnan(M).any()
+
+
+class TestZooCache:
+    def test_cache_key_stable_and_sensitive(self):
+        c1 = ZooConfig.tiny(seed=0)
+        c2 = ZooConfig.tiny(seed=0)
+        c3 = ZooConfig.tiny(seed=1)
+        assert zoo_cache_key(c1) == zoo_cache_key(c2)
+        assert zoo_cache_key(c1) != zoo_cache_key(c3)
+
+    def test_save_load_round_trip(self, tmp_path):
+        config = ZooConfig.tiny(modality="image", seed=5, num_models=3,
+                                num_targets=2, num_sources=2)
+        zoo = build_zoo(config)
+        save_zoo(zoo, tmp_path)
+        loaded = load_zoo(config, tmp_path)
+        assert loaded is not None
+        assert loaded.model_ids() == zoo.model_ids()
+        assert np.allclose(loaded.accuracy_matrix(), zoo.accuracy_matrix())
+        # model weights restored: features identical
+        mid = zoo.model_ids()[0]
+        target = zoo.target_names()[0]
+        assert np.allclose(loaded.features(mid, target),
+                           zoo.features(mid, target))
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_zoo(ZooConfig.tiny(seed=123), tmp_path) is None
+
+    def test_get_or_build_uses_cache(self, tmp_path):
+        config = ZooConfig.tiny(modality="image", seed=6, num_models=2,
+                                num_targets=2, num_sources=2)
+        z1 = get_or_build_zoo(config, tmp_path)
+        z2 = get_or_build_zoo(config, tmp_path)
+        assert np.allclose(z1.accuracy_matrix(), z2.accuracy_matrix())

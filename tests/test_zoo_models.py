@@ -1,0 +1,164 @@
+"""Tests for model specs, backbones, adapters, pretraining and fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import (
+    FinetuneConfig,
+    IMAGE_FAMILIES,
+    PretrainConfig,
+    TaskUniverse,
+    TEXT_FAMILIES,
+    ZooModel,
+    build_feature_extractor,
+    family_config,
+    full_finetune,
+    lora_finetune,
+    pretrain_model,
+    sample_model_specs,
+)
+
+
+def make_specs(n=6, modality="image", seed=0):
+    rng = np.random.default_rng(seed)
+    sources = ["imagenet", "places365"] if modality == "image" else ["imdb", "ag_news"]
+    return sample_model_specs(modality, n, sources, rng)
+
+
+class TestSpecs:
+    def test_all_families_represented(self):
+        specs = make_specs(10)
+        assert {s.family for s in specs} == set(IMAGE_FAMILIES)
+
+    def test_unique_ids(self):
+        specs = make_specs(12)
+        ids = [s.model_id for s in specs]
+        assert len(ids) == len(set(ids))
+
+    def test_num_params_matches_backbone(self):
+        for spec in make_specs(5):
+            model = build_feature_extractor(spec)
+            assert model.num_parameters() == spec.num_params()
+
+    def test_memory_proportional_to_params(self):
+        spec = make_specs(1)[0]
+        assert spec.memory_mb() == pytest.approx(spec.num_params() * 8 / 1e6)
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(ValueError):
+            sample_model_specs("image", 3, [], np.random.default_rng(0))
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            sample_model_specs("image", 0, ["imagenet"], np.random.default_rng(0))
+
+    def test_family_config_lookup(self):
+        assert family_config("vit", "image").activation == "gelu"
+        assert family_config("fnet", "text").activation == "tanh"
+        with pytest.raises(KeyError):
+            family_config("vit", "text")
+
+    def test_text_families_distinct(self):
+        assert set(TEXT_FAMILIES) & set(IMAGE_FAMILIES) == set()
+
+
+class TestZooModel:
+    def make_model(self):
+        return ZooModel(make_specs(1)[0])
+
+    def test_feature_shape(self):
+        model = self.make_model()
+        x = np.random.default_rng(0).normal(size=(7, model.spec.input_shape))
+        feats = model.features(x)
+        assert feats.shape == (7, model.spec.embedding_dim)
+
+    def test_adapter_identity_when_dims_match(self):
+        model = self.make_model()
+        assert model.adapter_for(model.spec.input_shape) is None
+
+    def test_adapter_deterministic(self):
+        model = self.make_model()
+        dim = model.spec.input_shape + 8
+        a1 = model.adapter_for(dim)
+        model2 = ZooModel(model.spec)
+        a2 = model2.adapter_for(dim)
+        assert np.allclose(a1, a2)
+
+    def test_adapter_changes_with_model(self):
+        specs = make_specs(2)
+        dim = 99
+        a1 = ZooModel(specs[0]).adapter_for(dim)
+        a2 = ZooModel(specs[1]).adapter_for(dim)
+        assert a1.shape[1] == specs[0].input_shape
+        assert a2.shape[1] == specs[1].input_shape
+
+    def test_logits_requires_head(self):
+        model = self.make_model()
+        with pytest.raises(RuntimeError):
+            model.logits(np.zeros((2, model.spec.input_shape)))
+
+    def test_clone_backbone_independent(self):
+        model = self.make_model()
+        clone = model.clone_backbone()
+        clone.parameters()[0].data += 1.0
+        assert not np.allclose(clone.parameters()[0].data,
+                               model.backbone.parameters()[0].data)
+
+    def test_state_round_trip(self):
+        model = self.make_model()
+        rng = np.random.default_rng(1)
+        model.head = model.new_head(4, rng)
+        state = model.state()
+        other = ZooModel(model.spec)
+        other.load_state(state)
+        x = np.random.default_rng(2).normal(size=(3, model.spec.input_shape))
+        assert np.allclose(model.logits(x), other.logits(x))
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TaskUniverse("image", seed=3).materialise("flowers")
+
+    def test_pretrain_improves_over_chance(self, dataset):
+        spec = make_specs(1, seed=4)[0]
+        # a generous budget for this test
+        spec = type(spec)(**{**spec.__dict__, "pretrain_epochs": 30,
+                             "input_shape": dataset.input_dim})
+        model = ZooModel(spec)
+        acc = pretrain_model(model, dataset, np.random.default_rng(0),
+                             PretrainConfig())
+        assert acc > 1.5 / dataset.num_classes
+        assert model.pretrain_accuracy == acc
+
+    def test_full_finetune_returns_result(self, dataset):
+        model = ZooModel(make_specs(1, seed=5)[0])
+        result = full_finetune(model, dataset, np.random.default_rng(0),
+                               FinetuneConfig(epochs=3))
+        assert result.method == "finetune"
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.dataset == "flowers"
+
+    def test_full_finetune_does_not_mutate_model(self, dataset):
+        model = ZooModel(make_specs(1, seed=6)[0])
+        before = model.backbone.state_dict()
+        full_finetune(model, dataset, np.random.default_rng(0),
+                      FinetuneConfig(epochs=2))
+        after = model.backbone.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key])
+
+    def test_finetune_deterministic_given_rng(self, dataset):
+        model = ZooModel(make_specs(1, seed=7)[0])
+        r1 = full_finetune(model, dataset, np.random.default_rng(9),
+                           FinetuneConfig(epochs=2))
+        r2 = full_finetune(model, dataset, np.random.default_rng(9),
+                           FinetuneConfig(epochs=2))
+        assert r1.accuracy == r2.accuracy
+
+    def test_lora_finetune(self, dataset):
+        model = ZooModel(make_specs(1, seed=8)[0])
+        result = lora_finetune(model, dataset, np.random.default_rng(0),
+                               FinetuneConfig(lora_epochs=2))
+        assert result.method == "lora"
+        assert 0.0 <= result.accuracy <= 1.0
