@@ -6,14 +6,50 @@ Commands
 ``rank``        rank zoo models for a target dataset with TransferGraph
 ``evaluate``    run the leave-one-out comparison of selection strategies
 ``stats``       print catalog + graph statistics (Table II style)
+``warmup``      pre-fit every target's pipeline into the artifact registry
+``serve-sim``   replay a synthetic query workload against the service
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "default_registry_dir"]
+
+
+def default_registry_dir() -> Path:
+    """Default artifact registry location (inside the zoo cache dir)."""
+    from repro.zoo.cache import default_cache_dir
+
+    return default_cache_dir() / "serving"
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
+def _fraction(value: str) -> float:
+    f = float(value)
+    if not (0.0 <= f <= 1.0):
+        raise argparse.ArgumentTypeError("must be in [0, 1]")
+    return f
+
+
+def _predictor_choices() -> tuple[str, ...]:
+    from repro.predictors import PREDICTORS
+
+    return tuple(sorted(PREDICTORS))
+
+
+def _graph_learner_choices() -> tuple[str, ...]:
+    from repro.graph import GRAPH_LEARNERS
+
+    return tuple(sorted(GRAPH_LEARNERS))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,22 +65,53 @@ def build_parser() -> argparse.ArgumentParser:
                         default="small", help="zoo size preset")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Strategy choices come from the live registries, so new predictors
+    # or graph learners appear here without touching the CLI.
+    predictors = _predictor_choices()
+    learners = _graph_learner_choices()
+
+    def add_strategy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--predictor", choices=predictors, default="xgb")
+        p.add_argument("--graph-learner", default="node2vec",
+                       choices=learners)
+
+    def add_registry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--registry-dir", type=Path, default=None,
+                       help="artifact registry root "
+                            "(default: <zoo cache>/serving)")
+
     sub.add_parser("build-zoo", help="build and cache the zoo")
 
     rank = sub.add_parser("rank", help="rank models for a target dataset")
     rank.add_argument("target", help="target dataset name, e.g. stanfordcars")
     rank.add_argument("--top", type=int, default=5)
-    rank.add_argument("--predictor", choices=("lr", "rf", "xgb"),
-                      default="xgb")
-    rank.add_argument("--graph-learner", default="node2vec",
-                      choices=("node2vec", "node2vec+", "graphsage", "gat"))
+    add_strategy_args(rank)
+    add_registry_arg(rank)
+    rank.add_argument("--no-registry", action="store_true",
+                      help="fit in memory only; skip the artifact registry")
 
     evaluate = sub.add_parser("evaluate",
                               help="LOO comparison of selection strategies")
-    evaluate.add_argument("--predictor", choices=("lr", "rf", "xgb"),
-                          default="xgb")
+    evaluate.add_argument("--predictor", choices=predictors, default="xgb")
 
     sub.add_parser("stats", help="catalog and graph statistics")
+
+    warmup = sub.add_parser(
+        "warmup", help="pre-fit all targets into the artifact registry")
+    add_strategy_args(warmup)
+    add_registry_arg(warmup)
+
+    sim = sub.add_parser(
+        "serve-sim", help="replay a synthetic workload; report latency")
+    add_strategy_args(sim)
+    add_registry_arg(sim)
+    sim.add_argument("--queries", type=_positive_int, default=200,
+                     help="number of queries in the synthetic stream")
+    sim.add_argument("--batch-fraction", type=_fraction, default=0.25,
+                     help="fraction of queries that are score_batch calls")
+    sim.add_argument("--top", type=_positive_int, default=5)
+    sim.add_argument("--cache-size", type=_positive_int, default=32,
+                     help="in-memory LRU capacity (fitted pipelines)")
     return parser
 
 
@@ -56,12 +123,30 @@ def _load_zoo(args):
     return get_or_build_zoo(preset(modality=args.modality, seed=args.seed))
 
 
-def _tg_strategy(predictor: str, graph_learner: str = "node2vec"):
-    from repro.core import FeatureSet, TransferGraph, TransferGraphConfig
+def _tg_config(predictor: str, graph_learner: str = "node2vec"):
+    from repro.core import FeatureSet, TransferGraphConfig
 
-    return TransferGraph(TransferGraphConfig(
+    return TransferGraphConfig(
         predictor=predictor, graph_learner=graph_learner,
-        embedding_dim=32, features=FeatureSet.everything()))
+        embedding_dim=32, features=FeatureSet.everything())
+
+
+def _tg_strategy(predictor: str, graph_learner: str = "node2vec"):
+    from repro.core import TransferGraph
+
+    return TransferGraph(_tg_config(predictor, graph_learner))
+
+
+def _service(zoo, args, cache_size: int = 32):
+    from repro.serving import ArtifactRegistry, SelectionService
+
+    registry = None
+    if not getattr(args, "no_registry", False):
+        root = args.registry_dir or default_registry_dir()
+        registry = ArtifactRegistry(root)
+    config = _tg_config(args.predictor, args.graph_learner)
+    return SelectionService(zoo, config, registry=registry,
+                            cache_size=cache_size)
 
 
 def _cmd_build_zoo(args) -> int:
@@ -78,13 +163,17 @@ def _cmd_rank(args) -> int:
         print(f"error: unknown target {args.target!r}; "
               f"choose from {zoo.target_names()}", file=sys.stderr)
         return 2
-    strategy = _tg_strategy(args.predictor, args.graph_learner)
-    ranking = strategy.rank_models(zoo, args.target)
-    print(f"top {args.top} models for {args.target} ({strategy.name}):")
-    for model_id, score in ranking[: args.top]:
+    service = _service(zoo, args)
+    ranking = service.rank(args.target, top_k=args.top)
+    print(f"top {args.top} models for {args.target} "
+          f"({service.config.strategy_name()}):")
+    for model_id, score in ranking:
         spec = zoo.model(model_id).spec
         print(f"  {model_id:<26} {score:+.3f}  "
               f"[{spec.family}, source={spec.pretrain_dataset}]")
+    summary = service.stats()
+    source = "cache" if summary["fits"] == 0 else "cold fit"
+    print(f"  ({source}, {summary['p50_ms']:.1f} ms)")
     return 0
 
 
@@ -121,11 +210,50 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_warmup(args) -> int:
+    zoo = _load_zoo(args)
+    service = _service(zoo, args, cache_size=max(32, len(zoo.target_names())))
+    print(f"warming {len(zoo.target_names())} targets into "
+          f"{service.registry.root} ({service.config.strategy_name()})")
+    timings = service.warmup()
+    for target, seconds in timings.items():
+        print(f"  {target:<26} {seconds * 1e3:8.1f} ms")
+    summary = service.stats()
+    print(f"done: {summary['fits']:.0f} fitted, "
+          f"{summary['registry_hits']:.0f} already in registry, "
+          f"total {sum(timings.values()):.2f} s")
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    from repro.serving import WorkloadConfig, generate_workload, replay
+
+    zoo = _load_zoo(args)
+    service = _service(zoo, args, cache_size=args.cache_size)
+    workload = generate_workload(zoo, WorkloadConfig(
+        num_queries=args.queries, batch_fraction=args.batch_fraction,
+        top_k=args.top, seed=args.seed))
+    print(f"replaying {len(workload)} queries "
+          f"({service.config.strategy_name()}, "
+          f"registry={'on' if service.registry else 'off'})")
+    summary = replay(service, workload)
+    print(f"  p50 latency      {summary['p50_ms']:10.2f} ms")
+    print(f"  p95 latency      {summary['p95_ms']:10.2f} ms")
+    print(f"  max latency      {summary['max_ms']:10.2f} ms")
+    print(f"  throughput       {summary['qps']:10.1f} qps")
+    print(f"  cache hit rate   {summary['hit_rate']:10.1%}")
+    print(f"  cold fits        {summary['fits']:10.0f}")
+    print(f"  registry hits    {summary['registry_hits']:10.0f}")
+    return 0
+
+
 _COMMANDS = {
     "build-zoo": _cmd_build_zoo,
     "rank": _cmd_rank,
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
+    "warmup": _cmd_warmup,
+    "serve-sim": _cmd_serve_sim,
 }
 
 

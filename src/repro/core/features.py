@@ -123,6 +123,33 @@ class FeatureAssembler:
         return total
 
     # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        """Fitted normalisation state (encoders + per-dataset score ranges).
+
+        Together with the constructor arguments (zoo, feature set,
+        embeddings, graph) this is everything needed to reproduce
+        ``assemble(..., fit=False)`` bit-for-bit on another process.
+        """
+        encoders = None if self._encoders is None else {
+            name: enc.get_state() for name, enc in self._encoders.items()}
+        cache = getattr(self, "_transfer_norm_cache", {})
+        return {
+            "encoders": encoders,
+            "transfer_norm_cache": {
+                dataset: {model: float(v) for model, v in scores.items()}
+                for dataset, scores in cache.items()},
+        }
+
+    def set_state(self, state: dict) -> "FeatureAssembler":
+        encoders = state.get("encoders")
+        self._encoders = None if encoders is None else {
+            name: OneHotEncoder().set_state(s) for name, s in encoders.items()}
+        self._transfer_norm_cache = {
+            dataset: dict(scores)
+            for dataset, scores in state.get("transfer_norm_cache", {}).items()}
+        return self
+
+    # ------------------------------------------------------------------ #
     def assemble(self, pairs: list[tuple[str, str]], fit: bool = False
                  ) -> tuple[np.ndarray, list[str]]:
         """Feature matrix for (model_id, dataset_id) pairs.

@@ -43,6 +43,15 @@ class FittedTransferGraph:
         x, _ = self.assembler.assemble(pairs, fit=False)
         return self.predictor.predict(x)
 
+    def rank(self, model_ids: list[str]) -> list[tuple[str, float]]:
+        """``model_ids`` sorted by predicted score, best first.
+
+        Both :meth:`TransferGraph.rank_models` and the serving layer's
+        warm path rank through this, so the sort order cannot diverge.
+        """
+        scores = dict(zip(model_ids, self.predict(model_ids)))
+        return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
 
 class TransferGraph:
     """Model-selection strategy backed by graph learning (the paper's TG)."""
@@ -123,5 +132,4 @@ class TransferGraph:
 
     def rank_models(self, zoo, target: str) -> list[tuple[str, float]]:
         """Models sorted by predicted fine-tuning score, best first."""
-        scores = self.scores_for_target(zoo, target)
-        return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return self.fit(zoo, target).rank(zoo.model_ids())

@@ -14,11 +14,12 @@ PREDICTORS: dict[str, type[Regressor]] = {
     "lr": LinearRegression,
     "rf": RandomForestRegressor,
     "xgb": GradientBoostingRegressor,
+    "tree": DecisionTreeRegressor,
 }
 
 
 def get_predictor(name: str, **kwargs) -> Regressor:
-    """Instantiate a prediction model by its paper alias (lr/rf/xgb)."""
+    """Instantiate a prediction model by its paper alias (lr/rf/xgb/tree)."""
     try:
         return PREDICTORS[name](**kwargs)
     except KeyError:

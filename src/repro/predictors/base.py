@@ -33,6 +33,21 @@ class Regressor:
     def predict(self, x) -> np.ndarray:
         raise NotImplementedError  # pragma: no cover
 
+    def get_state(self) -> dict:
+        """Snapshot of the fitted model: hyperparameters + learned state.
+
+        The returned dict holds only JSON-able scalars, ``None``, nested
+        dicts/lists, and ``np.ndarray`` leaves, so the serving artifact
+        layer can split it into JSON metadata and ``.npz`` arrays.
+        ``set_state(get_state())`` on a fresh instance must reproduce
+        ``predict`` bit-for-bit.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def set_state(self, state: dict) -> "Regressor":
+        """Restore from :meth:`get_state`; returns ``self``."""
+        raise NotImplementedError  # pragma: no cover
+
     def fit_predict(self, x, y, x_new) -> np.ndarray:
         return self.fit(x, y).predict(x_new)
 

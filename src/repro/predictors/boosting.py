@@ -87,6 +87,39 @@ class GradientBoostingRegressor(Regressor):
             out += self.learning_rate * tree.predict(x)
         return out
 
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        if not self.trees_:
+            raise RuntimeError("get_state() called before fit()")
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "learning_rate": self.learning_rate,
+            "subsample": self.subsample,
+            "min_samples_leaf": self.min_samples_leaf,
+            "seed": self.seed,
+            "colsample": self.colsample,
+            "base_prediction": self.base_prediction_,
+            "n_features": self._n_features,
+            "trees": [tree.get_state() for tree in self.trees_],
+        }
+
+    def set_state(self, state: dict) -> "GradientBoostingRegressor":
+        self.n_estimators = int(state["n_estimators"])
+        self.max_depth = int(state["max_depth"])
+        self.learning_rate = float(state["learning_rate"])
+        self.subsample = float(state["subsample"])
+        self.min_samples_leaf = int(state["min_samples_leaf"])
+        self.seed = int(state["seed"])
+        colsample = state["colsample"]
+        self.colsample = int(colsample) \
+            if isinstance(colsample, (int, np.integer)) else colsample
+        self.base_prediction_ = float(state["base_prediction"])
+        self._n_features = int(state["n_features"])
+        self.trees_ = [DecisionTreeRegressor().set_state(ts)
+                       for ts in state["trees"]]
+        return self
+
     def staged_train_error(self, x, y) -> np.ndarray:
         """MSE on (x, y) after each boosting round (diagnostics/tests)."""
         x, y = validate_xy(x, y)

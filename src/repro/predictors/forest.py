@@ -55,3 +55,30 @@ class RandomForestRegressor(Regressor):
         for tree in self.trees_:
             preds += tree.predict(x)
         return preds / len(self.trees_)
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        if not self.trees_:
+            raise RuntimeError("get_state() called before fit()")
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "seed": self.seed,
+            "n_features": self._n_features,
+            "trees": [tree.get_state() for tree in self.trees_],
+        }
+
+    def set_state(self, state: dict) -> "RandomForestRegressor":
+        self.n_estimators = int(state["n_estimators"])
+        self.max_depth = int(state["max_depth"])
+        self.min_samples_leaf = int(state["min_samples_leaf"])
+        max_features = state["max_features"]
+        self.max_features = int(max_features) \
+            if isinstance(max_features, (int, np.integer)) else max_features
+        self.seed = int(state["seed"])
+        self._n_features = int(state["n_features"])
+        self.trees_ = [DecisionTreeRegressor().set_state(ts)
+                       for ts in state["trees"]]
+        return self

@@ -55,3 +55,27 @@ class LinearRegression(Regressor):
         if self.standardize:
             x = (x - self._mean) / self._scale
         return x @ self.coef_ + self.intercept_
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        if self.coef_ is None:
+            raise RuntimeError("get_state() called before fit()")
+        return {
+            "alpha": self.alpha,
+            "standardize": self.standardize,
+            "coef": self.coef_,
+            "intercept": self.intercept_,
+            "mean": self._mean,
+            "scale": self._scale,
+        }
+
+    def set_state(self, state: dict) -> "LinearRegression":
+        self.alpha = float(state["alpha"])
+        self.standardize = bool(state["standardize"])
+        self.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        self.intercept_ = float(state["intercept"])
+        self._mean = None if state["mean"] is None \
+            else np.asarray(state["mean"], dtype=np.float64)
+        self._scale = None if state["scale"] is None \
+            else np.asarray(state["scale"], dtype=np.float64)
+        return self

@@ -150,6 +150,75 @@ class DecisionTreeRegressor(Regressor):
             out[i] = node.value
         return out
 
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        """Flatten the fitted tree into parallel preorder arrays.
+
+        ``left``/``right`` hold child indices (-1 for leaves), so the
+        structure round-trips exactly regardless of tree shape.
+        """
+        if self._root is None:
+            raise RuntimeError("get_state() called before fit()")
+        feature: list[int] = []
+        threshold: list[float] = []
+        value: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+
+        def walk(node: _Node) -> int:
+            i = len(feature)
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            value.append(node.value)
+            left.append(-1)
+            right.append(-1)
+            if not node.is_leaf:
+                left[i] = walk(node.left)
+                right[i] = walk(node.right)
+            return i
+
+        walk(self._root)
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "n_features": self._n_features,
+            "nodes": {
+                "feature": np.asarray(feature, dtype=np.int64),
+                "threshold": np.asarray(threshold, dtype=np.float64),
+                "value": np.asarray(value, dtype=np.float64),
+                "left": np.asarray(left, dtype=np.int64),
+                "right": np.asarray(right, dtype=np.int64),
+            },
+        }
+
+    def set_state(self, state: dict) -> "DecisionTreeRegressor":
+        self.max_depth = int(state["max_depth"])
+        self.min_samples_split = int(state["min_samples_split"])
+        self.min_samples_leaf = int(state["min_samples_leaf"])
+        max_features = state["max_features"]
+        self.max_features = int(max_features) \
+            if isinstance(max_features, (int, np.integer)) else max_features
+        nodes = state["nodes"]
+        feature = np.asarray(nodes["feature"], dtype=np.int64)
+        threshold = np.asarray(nodes["threshold"], dtype=np.float64)
+        value = np.asarray(nodes["value"], dtype=np.float64)
+        left = np.asarray(nodes["left"], dtype=np.int64)
+        right = np.asarray(nodes["right"], dtype=np.int64)
+
+        def build(i: int) -> _Node:
+            node = _Node(value=float(value[i]), feature=int(feature[i]),
+                         threshold=float(threshold[i]))
+            if left[i] >= 0:
+                node.left = build(int(left[i]))
+                node.right = build(int(right[i]))
+            return node
+
+        self._root = build(0)
+        self._n_features = int(state["n_features"])
+        return self
+
     def depth(self) -> int:
         """Actual depth of the fitted tree."""
         def walk(node: _Node | None) -> int:

@@ -1,0 +1,57 @@
+"""The serving subsystem: persistent artifacts + warm-start selection.
+
+The paper's premise is that fine-tuning evidence is amortised into a
+learned graph so that *selection* is cheap — this package makes that
+true operationally:
+
+- :mod:`repro.serving.fingerprint` — config/catalog content hashes that
+  detect stale artifacts;
+- :mod:`repro.serving.artifacts` — pack/unpack a fitted pipeline into
+  JSON metadata + ``.npz`` arrays;
+- :mod:`repro.serving.registry` — the versioned on-disk artifact store;
+- :mod:`repro.serving.service` — :class:`SelectionService`, the LRU
+  warm-start facade with per-query latency/hit-rate counters;
+- :mod:`repro.serving.workload` — synthetic query streams and replay
+  for the ``repro serve-sim`` command.
+"""
+
+from repro.serving.fingerprint import (
+    catalog_fingerprint,
+    config_fingerprint,
+    config_from_dict,
+)
+from repro.serving.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ArtifactNotFoundError,
+    StaleArtifactError,
+    pack_fitted,
+    unpack_fitted,
+)
+from repro.serving.registry import ArtifactRegistry
+from repro.serving.service import SelectionService, ServiceStats
+from repro.serving.workload import (
+    Query,
+    WorkloadConfig,
+    generate_workload,
+    replay,
+)
+
+__all__ = [
+    "catalog_fingerprint",
+    "config_fingerprint",
+    "config_from_dict",
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "StaleArtifactError",
+    "pack_fitted",
+    "unpack_fitted",
+    "ArtifactRegistry",
+    "SelectionService",
+    "ServiceStats",
+    "Query",
+    "WorkloadConfig",
+    "generate_workload",
+    "replay",
+]

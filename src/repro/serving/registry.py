@@ -1,0 +1,116 @@
+"""Versioned on-disk registry of fitted TransferGraph artifacts.
+
+Layout (one namespace directory per config fingerprint)::
+
+    <root>/<config_fp>/<target>/meta.json    fingerprints, states, names
+    <root>/<config_fp>/<target>/arrays.npz   embeddings + predictor arrays
+
+``arrays.npz`` is written before ``meta.json``, so a directory with a
+``meta.json`` is always a complete artifact; a crash mid-save leaves at
+worst an ignorable partial directory.  Every load validates the stored
+fingerprints against the live config and catalog — a stale artifact
+raises :class:`~repro.serving.artifacts.StaleArtifactError` instead of
+being silently served.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import TransferGraphConfig
+from repro.core.framework import FittedTransferGraph
+from repro.serving.artifacts import (
+    ArtifactError,
+    ArtifactNotFoundError,
+    pack_fitted,
+    unpack_fitted,
+)
+from repro.serving.fingerprint import config_fingerprint
+
+__all__ = ["ArtifactRegistry"]
+
+_META = "meta.json"
+_ARRAYS = "arrays.npz"
+
+
+class ArtifactRegistry:
+    """Persists fitted artifacts keyed by (config fingerprint, target)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, target: str, config: TransferGraphConfig) -> Path:
+        return self.root / config_fingerprint(config) / target
+
+    def contains(self, target: str, config: TransferGraphConfig) -> bool:
+        return (self.path_for(target, config) / _META).exists()
+
+    def targets(self, config: TransferGraphConfig) -> list[str]:
+        """Targets with a complete artifact under this config."""
+        namespace = self.root / config_fingerprint(config)
+        if not namespace.is_dir():
+            return []
+        return sorted(p.name for p in namespace.iterdir()
+                      if (p / _META).exists())
+
+    # ------------------------------------------------------------------ #
+    def save(self, fitted: FittedTransferGraph, config: TransferGraphConfig,
+             zoo) -> Path:
+        """Write one artifact; returns its directory."""
+        meta, arrays = pack_fitted(fitted, config, zoo)
+        out = self.path_for(fitted.target, config)
+        out.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(out / _ARRAYS, **arrays)
+        (out / _META).write_text(json.dumps(meta, indent=1, sort_keys=True))
+        return out
+
+    def load(self, target: str, config: TransferGraphConfig,
+             zoo) -> FittedTransferGraph:
+        """Revive one artifact, validating fingerprints.
+
+        Raises :class:`ArtifactNotFoundError` when absent and
+        :class:`StaleArtifactError` when present but out of date.
+        """
+        path = self.path_for(target, config)
+        if not (path / _META).exists():
+            raise ArtifactNotFoundError(
+                f"no artifact for target {target!r} under config "
+                f"{config_fingerprint(config)}")
+        try:
+            meta = json.loads((path / _META).read_text())
+            with np.load(path / _ARRAYS) as npz:
+                arrays = {key: npz[key] for key in npz.files}
+        except (OSError, ValueError) as exc:
+            # Truncated JSON, missing/corrupt npz (BadZipFile is an
+            # OSError): a broken artifact must degrade to a refit, not
+            # poison every query for the target.
+            raise ArtifactError(
+                f"corrupt artifact for target {target!r} at {path}: {exc}"
+            ) from exc
+        try:
+            return unpack_fitted(meta, arrays, zoo, config)
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"malformed artifact for target {target!r} at {path}: {exc}"
+            ) from exc
+
+    def delete(self, target: str, config: TransferGraphConfig) -> bool:
+        """Remove one artifact; returns whether anything was deleted."""
+        path = self.path_for(target, config)
+        if not path.is_dir():
+            return False
+        for name in (_META, _ARRAYS):
+            file = path / name
+            if file.exists():
+                file.unlink()
+        try:
+            path.rmdir()
+        except OSError:  # pragma: no cover - unexpected extra files
+            pass
+        return True

@@ -1,0 +1,222 @@
+"""Warm-start selection serving: cached fitted pipelines behind one facade.
+
+:class:`SelectionService` answers ranking and scoring queries without
+refitting anything on the hot path:
+
+- an in-memory LRU keyed by (target, config fingerprint) holds revived
+  :class:`~repro.core.FittedTransferGraph` pipelines;
+- on a cache miss the service tries the on-disk
+  :class:`~repro.serving.ArtifactRegistry` (stale artifacts are refit,
+  never served);
+- on a registry miss it fits from scratch and writes the artifact
+  through to the registry so the next process starts warm.
+
+Every query is timed and counted; :meth:`SelectionService.stats` exposes
+hit rates and latency percentiles.  The service is deliberately
+single-threaded — the async request router is tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import FittedTransferGraph, TransferGraph, TransferGraphConfig
+from repro.serving.artifacts import ArtifactError
+from repro.serving.fingerprint import config_fingerprint
+from repro.serving.registry import ArtifactRegistry
+
+__all__ = ["SelectionService", "ServiceStats", "LATENCY_WINDOW"]
+
+#: rolling window of per-query latencies kept for percentile reporting —
+#: bounds the memory of a long-running service at ~0.8 MB
+LATENCY_WINDOW = 100_000
+
+_COUNTER_FIELDS = ("queries", "cache_hits", "cache_misses",
+                   "registry_hits", "fits", "evictions", "invalidations")
+
+
+@dataclass
+class ServiceStats:
+    """Counters and latencies accumulated by a :class:`SelectionService`."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    registry_hits: int = 0
+    fits: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    latencies_ms: deque = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False)
+
+    def hit_rate(self) -> float:
+        """Fraction of fitted-pipeline lookups served from memory."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile (0-100) of per-query latency in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def copy(self) -> "ServiceStats":
+        out = ServiceStats(**{f: getattr(self, f) for f in _COUNTER_FIELDS})
+        out.latencies_ms.extend(self.latencies_ms)
+        return out
+
+    def since(self, earlier: "ServiceStats") -> "ServiceStats":
+        """Counters/latencies accumulated after the ``earlier`` snapshot.
+
+        Each query appends exactly one latency, so the delta's latencies
+        are the last ``queries`` entries (bounded by the rolling window).
+        """
+        out = ServiceStats(**{f: getattr(self, f) - getattr(earlier, f)
+                              for f in _COUNTER_FIELDS})
+        if out.queries > 0:
+            out.latencies_ms.extend(list(self.latencies_ms)[-out.queries:])
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "registry_hits": self.registry_hits,
+            "fits": self.fits,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate(),
+            "p50_ms": self.latency_percentile(50),
+            "p95_ms": self.latency_percentile(95),
+            "max_ms": max(self.latencies_ms, default=0.0),
+        }
+
+
+class SelectionService:
+    """Serve ``rank`` / ``score_batch`` queries from warm fitted artifacts."""
+
+    def __init__(self, zoo, config: TransferGraphConfig | None = None,
+                 registry: ArtifactRegistry | None = None,
+                 cache_size: int = 32):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.zoo = zoo
+        self.config = config or TransferGraphConfig()
+        self.strategy = TransferGraph(self.config)
+        self.registry = registry
+        self.cache_size = cache_size
+        self._config_fp = config_fingerprint(self.config)
+        self._cache: OrderedDict[tuple[str, str], FittedTransferGraph] = \
+            OrderedDict()
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    def _check_target(self, target: str) -> None:
+        if target not in self.zoo.dataset_names():
+            raise KeyError(f"unknown dataset {target!r}; known: "
+                           f"{self.zoo.dataset_names()}")
+
+    def _fitted(self, target: str) -> FittedTransferGraph:
+        """Fitted pipeline for ``target``: memory → registry → fresh fit."""
+        key = (target, self._config_fp)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._stats.cache_hits += 1
+            return cached
+        self._stats.cache_misses += 1
+        self._check_target(target)
+
+        fitted: FittedTransferGraph | None = None
+        if self.registry is not None:
+            try:
+                fitted = self.registry.load(target, self.config, self.zoo)
+                self._stats.registry_hits += 1
+            except ArtifactError:
+                fitted = None  # absent or stale: fall through to a fit
+        if fitted is None:
+            fitted = self.strategy.fit(self.zoo, target)
+            self._stats.fits += 1
+            if self.registry is not None:
+                self.registry.save(fitted, self.config, self.zoo)
+
+        self._cache[key] = fitted
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self._stats.evictions += 1
+        return fitted
+
+    def _record(self, started: float) -> None:
+        self._stats.queries += 1
+        self._stats.latencies_ms.append((time.perf_counter() - started) * 1e3)
+
+    # ------------------------------------------------------------------ #
+    def rank(self, target: str, top_k: int | None = None
+             ) -> list[tuple[str, float]]:
+        """Models ranked for ``target``, best first (optionally truncated)."""
+        started = time.perf_counter()
+        ranking = self._fitted(target).rank(self.zoo.model_ids())
+        self._record(started)
+        return ranking if top_k is None else ranking[:top_k]
+
+    def score_batch(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Predicted scores for (model, target) pairs, aligned to input.
+
+        Pairs are grouped by target so each target's pipeline is looked
+        up once and predicts its models in a single batched call.
+        """
+        started = time.perf_counter()
+        if not pairs:
+            self._record(started)
+            return np.empty(0)
+        by_target: dict[str, list[int]] = {}
+        for i, (_, target) in enumerate(pairs):
+            by_target.setdefault(target, []).append(i)
+        out = np.empty(len(pairs))
+        for target, indices in by_target.items():
+            fitted = self._fitted(target)
+            out[indices] = fitted.predict([pairs[i][0] for i in indices])
+        self._record(started)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def warmup(self, targets: list[str] | None = None) -> dict[str, float]:
+        """Pre-fit pipelines (write-through to the registry if configured).
+
+        Returns seconds spent per target.  Warmup populates the caches
+        but does not count as query traffic.
+        """
+        out: dict[str, float] = {}
+        for target in (targets if targets is not None
+                       else self.zoo.target_names()):
+            started = time.perf_counter()
+            self._fitted(target)
+            out[target] = time.perf_counter() - started
+        return out
+
+    def invalidate(self, target: str) -> None:
+        """Drop ``target``'s pipeline from memory and the registry.
+
+        Call after catalog updates (new history rows, new models) so the
+        next query refits against fresh ground truth.
+        """
+        self._cache.pop((target, self._config_fp), None)
+        if self.registry is not None:
+            self.registry.delete(target, self.config)
+        self._stats.invalidations += 1
+
+    def stats(self) -> dict[str, float]:
+        """Counter + latency summary since construction (or last reset)."""
+        return self._stats.summary()
+
+    def stats_snapshot(self) -> ServiceStats:
+        """A copy of the raw counters, e.g. to diff around a workload."""
+        return self._stats.copy()
+
+    def reset_stats(self) -> None:
+        self._stats = ServiceStats()

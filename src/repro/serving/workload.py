@@ -1,0 +1,103 @@
+"""Synthetic query workloads for serving experiments (``repro serve-sim``).
+
+Real selection traffic is skewed: a few popular target datasets receive
+most queries.  The generator draws targets from a Zipf-like popularity
+distribution over the zoo's targets and mixes two query shapes —
+full rankings (``rank``) and batched pair scoring (``score_batch``) —
+then :func:`replay` runs the sequence against a service and reports the
+latency/hit-rate summary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.service import SelectionService
+
+__all__ = ["WorkloadConfig", "Query", "generate_workload", "replay"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a synthetic query stream."""
+
+    num_queries: int = 200
+    #: fraction of queries that are batched pair-scoring calls
+    batch_fraction: float = 0.25
+    #: (model, target) pairs per score_batch query
+    batch_size: int = 8
+    #: Zipf exponent of target popularity (0 = uniform)
+    zipf_alpha: float = 1.2
+    top_k: int = 5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be >= 1")
+        if not (0.0 <= self.batch_fraction <= 1.0):
+            raise ValueError("batch_fraction must be in [0, 1]")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One serving request: ``kind`` is ``"rank"`` or ``"score_batch"``."""
+
+    kind: str
+    target: str
+    top_k: int = 5
+    pairs: tuple[tuple[str, str], ...] = ()
+
+
+def generate_workload(zoo, config: WorkloadConfig | None = None) -> list[Query]:
+    """A reproducible query sequence over the zoo's target datasets."""
+    config = config or WorkloadConfig()
+    rng = np.random.default_rng(config.seed)
+    targets = list(zoo.target_names())
+    models = zoo.model_ids()
+
+    # Zipf-like popularity over a randomly assigned target order.
+    order = rng.permutation(len(targets))
+    weights = 1.0 / (1.0 + order.astype(np.float64)) ** config.zipf_alpha
+    weights /= weights.sum()
+
+    queries: list[Query] = []
+    for _ in range(config.num_queries):
+        target = targets[rng.choice(len(targets), p=weights)]
+        if rng.random() < config.batch_fraction:
+            chosen = rng.choice(len(models), size=min(config.batch_size,
+                                                      len(models)),
+                                replace=False)
+            pairs = tuple((models[i], target) for i in chosen)
+            queries.append(Query(kind="score_batch", target=target,
+                                 pairs=pairs))
+        else:
+            queries.append(Query(kind="rank", target=target,
+                                 top_k=config.top_k))
+    return queries
+
+
+def replay(service: SelectionService, queries: list[Query]) -> dict[str, float]:
+    """Run a workload; returns the stats summary *of this replay only*.
+
+    Counters are diffed against a snapshot taken at entry, so traffic
+    served before the replay (e.g. a warmup) is not misattributed to it.
+    """
+    before = service.stats_snapshot()
+    started = time.perf_counter()
+    for query in queries:
+        if query.kind == "rank":
+            service.rank(query.target, top_k=query.top_k)
+        elif query.kind == "score_batch":
+            service.score_batch(list(query.pairs))
+        else:
+            raise ValueError(f"unknown query kind {query.kind!r}")
+    elapsed = time.perf_counter() - started
+    summary = service.stats_snapshot().since(before).summary()
+    summary["wall_s"] = elapsed
+    summary["qps"] = len(queries) / elapsed if elapsed > 0 else float("inf")
+    return summary

@@ -54,6 +54,19 @@ class OneHotEncoder:
     def feature_names(self, prefix: str) -> list[str]:
         return [f"{prefix}={c}" for c in self.categories_]
 
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> dict:
+        """JSON-able snapshot of the fitted encoder (artifact round-trip)."""
+        if not self.is_fitted:
+            raise RuntimeError("get_state() called before fit()")
+        return {"categories": list(self.categories_)}
+
+    def set_state(self, state: dict) -> "OneHotEncoder":
+        """Restore from :meth:`get_state`, preserving the category order."""
+        self.categories_ = [str(c) for c in state["categories"]]
+        self._index = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
 
 class StandardScaler:
     """Standardise columns to zero mean / unit variance (constant cols → 0)."""

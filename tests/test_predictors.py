@@ -32,7 +32,7 @@ def step_data(n=200, seed=1):
 
 class TestRegistry:
     def test_aliases(self):
-        assert set(PREDICTORS) == {"lr", "rf", "xgb"}
+        assert set(PREDICTORS) == {"lr", "rf", "xgb", "tree"}
 
     def test_get_predictor(self):
         assert isinstance(get_predictor("lr"), LinearRegression)

@@ -1,0 +1,225 @@
+"""Artifact round-trips: predictor states, registry save/load, staleness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureSet, TransferGraph, TransferGraphConfig
+from repro.predictors import PREDICTORS, get_predictor
+from repro.serving import (
+    ArtifactNotFoundError,
+    ArtifactRegistry,
+    StaleArtifactError,
+    catalog_fingerprint,
+    config_fingerprint,
+    config_from_dict,
+)
+from repro.serving.artifacts import _pack_value, _unpack_value
+
+SMALL_HYPERPARAMS = {
+    "lr": {},
+    "tree": {"max_depth": 4},
+    "rf": {"n_estimators": 8},
+    "xgb": {"n_estimators": 20},
+}
+
+
+def regression_data(n=80, d=6, seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    y = x @ rng.normal(size=d) + 0.1 * rng.normal(size=n)
+    return x, y
+
+
+def roundtrip_through_files(state: dict, tmp_path) -> dict:
+    """Serialise a state dict exactly the way the registry does."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = _pack_value(state, arrays, "state")
+    (tmp_path / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+    np.savez_compressed(tmp_path / "arrays.npz", **arrays)
+    loaded_meta = json.loads((tmp_path / "meta.json").read_text())
+    with np.load(tmp_path / "arrays.npz") as npz:
+        loaded_arrays = {key: npz[key] for key in npz.files}
+    return _unpack_value(loaded_meta, loaded_arrays)
+
+
+class TestPredictorStateRoundTrip:
+    @pytest.mark.parametrize("alias", sorted(PREDICTORS))
+    def test_save_load_predict_bit_identical(self, alias, tmp_path):
+        x, y = regression_data()
+        model = get_predictor(alias, **SMALL_HYPERPARAMS[alias]).fit(x, y)
+        state = roundtrip_through_files(model.get_state(), tmp_path)
+        revived = get_predictor(alias).set_state(state)
+        assert np.array_equal(model.predict(x), revived.predict(x))
+
+    @pytest.mark.parametrize("alias", sorted(PREDICTORS))
+    def test_get_state_requires_fit(self, alias):
+        with pytest.raises(RuntimeError):
+            get_predictor(alias).get_state()
+
+
+@pytest.fixture(scope="module")
+def lr_config():
+    return TransferGraphConfig(predictor="lr", embedding_dim=16,
+                               features=FeatureSet.everything())
+
+
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize("alias", sorted(PREDICTORS))
+    def test_rankings_identical_after_reload(self, alias, tiny_image_zoo,
+                                             tmp_path):
+        zoo = tiny_image_zoo
+        config = TransferGraphConfig(predictor=alias, embedding_dim=16,
+                                     features=FeatureSet.everything())
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(config).fit(zoo, target)
+
+        registry = ArtifactRegistry(tmp_path)
+        registry.save(fitted, config, zoo)
+        revived = registry.load(target, config, zoo)
+
+        ids = zoo.model_ids()
+        assert np.array_equal(fitted.predict(ids), revived.predict(ids))
+        assert fitted.rank(ids) == revived.rank(ids)
+        assert revived.feature_names == fitted.feature_names
+        assert revived.graph_stats == fitted.graph_stats
+
+    def test_contains_and_targets(self, tiny_image_zoo, tmp_path, lr_config):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[1]
+        registry = ArtifactRegistry(tmp_path)
+        assert not registry.contains(target, lr_config)
+        assert registry.targets(lr_config) == []
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry.save(fitted, lr_config, zoo)
+        assert registry.contains(target, lr_config)
+        assert registry.targets(lr_config) == [target]
+        assert registry.delete(target, lr_config)
+        assert not registry.contains(target, lr_config)
+
+    def test_missing_artifact_raises(self, tiny_image_zoo, tmp_path,
+                                     lr_config):
+        registry = ArtifactRegistry(tmp_path)
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load("caltech101", lr_config, tiny_image_zoo)
+
+    def test_catalog_mismatch_raises(self, tiny_image_zoo, tmp_path,
+                                     lr_config):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        registry.save(fitted, lr_config, zoo)
+
+        model_id = zoo.model_ids()[0]
+        row = zoo.catalog.history.get_or_none(model_id, target, "finetune")
+        zoo.catalog.record_history(model_id, target, row["accuracy"] + 0.01,
+                                   epochs=row["epochs"])
+        try:
+            with pytest.raises(StaleArtifactError):
+                registry.load(target, lr_config, zoo)
+        finally:
+            zoo.catalog.record_history(model_id, target, row["accuracy"],
+                                       epochs=row["epochs"])
+        # Ground truth restored: the artifact is fresh again.
+        registry.load(target, lr_config, zoo)
+
+    def test_format_version_mismatch_raises(self, tiny_image_zoo, tmp_path,
+                                            lr_config):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format_version"] = 0
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(StaleArtifactError):
+            registry.load(target, lr_config, zoo)
+
+    def test_corrupt_meta_raises_artifact_error(self, tiny_image_zoo,
+                                                tmp_path, lr_config):
+        from repro.serving import ArtifactError
+
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        (path / "meta.json").write_text('{"format_version": 1, "trunc')
+        with pytest.raises(ArtifactError):
+            registry.load(target, lr_config, zoo)
+
+    def test_missing_arrays_raises_artifact_error(self, tiny_image_zoo,
+                                                  tmp_path, lr_config):
+        from repro.serving import ArtifactError
+
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        (path / "arrays.npz").unlink()
+        with pytest.raises(ArtifactError):
+            registry.load(target, lr_config, zoo)
+
+    def test_config_mismatch_is_not_found(self, tiny_image_zoo, tmp_path,
+                                          lr_config):
+        """A different config lives in a different registry namespace."""
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        registry.save(fitted, lr_config, zoo)
+        other = TransferGraphConfig(predictor="rf", embedding_dim=16,
+                                    features=FeatureSet.everything())
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load(target, other, zoo)
+
+
+class TestFingerprints:
+    def test_config_fingerprint_stable_and_discriminating(self):
+        a = TransferGraphConfig(predictor="lr")
+        b = TransferGraphConfig(predictor="lr")
+        c = TransferGraphConfig(predictor="rf")
+        assert config_fingerprint(a) == config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(c)
+
+    def test_config_round_trips_through_dict(self):
+        from dataclasses import asdict
+
+        config = TransferGraphConfig(predictor="rf", embedding_dim=16,
+                                     features=FeatureSet.all_logme())
+        revived = config_from_dict(asdict(config))
+        assert revived == config
+        assert config_fingerprint(revived) == config_fingerprint(config)
+
+    def test_catalog_fingerprint_ignores_derived_tables(self, tiny_image_zoo):
+        catalog = tiny_image_zoo.catalog
+        before = catalog_fingerprint(catalog)
+        catalog.record_transferability("some-model", "some-dataset",
+                                       "logme", 0.5)
+        try:
+            assert catalog_fingerprint(catalog) == before
+        finally:
+            catalog.transferability.delete("some-model", "some-dataset",
+                                           "logme")
+
+    def test_catalog_fingerprint_tracks_ground_truth(self, tiny_image_zoo):
+        catalog = tiny_image_zoo.catalog
+        before = catalog_fingerprint(catalog)
+        model_id = tiny_image_zoo.model_ids()[0]
+        target = tiny_image_zoo.target_names()[0]
+        row = catalog.history.get_or_none(model_id, target, "finetune")
+        catalog.record_history(model_id, target, row["accuracy"] + 0.01,
+                               epochs=row["epochs"])
+        try:
+            assert catalog_fingerprint(catalog) != before
+        finally:
+            catalog.record_history(model_id, target, row["accuracy"],
+                                   epochs=row["epochs"])
+        assert catalog_fingerprint(catalog) == before
