@@ -8,6 +8,8 @@ Commands
 ``stats``       print catalog + graph statistics (Table II style)
 ``warmup``      pre-fit every target's pipeline into the artifact registry
 ``serve-sim``   replay a synthetic query workload against the service
+                (``--concurrency N`` routes it through the async router)
+``registry-gc`` sweep artifacts no live config/catalog can serve
 """
 
 from __future__ import annotations
@@ -112,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--top", type=_positive_int, default=5)
     sim.add_argument("--cache-size", type=_positive_int, default=32,
                      help="in-memory LRU capacity (fitted pipelines)")
+    sim.add_argument("--concurrency", type=_positive_int, default=1,
+                     help="concurrent clients; >1 replays through the "
+                          "async router with fit coalescing")
+    sim.add_argument("--max-pending-fits", type=_positive_int, default=8,
+                     help="router cold-fit queue bound (with --concurrency)")
+    sim.add_argument("--partition", action="store_true",
+                     help="split the stream across clients instead of "
+                          "replaying it once per client")
+
+    gc = sub.add_parser(
+        "registry-gc",
+        help="sweep registry artifacts no live config/catalog can serve")
+    add_strategy_args(gc)
+    add_registry_arg(gc)
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
+    gc.add_argument("--only-strategy", action="store_true",
+                    help="treat ONLY the --predictor/--graph-learner pair "
+                         "as live (default: every strategy the CLI can "
+                         "currently serve)")
     return parser
 
 
@@ -226,17 +248,40 @@ def _cmd_warmup(args) -> int:
 
 
 def _cmd_serve_sim(args) -> int:
-    from repro.serving import WorkloadConfig, generate_workload, replay
+    from repro.serving import (
+        AsyncSelectionRouter,
+        WorkloadConfig,
+        generate_workload,
+        replay,
+        replay_concurrent,
+    )
 
     zoo = _load_zoo(args)
     service = _service(zoo, args, cache_size=args.cache_size)
     workload = generate_workload(zoo, WorkloadConfig(
         num_queries=args.queries, batch_fraction=args.batch_fraction,
         top_k=args.top, seed=args.seed))
-    print(f"replaying {len(workload)} queries "
-          f"({service.config.strategy_name()}, "
-          f"registry={'on' if service.registry else 'off'})")
-    summary = replay(service, workload)
+
+    if args.concurrency == 1:
+        print(f"replaying {len(workload)} queries "
+              f"({service.config.strategy_name()}, "
+              f"registry={'on' if service.registry else 'off'})")
+        summary = replay(service, workload)
+    else:
+        total = len(workload) if args.partition \
+            else len(workload) * args.concurrency
+        print(f"replaying {total} queries over {args.concurrency} "
+              f"async clients ({service.config.strategy_name()}, "
+              f"registry={'on' if service.registry else 'off'})")
+        router = AsyncSelectionRouter(
+            service, max_pending_fits=args.max_pending_fits)
+        try:
+            summary = replay_concurrent(router, workload,
+                                        clients=args.concurrency,
+                                        partition=args.partition)
+        finally:
+            router.close()
+
     print(f"  p50 latency      {summary['p50_ms']:10.2f} ms")
     print(f"  p95 latency      {summary['p95_ms']:10.2f} ms")
     print(f"  max latency      {summary['max_ms']:10.2f} ms")
@@ -244,6 +289,40 @@ def _cmd_serve_sim(args) -> int:
     print(f"  cache hit rate   {summary['hit_rate']:10.1%}")
     print(f"  cold fits        {summary['fits']:10.0f}")
     print(f"  registry hits    {summary['registry_hits']:10.0f}")
+    if args.concurrency > 1:
+        print(f"  coalesced        {summary['coalesced']:10.0f}")
+        print(f"  rejections       {summary['rejections']:10.0f}"
+              f"  (retried {summary['retries']:.0f})")
+        print(f"  peak fit queue   {summary['peak_pending_fits']:10.0f}")
+        print(f"  fit p95          {summary['fit_p95_ms']:10.2f} ms")
+        print(f"  predict p95      {summary['predict_p95_ms']:10.2f} ms")
+    return 0
+
+
+def _cmd_registry_gc(args) -> int:
+    from repro.serving import ArtifactRegistry
+
+    zoo = _load_zoo(args)
+    root = args.registry_dir or default_registry_dir()
+    registry = ArtifactRegistry(root)
+    if args.only_strategy:
+        live = [_tg_config(args.predictor, args.graph_learner)]
+        scope = live[0].strategy_name()
+    else:
+        # Anything the CLI can still serve is live: artifacts warmed
+        # under a *different* predictor/learner than today's flags must
+        # survive a sweep, or the next query under that strategy refits.
+        live = [_tg_config(p, g) for p in _predictor_choices()
+                for g in _graph_learner_choices()]
+        scope = f"all {len(live)} servable strategies"
+    report = registry.gc(live, zoo, dry_run=args.dry_run)
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"registry-gc {root} "
+          f"(live: {scope}{', dry run' if args.dry_run else ''})")
+    print(f"  namespaces removed {report['namespaces_removed']:6d}")
+    print(f"  artifacts removed  {report['artifacts_removed']:6d}")
+    print(f"  artifacts kept     {report['artifacts_kept']:6d}")
+    print(f"  {verb:<18} {report['bytes_reclaimed'] / 1024:6.1f} KiB")
     return 0
 
 
@@ -254,6 +333,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "warmup": _cmd_warmup,
     "serve-sim": _cmd_serve_sim,
+    "registry-gc": _cmd_registry_gc,
 }
 
 

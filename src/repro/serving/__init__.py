@@ -11,8 +11,11 @@ true operationally:
 - :mod:`repro.serving.registry` — the versioned on-disk artifact store;
 - :mod:`repro.serving.service` — :class:`SelectionService`, the LRU
   warm-start facade with per-query latency/hit-rate counters;
-- :mod:`repro.serving.workload` — synthetic query streams and replay
-  for the ``repro serve-sim`` command.
+- :mod:`repro.serving.router` — :class:`AsyncSelectionRouter`, the
+  asyncio front-end with single-flight fit coalescing and a bounded
+  cold-fit queue;
+- :mod:`repro.serving.workload` — synthetic query streams and serial or
+  concurrent replay for the ``repro serve-sim`` command.
 """
 
 from repro.serving.fingerprint import (
@@ -29,12 +32,19 @@ from repro.serving.artifacts import (
     unpack_fitted,
 )
 from repro.serving.registry import ArtifactRegistry
+from repro.serving.router import (
+    AsyncSelectionRouter,
+    QueueFullError,
+    RouterStats,
+)
 from repro.serving.service import SelectionService, ServiceStats
 from repro.serving.workload import (
     Query,
     WorkloadConfig,
     generate_workload,
     replay,
+    replay_async,
+    replay_concurrent,
 )
 
 __all__ = [
@@ -48,10 +58,15 @@ __all__ = [
     "pack_fitted",
     "unpack_fitted",
     "ArtifactRegistry",
+    "AsyncSelectionRouter",
+    "QueueFullError",
+    "RouterStats",
     "SelectionService",
     "ServiceStats",
     "Query",
     "WorkloadConfig",
     "generate_workload",
     "replay",
+    "replay_async",
+    "replay_concurrent",
 ]

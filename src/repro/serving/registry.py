@@ -16,6 +16,7 @@ being silently served.
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -28,7 +29,7 @@ from repro.serving.artifacts import (
     pack_fitted,
     unpack_fitted,
 )
-from repro.serving.fingerprint import config_fingerprint
+from repro.serving.fingerprint import catalog_fingerprint, config_fingerprint
 
 __all__ = ["ArtifactRegistry"]
 
@@ -99,6 +100,64 @@ class ArtifactRegistry:
             raise ArtifactError(
                 f"malformed artifact for target {target!r} at {path}: {exc}"
             ) from exc
+
+    def gc(self, live_configs: list[TransferGraphConfig], zoo=None,
+           dry_run: bool = False) -> dict[str, int]:
+        """Sweep artifacts that no live configuration/catalog can serve.
+
+        Removal rules, applied per namespace directory:
+
+        - a namespace whose fingerprint matches no config in
+          ``live_configs`` is removed whole (nothing can ever load it);
+        - inside live namespaces, partial artifact directories (no
+          ``meta.json`` — a crash mid-save) are removed;
+        - when ``zoo`` is given, artifacts whose stored catalog
+          fingerprint differs from the live catalog are removed too —
+          they would raise ``StaleArtifactError`` on every load anyway.
+
+        ``dry_run=True`` reports what *would* be reclaimed without
+        touching disk.  Returns counts plus reclaimed bytes.
+        """
+        live_fps = {config_fingerprint(c) for c in live_configs}
+        live_catalog = catalog_fingerprint(zoo.catalog) if zoo is not None \
+            else None
+        report = {"namespaces_removed": 0, "artifacts_removed": 0,
+                  "artifacts_kept": 0, "bytes_reclaimed": 0}
+        if not self.root.is_dir():
+            return report
+
+        def dir_bytes(path: Path) -> int:
+            return sum(f.stat().st_size
+                       for f in path.rglob("*") if f.is_file())
+
+        def remove(path: Path) -> None:
+            report["bytes_reclaimed"] += dir_bytes(path)
+            if not dry_run:
+                shutil.rmtree(path)
+
+        for namespace in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            if namespace.name not in live_fps:
+                report["artifacts_removed"] += sum(
+                    1 for p in namespace.iterdir() if p.is_dir())
+                report["namespaces_removed"] += 1
+                remove(namespace)
+                continue
+            for artifact in sorted(p for p in namespace.iterdir()
+                                   if p.is_dir()):
+                meta_path = artifact / _META
+                stale = not meta_path.exists()
+                if not stale and live_catalog is not None:
+                    try:
+                        meta = json.loads(meta_path.read_text())
+                        stale = meta.get("catalog_fingerprint") != live_catalog
+                    except (OSError, ValueError):
+                        stale = True  # unreadable meta can never be served
+                if stale:
+                    report["artifacts_removed"] += 1
+                    remove(artifact)
+                else:
+                    report["artifacts_kept"] += 1
+        return report
 
     def delete(self, target: str, config: TransferGraphConfig) -> bool:
         """Remove one artifact; returns whether anything was deleted."""

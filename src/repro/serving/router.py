@@ -1,0 +1,473 @@
+"""Async request router: single-flight fit coalescing over SelectionService.
+
+:class:`SelectionService` answers warm queries in a millisecond but a
+cold query fits a whole pipeline, and the serial facade makes N
+concurrent cold queries for one target pay N fits.
+:class:`AsyncSelectionRouter` fronts one service with an asyncio event
+loop and fixes exactly that:
+
+- **single-flight coalescing** — concurrent misses for the same
+  ``(target, config_fp)`` key await one in-flight fit future; the fit
+  runs once no matter how many clients asked for it;
+- **thread-pool offload** — fits/revives and predicts are CPU-bound, so
+  they run in executors while the event loop keeps accepting requests
+  (fits default to one worker: pipeline fitting lazily records derived
+  scores into the shared catalog, which is not safe to do from two
+  threads at once; the fit job also runs one warm-up predict so the
+  predict pool never touches that lazy state);
+- **bounded cold-fit queue** — at most ``max_pending_fits`` cold fits
+  may be admitted (in flight or waiting for a fit worker); an overflow
+  either raises :class:`QueueFullError` with a ``retry_after_s`` hint
+  (``overflow="reject"``, the default) or waits for capacity
+  (``overflow="wait"``);
+- **router stats** — coalesced-request count, rejections, peak queue
+  depth, and per-stage latencies (queue wait / fit / predict), merged
+  with the service's counters by :meth:`AsyncSelectionRouter.stats`.
+
+All catalog-mutating work happens on the fit workers: the fit job warms
+each fresh pipeline with one predict, materialising the target's lazy
+transferability normalisation before any predict-pool thread sees the
+pipeline.  Per-pipeline predict calls are additionally serialised with a
+per-key thread lock as a safety net; predicts for *different* targets
+run concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.service import SelectionService, ServiceStats
+
+__all__ = ["AsyncSelectionRouter", "RouterStats", "QueueFullError",
+           "ROUTER_LATENCY_WINDOW"]
+
+#: rolling window of per-stage latencies kept for percentile reporting
+ROUTER_LATENCY_WINDOW = 10_000
+
+_COUNTER_FIELDS = ("requests", "coalesced", "rejections", "cold_fits",
+                   "queue_waits", "fits_timed", "predicts_timed")
+
+#: total-appended counter paired with each latency deque, so ``since``
+#: stays correct after the bounded deque wraps (same idea as
+#: ``ServiceStats.since`` slicing by the queries counter)
+_STAGE_COUNTERS = {"queue_wait_ms": "queue_waits", "fit_ms": "fits_timed",
+                   "predict_ms": "predicts_timed"}
+
+
+class QueueFullError(RuntimeError):
+    """The bounded cold-fit queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class RouterStats:
+    """Counters and per-stage latencies accumulated by the router."""
+
+    requests: int = 0
+    #: requests that awaited another request's in-flight fit
+    coalesced: int = 0
+    #: requests shed because the cold-fit queue was full
+    rejections: int = 0
+    #: cold fits the router admitted (== originators, not waiters)
+    cold_fits: int = 0
+    #: highest number of simultaneously pending cold fits observed
+    peak_pending_fits: int = 0
+    #: lifetime append counts for the three latency deques below
+    queue_waits: int = 0
+    fits_timed: int = 0
+    predicts_timed: int = 0
+    queue_wait_ms: deque = field(
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
+        repr=False)
+    fit_ms: deque = field(
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
+        repr=False)
+    predict_ms: deque = field(
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
+        repr=False)
+
+    def record_latency(self, stage: str, ms: float) -> None:
+        """Append one ``stage`` sample ('queue_wait_ms'/'fit_ms'/...)."""
+        getattr(self, stage).append(ms)
+        counter = _STAGE_COUNTERS[stage]
+        setattr(self, counter, getattr(self, counter) + 1)
+
+    def copy(self) -> "RouterStats":
+        out = RouterStats(**{f: getattr(self, f) for f in _COUNTER_FIELDS})
+        out.peak_pending_fits = self.peak_pending_fits
+        for name in _STAGE_COUNTERS:
+            getattr(out, name).extend(getattr(self, name))
+        return out
+
+    def since(self, earlier: "RouterStats") -> "RouterStats":
+        """Counters/latencies accumulated after the ``earlier`` snapshot.
+
+        Each stage's fresh samples are sliced by its append counter (not
+        deque lengths, which stop growing once the window wraps);
+        ``peak_pending_fits`` is a high-water mark, not a counter, so the
+        delta carries the current peak unchanged.
+        """
+        out = RouterStats(**{f: getattr(self, f) - getattr(earlier, f)
+                             for f in _COUNTER_FIELDS})
+        out.peak_pending_fits = self.peak_pending_fits
+        for name, counter in _STAGE_COUNTERS.items():
+            fresh = getattr(out, counter)
+            if fresh > 0:
+                getattr(out, name).extend(list(getattr(self, name))[-fresh:])
+        return out
+
+    @staticmethod
+    def _percentile(values: deque, q: float) -> float:
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values), q))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "router_requests": self.requests,
+            "coalesced": self.coalesced,
+            "rejections": self.rejections,
+            "cold_fits": self.cold_fits,
+            "peak_pending_fits": self.peak_pending_fits,
+            "queue_wait_p95_ms": self._percentile(self.queue_wait_ms, 95),
+            "fit_p50_ms": self._percentile(self.fit_ms, 50),
+            "fit_p95_ms": self._percentile(self.fit_ms, 95),
+            "predict_p50_ms": self._percentile(self.predict_ms, 50),
+            "predict_p95_ms": self._percentile(self.predict_ms, 95),
+        }
+
+
+def _retrieve_exception(future: asyncio.Future) -> None:
+    # A failed fit with zero coalesced waiters would otherwise log
+    # "exception was never retrieved" — the originator re-raises its own
+    # copy, so marking the future's copy retrieved loses nothing.
+    if not future.cancelled():
+        future.exception()
+
+
+class AsyncSelectionRouter:
+    """Asyncio front-end over one :class:`SelectionService`.
+
+    Parameters
+    ----------
+    service:
+        The (cold or warm) service to route to.  The router is the
+        concurrency front door; don't drive the same service's
+        synchronous API from other threads at the same time.
+    max_pending_fits:
+        Bound on simultaneously admitted cold fits (in flight or queued
+        for a fit worker).  Coalesced waiters don't count: they hold no
+        queue slot, they only await the originator's future.
+    overflow:
+        ``"reject"`` sheds the request with :class:`QueueFullError`
+        (carrying a ``retry_after_s`` hint); ``"wait"`` parks it until a
+        slot frees up.
+    retry_after_s:
+        Floor for the retry hint; the hint grows with observed fit
+        latency and current queue depth.
+    fit_workers:
+        Threads fitting cold pipelines.  Default 1: fits lazily record
+        derived similarity/transferability scores into the shared zoo
+        catalog, which concurrent fits would race on.
+    predict_workers:
+        Threads answering warm predicts (safe to raise: per-key locks
+        already serialise same-pipeline predicts).
+    """
+
+    def __init__(self, service: SelectionService, *,
+                 max_pending_fits: int = 8,
+                 overflow: str = "reject",
+                 retry_after_s: float = 0.5,
+                 fit_workers: int = 1,
+                 predict_workers: int = 4):
+        if max_pending_fits < 1:
+            raise ValueError("max_pending_fits must be >= 1")
+        if overflow not in ("reject", "wait"):
+            raise ValueError(f"overflow must be 'reject' or 'wait', "
+                             f"got {overflow!r}")
+        if fit_workers < 1 or predict_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        self.service = service
+        self.max_pending_fits = max_pending_fits
+        self.overflow = overflow
+        self.retry_after_s = retry_after_s
+        self._fit_pool = ThreadPoolExecutor(
+            max_workers=fit_workers, thread_name_prefix="router-fit")
+        self._predict_pool = ThreadPoolExecutor(
+            max_workers=predict_workers, thread_name_prefix="router-predict")
+        self._stats = RouterStats()
+        self._stats_lock = threading.Lock()
+        #: in-flight fit futures keyed by (target, config_fp); mutated
+        #: only from the event-loop thread, so no lock is needed
+        self._inflight: dict[tuple[str, str], asyncio.Future] = {}
+        self._pending_fits = 0
+        #: serialises predicts on one fitted pipeline (see module doc)
+        self._predict_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._capacity: asyncio.Condition | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # loop binding
+    # ------------------------------------------------------------------ #
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        """The running loop; rebinds loop-local state across asyncio.runs."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        loop = asyncio.get_running_loop()
+        if loop is not self._loop:
+            if self._inflight:
+                raise RuntimeError(
+                    "router used from a new event loop while fits from a "
+                    "previous loop are still in flight")
+            self._loop = loop
+            self._capacity = asyncio.Condition()
+        return loop
+
+    # ------------------------------------------------------------------ #
+    # single-flight fit acquisition
+    # ------------------------------------------------------------------ #
+    def _retry_after_hint(self) -> float:
+        with self._stats_lock:
+            fit_ms = list(self._stats.fit_ms)[-20:]
+        if not fit_ms:
+            return self.retry_after_s
+        expected = (sum(fit_ms) / len(fit_ms) / 1e3) * (self._pending_fits or 1)
+        return max(self.retry_after_s, expected)
+
+    async def _admit_cold_fit(self, target: str, overflow: str) -> None:
+        """Take one cold-fit queue slot or shed the request."""
+        if self._pending_fits >= self.max_pending_fits:
+            if overflow == "reject":
+                hint = self._retry_after_hint()
+                with self._stats_lock:
+                    self._stats.rejections += 1
+                raise QueueFullError(
+                    f"cold-fit queue full ({self._pending_fits} pending, "
+                    f"limit {self.max_pending_fits}); target {target!r} "
+                    f"shed — retry in {hint:.2f}s", retry_after_s=hint)
+            async with self._capacity:
+                await self._capacity.wait_for(
+                    lambda: self._pending_fits < self.max_pending_fits)
+        self._pending_fits += 1
+        with self._stats_lock:
+            self._stats.cold_fits += 1
+            self._stats.peak_pending_fits = max(
+                self._stats.peak_pending_fits, self._pending_fits)
+
+    async def _release_cold_fit(self) -> None:
+        self._pending_fits -= 1
+        async with self._capacity:
+            self._capacity.notify_all()
+
+    def _fit_job(self, target: str):
+        """Runs on a fit worker: acquire the pipeline, warm its lazy state.
+
+        The throwaway predict materialises the target's transferability
+        normalisation, which records scores into the *shared* zoo
+        catalog on first use.  Doing it here keeps fit workers the only
+        catalog writers (serialised by ``fit_workers=1``); the predict
+        pool then never mutates shared state.  Costs one extra predict
+        per cold fit — microscopic next to the fit itself.
+        """
+        fitted = self.service.load_or_fit(target)
+        fitted.predict(self.service.zoo.model_ids())
+        return fitted
+
+    async def _ensure_fitted(self, target: str, overflow: str | None = None):
+        """Fitted pipeline for ``target`` with single-flight coalescing.
+
+        Exactly one execution of :meth:`SelectionService.load_or_fit` per
+        (target, config fingerprint) is in flight at any moment; every
+        concurrent request for that key awaits the same future.
+        """
+        loop = self._bind_loop()
+        cached = self.service.cache_get(target)  # fast; counts hit/miss
+        if cached is not None:
+            return cached
+
+        key = (target, self.service.config_fp)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            waited = time.perf_counter()
+            with self._stats_lock:
+                self._stats.coalesced += 1
+            try:
+                # shield: cancelling one waiter must not cancel the
+                # future every other participant (and the originator's
+                # set_result) depends on.
+                fitted = await asyncio.shield(inflight)
+            except QueueFullError:
+                # The originator was shed while this request waited on
+                # it; that sheds the whole coalesced group.
+                with self._stats_lock:
+                    self._stats.rejections += 1
+                raise
+            with self._stats_lock:
+                self._stats.record_latency(
+                    "queue_wait_ms", (time.perf_counter() - waited) * 1e3)
+            return fitted
+
+        # Register the future BEFORE waiting for queue capacity: admission
+        # may suspend (overflow="wait"), and any same-key request arriving
+        # during that suspension must coalesce, not start a second fit.
+        future = loop.create_future()
+        future.add_done_callback(_retrieve_exception)
+        self._inflight[key] = future
+        admitted = False
+        try:
+            await self._admit_cold_fit(target, overflow or self.overflow)
+            admitted = True
+            started = time.perf_counter()
+            fitted = await loop.run_in_executor(
+                self._fit_pool, self._fit_job, target)
+        except BaseException as exc:
+            # A cancelled originator sheds the whole coalesced group
+            # (waiters see the CancelledError; a retry hits the cache if
+            # the executor fit still completed).
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            if not future.done():
+                future.set_result(fitted)
+            with self._stats_lock:
+                self._stats.record_latency(
+                    "fit_ms", (time.perf_counter() - started) * 1e3)
+            return fitted
+        finally:
+            del self._inflight[key]
+            if admitted:
+                await self._release_cold_fit()
+
+    # ------------------------------------------------------------------ #
+    # predict offload
+    # ------------------------------------------------------------------ #
+    def _predict_lock(self, target: str) -> threading.Lock:
+        key = (target, self.service.config_fp)
+        lock = self._predict_locks.get(key)
+        if lock is None:  # created on the loop thread only: no race
+            lock = self._predict_locks[key] = threading.Lock()
+        return lock
+
+    async def _run_predict(self, target: str, fn):
+        loop = self._bind_loop()
+        lock = self._predict_lock(target)
+
+        def locked():
+            with lock:
+                return fn()
+
+        started = time.perf_counter()
+        result = await loop.run_in_executor(self._predict_pool, locked)
+        with self._stats_lock:
+            self._stats.record_latency(
+                "predict_ms", (time.perf_counter() - started) * 1e3)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # async entry points
+    # ------------------------------------------------------------------ #
+    async def rank(self, target: str, top_k: int | None = None
+                   ) -> list[tuple[str, float]]:
+        """Async :meth:`SelectionService.rank`; identical results."""
+        started = time.perf_counter()
+        with self._stats_lock:
+            self._stats.requests += 1
+        fitted = await self._ensure_fitted(target)
+        model_ids = self.service.zoo.model_ids()
+        ranking = await self._run_predict(
+            target, lambda: fitted.rank(model_ids))
+        self.service.record_query(started)
+        return ranking if top_k is None else ranking[:top_k]
+
+    async def score_batch(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Async :meth:`SelectionService.score_batch`; identical results.
+
+        Distinct targets resolve their pipelines concurrently (each
+        subject to coalescing) and predict in parallel.
+        """
+        started = time.perf_counter()
+        with self._stats_lock:
+            self._stats.requests += 1
+        if not pairs:
+            self.service.record_query(started)
+            return np.empty(0)
+        by_target: dict[str, list[int]] = {}
+        for i, (_, target) in enumerate(pairs):
+            by_target.setdefault(target, []).append(i)
+
+        targets = list(by_target)
+        fitteds = await asyncio.gather(
+            *(self._ensure_fitted(t) for t in targets))
+
+        async def predict(target, fitted, indices):
+            models = [pairs[i][0] for i in indices]
+            return await self._run_predict(
+                target, lambda: fitted.predict(models))
+
+        scores = await asyncio.gather(
+            *(predict(t, f, by_target[t])
+              for t, f in zip(targets, fitteds)))
+        out = np.empty(len(pairs))
+        for target, target_scores in zip(targets, scores):
+            out[by_target[target]] = target_scores
+        self.service.record_query(started)
+        return out
+
+    async def warmup(self, targets: list[str] | None = None
+                     ) -> dict[str, float]:
+        """Pre-fit pipelines concurrently; seconds spent per target.
+
+        Warmup never sheds: capacity overflow waits instead of raising,
+        and (like the serial facade) it doesn't count as query traffic.
+        """
+        if targets is None:
+            targets = self.service.zoo.target_names()
+
+        async def one(target: str) -> float:
+            started = time.perf_counter()
+            await self._ensure_fitted(target, overflow="wait")
+            return time.perf_counter() - started
+
+        timings = await asyncio.gather(*(one(t) for t in targets))
+        return dict(zip(targets, timings))
+
+    # ------------------------------------------------------------------ #
+    # stats + lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float]:
+        """Service counters merged with router-level counters/latencies."""
+        return {**self.service.stats(), **self.router_stats().summary()}
+
+    def router_stats(self) -> RouterStats:
+        """A copy of the raw router counters (diffable via ``since``)."""
+        with self._stats_lock:
+            return self._stats.copy()
+
+    def stats_snapshot(self) -> tuple[ServiceStats, RouterStats]:
+        """Paired (service, router) snapshots, e.g. to diff a replay."""
+        return self.service.stats_snapshot(), self.router_stats()
+
+    def close(self) -> None:
+        """Shut the executors down; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._fit_pool.shutdown(wait=True)
+            self._predict_pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncSelectionRouter":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()

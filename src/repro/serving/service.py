@@ -12,12 +12,18 @@ refitting anything on the hot path:
   through to the registry so the next process starts warm.
 
 Every query is timed and counted; :meth:`SelectionService.stats` exposes
-hit rates and latency percentiles.  The service is deliberately
-single-threaded — the async request router is tracked in ROADMAP.md.
+hit rates and latency percentiles.  The synchronous entry points stay
+single-threaded, but the cache/stat primitives (:meth:`cache_get`,
+:meth:`load_or_fit`, :meth:`record_query`) take an internal lock so the
+async router in :mod:`repro.serving.router` can drive one service from a
+thread pool: bookkeeping is serialised while the expensive fit itself
+runs outside the lock (the router's single-flight coalescing guarantees
+at most one in-flight fit per cache key).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -114,6 +120,14 @@ class SelectionService:
         self._cache: OrderedDict[tuple[str, str], FittedTransferGraph] = \
             OrderedDict()
         self._stats = ServiceStats()
+        #: guards cache order/content and stat counters; never held across
+        #: a fit or registry I/O
+        self._lock = threading.Lock()
+
+    @property
+    def config_fp(self) -> str:
+        """Fingerprint of this service's config (the cache-key suffix)."""
+        return self._config_fp
 
     # ------------------------------------------------------------------ #
     def _check_target(self, target: str) -> None:
@@ -121,39 +135,77 @@ class SelectionService:
             raise KeyError(f"unknown dataset {target!r}; known: "
                            f"{self.zoo.dataset_names()}")
 
-    def _fitted(self, target: str) -> FittedTransferGraph:
-        """Fitted pipeline for ``target``: memory → registry → fresh fit."""
-        key = (target, self._config_fp)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._stats.cache_hits += 1
-            return cached
-        self._stats.cache_misses += 1
-        self._check_target(target)
+    def cache_get(self, target: str) -> FittedTransferGraph | None:
+        """In-memory lookup with hit/miss accounting; ``None`` on a miss.
 
+        Thread-safe.  Raises :class:`KeyError` for unknown targets (a hit
+        is impossible for one, so the check only runs on the miss path).
+        """
+        key = (target, self._config_fp)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._stats.cache_hits += 1
+                return cached
+            self._stats.cache_misses += 1
+        self._check_target(target)
+        return None
+
+    def load_or_fit(self, target: str) -> FittedTransferGraph:
+        """Registry revive → fresh fit, then insert into the LRU.
+
+        The caller is responsible for single-flight per cache key (the
+        serial facade trivially is; the async router coalesces); stats
+        and cache mutations are lock-guarded, the heavy work is not.
+        """
         fitted: FittedTransferGraph | None = None
         if self.registry is not None:
             try:
                 fitted = self.registry.load(target, self.config, self.zoo)
-                self._stats.registry_hits += 1
+                with self._lock:
+                    self._stats.registry_hits += 1
             except ArtifactError:
                 fitted = None  # absent or stale: fall through to a fit
         if fitted is None:
             fitted = self.strategy.fit(self.zoo, target)
-            self._stats.fits += 1
+            with self._lock:
+                self._stats.fits += 1
             if self.registry is not None:
                 self.registry.save(fitted, self.config, self.zoo)
 
-        self._cache[key] = fitted
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self._stats.evictions += 1
+        key = (target, self._config_fp)
+        with self._lock:
+            self._cache[key] = fitted
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self._stats.evictions += 1
         return fitted
 
-    def _record(self, started: float) -> None:
-        self._stats.queries += 1
-        self._stats.latencies_ms.append((time.perf_counter() - started) * 1e3)
+    def _fitted(self, target: str) -> FittedTransferGraph:
+        """Fitted pipeline for ``target``: memory → registry → fresh fit."""
+        cached = self.cache_get(target)
+        if cached is not None:
+            return cached
+        return self.load_or_fit(target)
+
+    def cached_targets(self) -> list[str]:
+        """Targets currently in memory, least → most recently used."""
+        with self._lock:
+            return [target for target, _ in self._cache]
+
+    def record_query(self, started: float) -> None:
+        """Count one query whose wall-clock began at ``started``.
+
+        Public so the async router can attribute traffic it served
+        directly from coalesced futures; thread-safe.
+        """
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        with self._lock:
+            self._stats.queries += 1
+            self._stats.latencies_ms.append(elapsed_ms)
+
+    _record = record_query
 
     # ------------------------------------------------------------------ #
     def rank(self, target: str, top_k: int | None = None
@@ -205,18 +257,22 @@ class SelectionService:
         Call after catalog updates (new history rows, new models) so the
         next query refits against fresh ground truth.
         """
-        self._cache.pop((target, self._config_fp), None)
+        with self._lock:
+            self._cache.pop((target, self._config_fp), None)
         if self.registry is not None:
             self.registry.delete(target, self.config)
-        self._stats.invalidations += 1
+        with self._lock:
+            self._stats.invalidations += 1
 
     def stats(self) -> dict[str, float]:
         """Counter + latency summary since construction (or last reset)."""
-        return self._stats.summary()
+        return self.stats_snapshot().summary()
 
     def stats_snapshot(self) -> ServiceStats:
         """A copy of the raw counters, e.g. to diff around a workload."""
-        return self._stats.copy()
+        with self._lock:
+            return self._stats.copy()
 
     def reset_stats(self) -> None:
-        self._stats = ServiceStats()
+        with self._lock:
+            self._stats = ServiceStats()

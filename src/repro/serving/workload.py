@@ -6,10 +6,20 @@ distribution over the zoo's targets and mixes two query shapes —
 full rankings (``rank``) and batched pair scoring (``score_batch``) —
 then :func:`replay` runs the sequence against a service and reports the
 latency/hit-rate summary.
+
+The async mode (:func:`replay_async` / :func:`replay_concurrent`)
+replays the same stream through an
+:class:`~repro.serving.router.AsyncSelectionRouter` with N concurrent
+clients.  Each client replays the full sequence (N users asking the same
+popular questions — the scenario coalescing exists for) unless
+``partition=True`` splits the stream round-robin instead.  Requests shed
+by the router's backpressure are retried after the suggested
+``retry_after_s``, and the summary counts those retries.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 
@@ -17,7 +27,11 @@ import numpy as np
 
 from repro.serving.service import SelectionService
 
-__all__ = ["WorkloadConfig", "Query", "generate_workload", "replay"]
+__all__ = ["WorkloadConfig", "Query", "generate_workload", "replay",
+           "replay_async", "replay_concurrent"]
+
+#: retry ceiling per shed query before the rejection is re-raised
+_MAX_RETRIES = 100
 
 
 @dataclass(frozen=True)
@@ -101,3 +115,70 @@ def replay(service: SelectionService, queries: list[Query]) -> dict[str, float]:
     summary["wall_s"] = elapsed
     summary["qps"] = len(queries) / elapsed if elapsed > 0 else float("inf")
     return summary
+
+
+async def replay_async(router, queries: list[Query], *, clients: int = 1,
+                       partition: bool = False) -> dict[str, float]:
+    """Replay a workload through an async router with concurrent clients.
+
+    By default every client replays the *full* query list concurrently
+    (total traffic = ``clients * len(queries)``); ``partition=True``
+    deals the list round-robin so total traffic stays ``len(queries)``.
+    Shed queries (:class:`~repro.serving.router.QueueFullError`) sleep
+    the router's ``retry_after_s`` hint and retry.  Returns the merged
+    service+router stats delta for this replay only, plus ``wall_s``,
+    ``qps``, and ``retries``.
+    """
+    from repro.serving.router import QueueFullError
+
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if partition:
+        assignments = [queries[i::clients] for i in range(clients)]
+    else:
+        assignments = [list(queries) for _ in range(clients)]
+    retries = 0
+
+    async def run_one(query: Query) -> None:
+        nonlocal retries
+        for _ in range(_MAX_RETRIES):
+            try:
+                if query.kind == "rank":
+                    await router.rank(query.target, top_k=query.top_k)
+                elif query.kind == "score_batch":
+                    await router.score_batch(list(query.pairs))
+                else:
+                    raise ValueError(f"unknown query kind {query.kind!r}")
+                return
+            except QueueFullError as exc:
+                retries += 1
+                await asyncio.sleep(exc.retry_after_s)
+        raise QueueFullError(
+            f"query for {query.target!r} shed {_MAX_RETRIES} times",
+            retry_after_s=0.0)
+
+    async def client(assigned: list[Query]) -> None:
+        for query in assigned:
+            await run_one(query)
+
+    service_before, router_before = router.stats_snapshot()
+    started = time.perf_counter()
+    await asyncio.gather(*(client(a) for a in assignments))
+    elapsed = time.perf_counter() - started
+
+    service_after, router_after = router.stats_snapshot()
+    summary = service_after.since(service_before).summary()
+    summary.update(router_after.since(router_before).summary())
+    total = sum(len(a) for a in assignments)
+    summary["wall_s"] = elapsed
+    summary["qps"] = total / elapsed if elapsed > 0 else float("inf")
+    summary["clients"] = clients
+    summary["retries"] = retries
+    return summary
+
+
+def replay_concurrent(router, queries: list[Query], *, clients: int = 1,
+                      partition: bool = False) -> dict[str, float]:
+    """Synchronous wrapper: run :func:`replay_async` in a fresh loop."""
+    return asyncio.run(replay_async(router, queries, clients=clients,
+                                    partition=partition))

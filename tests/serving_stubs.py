@@ -1,0 +1,67 @@
+"""Stub zoo/pipeline doubles shared by the serving concurrency tests.
+
+A real fit on the tiny zoo takes hundreds of milliseconds; the
+deterministic queue/overflow tests instead force exact timings with a
+service whose "fit" is a controllable sleep that returns a lightweight
+fake pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core import TransferGraphConfig
+from repro.serving import SelectionService
+
+
+class StubZoo:
+    def __init__(self, targets=("t0", "t1", "t2", "t3")):
+        self._targets = list(targets)
+
+    def dataset_names(self):
+        return list(self._targets)
+
+    def target_names(self):
+        return list(self._targets)
+
+    def model_ids(self):
+        return ["m0", "m1", "m2"]
+
+
+class StubFitted:
+    def __init__(self, target):
+        self.target = target
+
+    def rank(self, model_ids):
+        return [(m, float(len(model_ids) - i))
+                for i, m in enumerate(model_ids)]
+
+    def predict(self, model_ids):
+        return np.arange(len(model_ids), dtype=float)
+
+
+def stub_service(targets=("t0", "t1", "t2", "t3"), fit_seconds=0.0,
+                 fail_first=0, cache_size=32) -> SelectionService:
+    """A SelectionService whose fits sleep instead of fitting.
+
+    ``fail_first=k`` makes the first k fits raise, to test error
+    propagation through coalesced futures.
+    """
+    service = SelectionService(StubZoo(targets), TransferGraphConfig(),
+                               cache_size=cache_size)
+    lock, counter = threading.Lock(), [0]
+
+    def fake_fit(zoo, target):
+        if fit_seconds:
+            time.sleep(fit_seconds)
+        with lock:
+            counter[0] += 1
+            if counter[0] <= fail_first:
+                raise RuntimeError(f"injected fit failure #{counter[0]}")
+        return StubFitted(target)
+
+    service.strategy.fit = fake_fit
+    return service

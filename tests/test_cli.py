@@ -27,6 +27,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--modality", "audio", "stats"])
 
+    def test_serve_sim_concurrency_arguments(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "--concurrency", "8", "--max-pending-fits", "2",
+             "--partition"])
+        assert args.concurrency == 8
+        assert args.max_pending_fits == 2
+        assert args.partition is True
+
+    def test_serve_sim_concurrency_defaults_serial(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.concurrency == 1
+        assert args.partition is False
+
+    def test_serve_sim_rejects_zero_concurrency(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--concurrency", "0"])
+
+    def test_registry_gc_arguments(self, tmp_path):
+        args = build_parser().parse_args(
+            ["registry-gc", "--registry-dir", str(tmp_path), "--dry-run"])
+        assert args.command == "registry-gc"
+        assert args.dry_run is True
+
 
 class TestCommands:
     """End-to-end CLI runs on the tiny preset (uses the shared cache)."""
@@ -53,3 +76,55 @@ class TestCommands:
                                  "--predictor", "lr"]) == 0
         out = capsys.readouterr().out
         assert "top 2 models for caltech101" in out
+
+    def test_serve_sim_concurrent(self, capsys, tmp_path):
+        assert main(self.ARGS + ["serve-sim", "--queries", "6",
+                                 "--predictor", "lr", "--concurrency", "3",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "18 queries over 3 async clients" in out
+        assert "coalesced" in out
+        assert "peak fit queue" in out
+
+    def test_registry_gc(self, capsys, tmp_path):
+        # A junk namespace that no live config can ever match.
+        junk = tmp_path / "deadbeefdeadbeefdead" / "sometarget"
+        junk.mkdir(parents=True)
+        (junk / "meta.json").write_text("{}")
+        assert main(self.ARGS + ["registry-gc", "--predictor", "lr",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "namespaces removed      1" in out
+        assert not junk.exists()
+
+    def test_registry_gc_spares_other_live_strategies(self, capsys,
+                                                      tmp_path):
+        """Artifacts warmed under lr must survive a gc run with the
+        default (xgb) flags — any servable strategy is live unless
+        --only-strategy narrows the sweep."""
+        assert main(self.ARGS + ["warmup", "--predictor", "lr",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+        assert main(self.ARGS + ["registry-gc",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all" in out and "servable strategies" in out
+        assert "namespaces removed      0" in out
+        assert "artifacts kept          3" in out
+
+        assert main(self.ARGS + ["registry-gc", "--only-strategy",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "namespaces removed      1" in out
+
+    def test_registry_gc_dry_run_keeps_files(self, capsys, tmp_path):
+        junk = tmp_path / "deadbeefdeadbeefdead" / "sometarget"
+        junk.mkdir(parents=True)
+        (junk / "meta.json").write_text("{}")
+        assert main(self.ARGS + ["registry-gc", "--predictor", "lr",
+                                 "--registry-dir", str(tmp_path),
+                                 "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert junk.exists()

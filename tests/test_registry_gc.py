@@ -1,0 +1,124 @@
+"""ArtifactRegistry.gc: live artifacts stay, everything else goes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import FeatureSet, TransferGraphConfig
+from repro.serving import ArtifactRegistry, SelectionService
+from repro.serving.fingerprint import config_fingerprint
+
+
+@pytest.fixture(scope="module")
+def live_config():
+    return TransferGraphConfig(predictor="lr", embedding_dim=16,
+                               features=FeatureSet.everything())
+
+
+@pytest.fixture(scope="module")
+def dead_config():
+    return TransferGraphConfig(predictor="lr", embedding_dim=16,
+                               features=FeatureSet.everything(), seed=99)
+
+
+def _populate(registry, zoo, config, n_targets=1):
+    service = SelectionService(zoo, config, registry=registry)
+    targets = zoo.target_names()[:n_targets]
+    service.warmup(targets)
+    return targets
+
+
+class TestRegistryGC:
+    def test_dead_namespace_swept_live_kept(self, tiny_image_zoo, tmp_path,
+                                            live_config, dead_config):
+        registry = ArtifactRegistry(tmp_path)
+        live_targets = _populate(registry, tiny_image_zoo, live_config, 2)
+        _populate(registry, tiny_image_zoo, dead_config, 1)
+
+        report = registry.gc([live_config], tiny_image_zoo)
+        assert report["namespaces_removed"] == 1
+        assert report["artifacts_removed"] == 1
+        assert report["artifacts_kept"] == 2
+        assert report["bytes_reclaimed"] > 0
+
+        assert registry.targets(live_config) == sorted(live_targets)
+        assert registry.targets(dead_config) == []
+        # Survivors still load.
+        registry.load(live_targets[0], live_config, tiny_image_zoo)
+
+    def test_stale_catalog_artifact_removed(self, tiny_image_zoo, tmp_path,
+                                            live_config):
+        registry = ArtifactRegistry(tmp_path)
+        t1, t2 = _populate(registry, tiny_image_zoo, live_config, 2)
+
+        meta_path = registry.path_for(t1, live_config) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["catalog_fingerprint"] = "0" * 20
+        meta_path.write_text(json.dumps(meta))
+
+        report = registry.gc([live_config], tiny_image_zoo)
+        assert report["artifacts_removed"] == 1
+        assert report["artifacts_kept"] == 1
+        assert registry.targets(live_config) == [t2]
+
+    def test_without_zoo_catalog_staleness_is_not_checked(
+            self, tiny_image_zoo, tmp_path, live_config):
+        """gc(configs) alone only sweeps dead namespaces/partials."""
+        registry = ArtifactRegistry(tmp_path)
+        (t1,) = _populate(registry, tiny_image_zoo, live_config, 1)
+
+        meta_path = registry.path_for(t1, live_config) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["catalog_fingerprint"] = "0" * 20
+        meta_path.write_text(json.dumps(meta))
+
+        report = registry.gc([live_config])
+        assert report["artifacts_removed"] == 0
+        assert report["artifacts_kept"] == 1
+
+    def test_partial_artifact_directory_removed(self, tiny_image_zoo,
+                                                tmp_path, live_config):
+        registry = ArtifactRegistry(tmp_path)
+        namespace = tmp_path / config_fingerprint(live_config)
+        partial = namespace / "half_written"
+        partial.mkdir(parents=True)
+        (partial / "arrays.npz").write_bytes(b"not finished")
+
+        report = registry.gc([live_config], tiny_image_zoo)
+        assert report["artifacts_removed"] == 1
+        assert not partial.exists()
+
+    def test_unreadable_meta_counts_as_stale(self, tiny_image_zoo, tmp_path,
+                                             live_config):
+        registry = ArtifactRegistry(tmp_path)
+        (t1,) = _populate(registry, tiny_image_zoo, live_config, 1)
+        meta_path = registry.path_for(t1, live_config) / "meta.json"
+        meta_path.write_text('{"trunc')
+
+        report = registry.gc([live_config], tiny_image_zoo)
+        assert report["artifacts_removed"] == 1
+        assert registry.targets(live_config) == []
+
+    def test_dry_run_touches_nothing(self, tiny_image_zoo, tmp_path,
+                                     live_config, dead_config):
+        registry = ArtifactRegistry(tmp_path)
+        _populate(registry, tiny_image_zoo, live_config, 1)
+        _populate(registry, tiny_image_zoo, dead_config, 1)
+
+        dry = registry.gc([live_config], tiny_image_zoo, dry_run=True)
+        assert dry["namespaces_removed"] == 1
+        assert dry["bytes_reclaimed"] > 0
+        # Nothing actually deleted:
+        assert registry.targets(dead_config) != []
+
+        wet = registry.gc([live_config], tiny_image_zoo)
+        assert wet["bytes_reclaimed"] == dry["bytes_reclaimed"]
+        assert registry.targets(dead_config) == []
+
+    def test_missing_root_is_a_noop(self, tmp_path, live_config):
+        registry = ArtifactRegistry(tmp_path / "never_created")
+        report = registry.gc([live_config])
+        assert report == {"namespaces_removed": 0, "artifacts_removed": 0,
+                          "artifacts_kept": 0, "bytes_reclaimed": 0}

@@ -1,0 +1,423 @@
+"""AsyncSelectionRouter: coalescing, backpressure, result correctness.
+
+The deterministic concurrency tests (overflow, error propagation) run
+against a stub service whose "fit" is a controllable sleep, so queue
+states are forced rather than raced; the integration tests run real fits
+on the shared tiny zoo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import FeatureSet, TransferGraphConfig
+from repro.serving import (
+    AsyncSelectionRouter,
+    QueueFullError,
+    RouterStats,
+    SelectionService,
+    WorkloadConfig,
+    generate_workload,
+    replay_async,
+    replay_concurrent,
+)
+
+from serving_stubs import stub_service
+
+
+@pytest.fixture(scope="module")
+def lr_config():
+    return TransferGraphConfig(predictor="lr", embedding_dim=16,
+                               features=FeatureSet.everything())
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------- #
+# coalescing
+# ---------------------------------------------------------------------- #
+class TestCoalescing:
+    def test_fifty_concurrent_cold_ranks_fit_once(self, tiny_image_zoo,
+                                                  lr_config):
+        """The headline invariant: N concurrent misses, exactly one fit."""
+        service = SelectionService(tiny_image_zoo, lr_config)
+        router = AsyncSelectionRouter(service)
+        target = tiny_image_zoo.target_names()[0]
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank(target, top_k=3) for _ in range(50)))
+
+        rankings = run(storm())
+        stats = router.stats()
+        router.close()
+        assert stats["fits"] == 1
+        assert stats["cold_fits"] == 1
+        assert stats["coalesced"] == 49
+        assert stats["queries"] == 50
+        assert all(r == rankings[0] for r in rankings)
+
+    def test_mixed_target_storm_fits_once_per_target(self, tiny_image_zoo,
+                                                     lr_config):
+        service = SelectionService(tiny_image_zoo, lr_config)
+        router = AsyncSelectionRouter(service)
+        targets = tiny_image_zoo.target_names()
+
+        async def storm():
+            requests = [router.rank(t) for t in targets for _ in range(10)]
+            return await asyncio.gather(*requests)
+
+        run(storm())
+        stats = router.stats()
+        router.close()
+        assert stats["fits"] == len(targets)
+        assert stats["coalesced"] == 9 * len(targets)
+        assert stats["queries"] == 10 * len(targets)
+
+    def test_coalesced_waiters_hold_no_queue_slot(self):
+        """Same-key waiters must never trip the cold-fit bound."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=1)
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank("t0") for _ in range(10)))
+
+        run(storm())
+        stats = router.stats()
+        router.close()
+        assert stats["fits"] == 1
+        assert stats["rejections"] == 0
+        assert stats["coalesced"] == 9
+        assert stats["peak_pending_fits"] == 1
+
+    def test_fit_failure_propagates_then_recovers(self):
+        """All coalesced waiters see the originator's error; the key is
+        not poisoned — the next request refits."""
+        service = stub_service(fit_seconds=0.02, fail_first=1)
+        router = AsyncSelectionRouter(service)
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank("t0") for _ in range(5)),
+                return_exceptions=True)
+
+        results = run(storm())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+        recovered = run(router.rank("t0"))
+        router.close()
+        assert recovered[0][0] == "m0"
+
+    def test_unknown_target_raises(self, tiny_image_zoo, lr_config):
+        service = SelectionService(tiny_image_zoo, lr_config)
+        router = AsyncSelectionRouter(service)
+        with pytest.raises(KeyError):
+            run(router.rank("not_a_dataset"))
+        router.close()
+
+
+# ---------------------------------------------------------------------- #
+# backpressure
+# ---------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_reject_overflow_sheds_with_retry_hint(self):
+        service = stub_service(fit_seconds=0.1)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="reject", retry_after_s=0.25)
+
+        async def storm():
+            return await asyncio.gather(
+                router.rank("t0"), router.rank("t1"), router.rank("t2"),
+                return_exceptions=True)
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        shed = [r for r in results if isinstance(r, QueueFullError)]
+        served = [r for r in results if isinstance(r, list)]
+        assert len(shed) == 2 and len(served) == 1
+        assert all(exc.retry_after_s >= 0.25 for exc in shed)
+        assert stats["rejections"] == 2
+        assert stats["fits"] == 1
+        assert stats["peak_pending_fits"] == 1
+
+    def test_wait_overflow_coalesces_same_key(self):
+        """Same-key requests arriving while the originator waits for a
+        queue slot must coalesce, never start a second fit (regression:
+        the future used to be registered only after admission, so the
+        capacity wait opened a double-fit + KeyError window)."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="wait")
+
+        async def storm():
+            # "A" twice and "B" twice, while "t0" occupies the only slot.
+            return await asyncio.gather(
+                router.rank("t0"), router.rank("t1"), router.rank("t1"),
+                router.rank("t2"), router.rank("t2"))
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        assert len(results) == 5
+        assert stats["fits"] == 3          # one per distinct target
+        assert stats["coalesced"] == 2
+        assert stats["peak_pending_fits"] == 1
+
+    def test_rejection_leaves_no_poisoned_inflight_entry(self):
+        """A shed request must clean up its pre-registered future so the
+        key refits normally once capacity frees up."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="reject")
+
+        async def scenario():
+            blocker = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.01)       # t0 now holds the only slot
+            with pytest.raises(QueueFullError):
+                await router.rank("t1")     # shed at admission
+            await blocker                   # slot frees
+            return await router.rank("t1")  # must fit cleanly now
+
+        ranking = run(scenario())
+        stats = router.stats()
+        router.close()
+        assert ranking[0][0] == "m0"
+        assert stats["fits"] == 2
+        assert stats["rejections"] == 1
+
+    def test_wait_overflow_serves_everyone(self):
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="wait")
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank(t) for t in ("t0", "t1", "t2", "t3")))
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        assert len(results) == 4
+        assert stats["fits"] == 4
+        assert stats["rejections"] == 0
+        assert stats["peak_pending_fits"] == 1  # the bound held
+
+    def test_warmup_never_sheds(self):
+        service = stub_service(fit_seconds=0.02)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="reject")
+        timings = run(router.warmup())
+        stats = router.stats()
+        router.close()
+        assert sorted(timings) == ["t0", "t1", "t2", "t3"]
+        assert stats["rejections"] == 0
+        assert stats["fits"] == 4
+        assert stats["queries"] == 0  # warmup is not traffic
+
+    def test_rejects_bad_parameters(self):
+        service = stub_service()
+        with pytest.raises(ValueError):
+            AsyncSelectionRouter(service, max_pending_fits=0)
+        with pytest.raises(ValueError):
+            AsyncSelectionRouter(service, overflow="panic")
+        with pytest.raises(ValueError):
+            AsyncSelectionRouter(service, fit_workers=0)
+
+
+# ---------------------------------------------------------------------- #
+# result correctness vs the serial facade
+# ---------------------------------------------------------------------- #
+class TestCorrectness:
+    def test_rank_matches_serial_service(self, tiny_image_zoo, lr_config):
+        target = tiny_image_zoo.target_names()[0]
+        serial = SelectionService(tiny_image_zoo, lr_config)
+        expected = serial.rank(target, top_k=4)
+
+        router = AsyncSelectionRouter(
+            SelectionService(tiny_image_zoo, lr_config))
+        got = run(router.rank(target, top_k=4))
+        router.close()
+        assert [m for m, _ in got] == [m for m, _ in expected]
+        assert [s for _, s in got] == pytest.approx(
+            [s for _, s in expected], rel=1e-12)
+
+    def test_score_batch_matches_serial_service(self, tiny_image_zoo,
+                                                lr_config):
+        t1, t2 = tiny_image_zoo.target_names()[:2]
+        models = tiny_image_zoo.model_ids()
+        pairs = [(models[0], t1), (models[1], t2), (models[2], t1)]
+        expected = SelectionService(tiny_image_zoo, lr_config).score_batch(
+            pairs)
+
+        router = AsyncSelectionRouter(
+            SelectionService(tiny_image_zoo, lr_config))
+        got = run(router.score_batch(pairs))
+        router.close()
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_score_batch_empty(self):
+        router = AsyncSelectionRouter(stub_service())
+        assert run(router.score_batch([])).shape == (0,)
+        router.close()
+
+    def test_stats_merge_service_and_router_fields(self):
+        router = AsyncSelectionRouter(stub_service())
+        run(router.rank("t0"))
+        stats = router.stats()
+        router.close()
+        for key in ("queries", "hit_rate", "p50_ms",          # service
+                    "coalesced", "rejections", "peak_pending_fits",
+                    "fit_p95_ms", "predict_p95_ms"):          # router
+            assert key in stats
+
+    def test_router_reusable_across_event_loops(self):
+        """serve-sim style: sequential asyncio.run calls on one router."""
+        router = AsyncSelectionRouter(stub_service())
+        first = run(router.rank("t0"))
+        second = run(router.rank("t0"))
+        stats = router.stats()
+        router.close()
+        assert first == second
+        assert stats["fits"] == 1
+        assert stats["cache_hits"] == 1
+
+    def test_closed_router_refuses_requests(self):
+        router = AsyncSelectionRouter(stub_service())
+        router.close()
+        with pytest.raises(RuntimeError):
+            run(router.rank("t0"))
+
+
+# ---------------------------------------------------------------------- #
+# async workload replay
+# ---------------------------------------------------------------------- #
+class TestAsyncReplay:
+    def test_shared_replay_coalesces_fits(self, tiny_image_zoo, lr_config):
+        """8 clients replaying one stream cost one fit per cold target."""
+        workload = generate_workload(
+            tiny_image_zoo, WorkloadConfig(num_queries=20, seed=3))
+        router = AsyncSelectionRouter(
+            SelectionService(tiny_image_zoo, lr_config))
+        summary = replay_concurrent(router, workload, clients=8)
+        router.close()
+        assert summary["queries"] == 8 * 20
+        assert summary["fits"] == len({q.target for q in workload})
+        assert summary["coalesced"] > 0
+        assert summary["retries"] == 0
+
+    def test_partitioned_replay_splits_traffic(self):
+        service = stub_service()
+        workload = [q for t in ("t0", "t1", "t2", "t3") for q in
+                    generate_workload(service.zoo, WorkloadConfig(
+                        num_queries=3, batch_fraction=0.0, seed=1))]
+        router = AsyncSelectionRouter(service)
+        summary = replay_concurrent(router, workload, clients=3,
+                                    partition=True)
+        router.close()
+        assert summary["queries"] == len(workload)
+        assert summary["clients"] == 3
+
+    def test_replay_retries_shed_queries(self):
+        """With a tiny queue, shed queries retry and eventually land."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=1,
+                                      overflow="reject", retry_after_s=0.02)
+        from repro.serving import Query
+        workload = [Query(kind="rank", target=t) for t in
+                    ("t0", "t1", "t2", "t3")]
+        summary = replay_concurrent(router, workload, clients=4)
+        router.close()
+        assert summary["queries"] == 16
+        assert summary["fits"] == 4
+        assert summary["retries"] == summary["rejections"]
+        assert summary["peak_pending_fits"] == 1
+
+    def test_replay_async_runs_inside_existing_loop(self):
+        router = AsyncSelectionRouter(stub_service())
+        from repro.serving import Query
+        workload = [Query(kind="rank", target="t0")]
+
+        async def drive():
+            return await replay_async(router, workload, clients=2)
+
+        summary = run(drive())
+        router.close()
+        assert summary["queries"] == 2
+
+
+# ---------------------------------------------------------------------- #
+# RouterStats arithmetic
+# ---------------------------------------------------------------------- #
+class TestRouterStats:
+    def test_since_subtracts_counters_and_slices_latencies(self):
+        stats = RouterStats()
+        stats.requests, stats.coalesced = 10, 4
+        stats.record_latency("fit_ms", 1.0)
+        stats.record_latency("fit_ms", 2.0)
+        earlier = stats.copy()
+        stats.requests, stats.coalesced = 15, 6
+        stats.record_latency("fit_ms", 3.0)
+        stats.record_latency("fit_ms", 4.0)
+        delta = stats.since(earlier)
+        assert delta.requests == 5
+        assert delta.coalesced == 2
+        assert delta.fits_timed == 2
+        assert list(delta.fit_ms) == [3.0, 4.0]
+
+    def test_since_survives_window_wrap(self):
+        """Latency deltas must come from the append counters: once the
+        bounded deque is full its *length* stops growing, and a
+        length-based diff would report zero fresh samples."""
+        from repro.serving.router import ROUTER_LATENCY_WINDOW
+
+        stats = RouterStats()
+        for i in range(ROUTER_LATENCY_WINDOW):
+            stats.record_latency("predict_ms", float(i))
+        earlier = stats.copy()
+        for i in range(500):
+            stats.record_latency("predict_ms", 1000.0 + i)
+        delta = stats.since(earlier)
+        assert delta.predicts_timed == 500
+        assert list(delta.predict_ms) == [1000.0 + i for i in range(500)]
+        assert delta.summary()["predict_p50_ms"] > 999.0
+
+    def test_summary_handles_empty_latencies(self):
+        summary = RouterStats().summary()
+        assert summary["fit_p95_ms"] == 0.0
+        assert summary["router_requests"] == 0
+
+
+class TestCancellation:
+    def test_cancelled_waiter_does_not_cancel_the_group(self):
+        """One impatient client must not take down the originator or the
+        other coalesced waiters (regression: the shared future was
+        awaited unshielded, so Task.cancel() cancelled it and the
+        originator crashed on set_result with InvalidStateError)."""
+        service = stub_service(fit_seconds=0.1)
+        router = AsyncSelectionRouter(service)
+
+        async def scenario():
+            originator = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.01)  # fit now in flight
+            impatient = asyncio.ensure_future(router.rank("t0"))
+            patient = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.01)
+            impatient.cancel()
+            results = await asyncio.gather(originator, impatient, patient,
+                                           return_exceptions=True)
+            return results
+
+        originator, impatient, patient = run(scenario())
+        stats = router.stats()
+        router.close()
+        assert isinstance(originator, list)      # unharmed
+        assert isinstance(impatient, asyncio.CancelledError)
+        assert isinstance(patient, list)         # unharmed
+        assert originator == patient
+        assert stats["fits"] == 1
