@@ -7,6 +7,9 @@ Commands
 ``evaluate``    run the leave-one-out comparison of selection strategies
 ``stats``       print catalog + graph statistics (Table II style)
 ``warmup``      pre-fit every target's pipeline into the artifact registry
+``serve``       HTTP front door: a multi-namespace selection gateway on
+                ``/v1/rank``, ``/v1/score_batch``, ``/v1/stats``,
+                ``/v1/healthz``
 ``serve-sim``   replay a synthetic query workload against the service
                 (``--concurrency N`` routes it through the async router)
 ``registry-gc`` sweep artifacts no live config/catalog can serve
@@ -18,7 +21,8 @@ import argparse
 import sys
 from pathlib import Path
 
-__all__ = ["main", "build_parser", "default_registry_dir"]
+__all__ = ["main", "build_parser", "default_registry_dir",
+           "default_gateway_registry_dir", "parse_namespace_spec"]
 
 
 def default_registry_dir() -> Path:
@@ -26,6 +30,20 @@ def default_registry_dir() -> Path:
     from repro.zoo.cache import default_cache_dir
 
     return default_cache_dir() / "serving"
+
+
+def default_gateway_registry_dir() -> Path:
+    """Default root for the gateway's per-namespace registry shards.
+
+    Deliberately distinct from :func:`default_registry_dir`: the gateway
+    layout inserts a namespace directory level
+    (``<root>/<namespace>/<config_fp>/<target>``), which ``registry-gc``
+    — which expects fingerprint directories at the top level — must not
+    sweep as dead namespaces.
+    """
+    from repro.zoo.cache import default_cache_dir
+
+    return default_cache_dir() / "serving_namespaces"
 
 
 def _positive_int(value: str) -> int:
@@ -52,6 +70,47 @@ def _graph_learner_choices() -> tuple[str, ...]:
     from repro.graph import GRAPH_LEARNERS
 
     return tuple(sorted(GRAPH_LEARNERS))
+
+
+_SCALES = ("tiny", "small", "default")
+
+
+def _scale_presets() -> dict:
+    """scale name -> ZooConfig preset constructor (single source)."""
+    from repro.zoo import ZooConfig
+
+    return {"tiny": ZooConfig.tiny, "small": ZooConfig.small,
+            "default": ZooConfig.default}
+
+
+def parse_namespace_spec(spec: str) -> tuple[str, str, str | None]:
+    """``NAME=MODALITY[:SCALE]`` -> (name, modality, scale or None).
+
+    Examples: ``image=image``, ``text-tiny=text:tiny``.  A missing
+    ``:SCALE`` yields ``None`` so ``serve`` can fall back to the global
+    ``--scale`` flag.  The name is validated against the gateway's slug
+    rule here so a bad one is a clean argparse error, not a ValueError
+    traceback at startup.
+    """
+    from repro.serving.gateway import _NAMESPACE_NAME
+
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise argparse.ArgumentTypeError(
+            f"namespace spec {spec!r} must look like NAME=MODALITY[:SCALE]")
+    if not _NAMESPACE_NAME.fullmatch(name):
+        raise argparse.ArgumentTypeError(
+            f"namespace spec {spec!r}: name must match "
+            f"{_NAMESPACE_NAME.pattern!r}")
+    modality, _, scale = rest.partition(":")
+    if modality not in ("image", "text"):
+        raise argparse.ArgumentTypeError(
+            f"namespace spec {spec!r}: modality must be 'image' or 'text'")
+    if scale and scale not in _SCALES:
+        raise argparse.ArgumentTypeError(
+            f"namespace spec {spec!r}: scale must be one of "
+            f"{', '.join(_SCALES)}")
+    return name, modality, scale or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     rank = sub.add_parser("rank", help="rank models for a target dataset")
     rank.add_argument("target", help="target dataset name, e.g. stanfordcars")
-    rank.add_argument("--top", type=int, default=5)
+    rank.add_argument("--top", type=_positive_int, default=5)
     add_strategy_args(rank)
     add_registry_arg(rank)
     rank.add_argument("--no-registry", action="store_true",
@@ -102,6 +161,29 @@ def build_parser() -> argparse.ArgumentParser:
         "warmup", help="pre-fit all targets into the artifact registry")
     add_strategy_args(warmup)
     add_registry_arg(warmup)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP front door over a multi-namespace gateway")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--namespace", action="append", dest="namespaces",
+                       type=parse_namespace_spec, metavar="NAME=MODALITY[:SCALE]",
+                       help="serve this namespace (repeatable); default: "
+                            "one namespace named after --modality")
+    add_strategy_args(serve)
+    serve.add_argument("--registry-dir", type=Path, default=None,
+                       help="gateway registry root, sharded per namespace "
+                            "(default: <zoo cache>/serving_namespaces)")
+    serve.add_argument("--cache-size", type=_positive_int, default=32,
+                       help="per-namespace in-memory LRU capacity")
+    serve.add_argument("--max-pending-fits", type=_positive_int, default=8,
+                       help="per-namespace cold-fit queue bound")
+    serve.add_argument("--fit-workers", type=_positive_int, default=2,
+                       help="per-namespace parallel cold-fit threads")
+    serve.add_argument("--warmup", action="store_true",
+                       help="pre-fit every namespace's targets before "
+                            "accepting traffic")
 
     sim = sub.add_parser(
         "serve-sim", help="replay a synthetic workload; report latency")
@@ -138,10 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_zoo(args):
-    from repro.zoo import ZooConfig, get_or_build_zoo
+    from repro.zoo import get_or_build_zoo
 
-    preset = {"tiny": ZooConfig.tiny, "small": ZooConfig.small,
-              "default": ZooConfig.default}[args.scale]
+    preset = _scale_presets()[args.scale]
     return get_or_build_zoo(preset(modality=args.modality, seed=args.seed))
 
 
@@ -180,16 +261,21 @@ def _cmd_build_zoo(args) -> int:
 
 
 def _cmd_rank(args) -> int:
+    from repro.serving import RankRequest
+
     zoo = _load_zoo(args)
     if args.target not in zoo.target_names():
         print(f"error: unknown target {args.target!r}; "
               f"choose from {zoo.target_names()}", file=sys.stderr)
         return 2
     service = _service(zoo, args)
-    ranking = service.rank(args.target, top_k=args.top)
-    print(f"top {args.top} models for {args.target} "
+    # Same typed request/response pair the HTTP front door serves, so
+    # the CLI cannot drift from the wire contract.
+    response = service.handle(RankRequest(target=args.target,
+                                          top_k=args.top))
+    print(f"top {args.top} models for {response.target} "
           f"({service.config.strategy_name()}):")
-    for model_id, score in ranking:
+    for model_id, score in response.ranking:
         spec = zoo.model(model_id).spec
         print(f"  {model_id:<26} {score:+.3f}  "
               f"[{spec.family}, source={spec.pretrain_dataset}]")
@@ -244,6 +330,63 @@ def _cmd_warmup(args) -> int:
     print(f"done: {summary['fits']:.0f} fitted, "
           f"{summary['registry_hits']:.0f} already in registry, "
           f"total {sum(timings.values()):.2f} s")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving import GatewayHTTPServer, SelectionGateway
+    from repro.zoo import get_or_build_zoo
+
+    specs = args.namespaces or [(args.modality, args.modality, args.scale)]
+    names = [name for name, _, _ in specs]
+    if len(set(names)) != len(names):
+        print(f"error: duplicate namespace names in {names}",
+              file=sys.stderr)
+        return 2
+    root = args.registry_dir or default_gateway_registry_dir()
+    gateway = SelectionGateway(registry_root=root)
+    presets = _scale_presets()
+    for name, modality, scale in specs:
+        scale = scale or args.scale  # spec omitted :SCALE -> --scale
+        zoo = get_or_build_zoo(presets[scale](modality=modality,
+                                              seed=args.seed))
+        gateway.add_namespace(
+            name, zoo, _tg_config(args.predictor, args.graph_learner),
+            cache_size=args.cache_size,
+            max_pending_fits=args.max_pending_fits,
+            fit_workers=args.fit_workers)
+        print(f"namespace {name!r}: {modality}/{scale} zoo, "
+              f"{len(zoo.model_ids())} models, "
+              f"{len(zoo.target_names())} targets "
+              f"(registry shard {root / name})", flush=True)
+
+    async def run() -> None:
+        if args.warmup:  # before binding: no traffic races the warmup
+            print("warming namespaces ...", flush=True)
+            await gateway.warmup()
+        server = GatewayHTTPServer(gateway, args.host, args.port)
+        host, port = await server.start()
+        example = gateway.namespaces()[0]
+        target = gateway.service(example).zoo.target_names()[0]
+        print(f"serving on http://{host}:{port} (protocol v1, "
+              f"namespaces: {', '.join(gateway.namespaces())})", flush=True)
+        print(f"  curl http://{host}:{port}/v1/healthz", flush=True)
+        print(f"  curl -X POST http://{host}:{port}/v1/rank -d "
+              f"'{{\"namespace\": \"{example}\", \"target\": \"{target}\", "
+              f"\"top_k\": 5}}'", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        gateway.close()
     return 0
 
 
@@ -332,6 +475,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
     "warmup": _cmd_warmup,
+    "serve": _cmd_serve,
     "serve-sim": _cmd_serve_sim,
     "registry-gc": _cmd_registry_gc,
 }

@@ -63,16 +63,36 @@ class FeatureAssembler:
                                               method=self.similarity_method)
         return sim if sim is not None else 0.0
 
-    def _raw_transferability(self, model_id: str, dataset_id: str) -> float:
-        score = self.zoo.catalog.get_transferability(
-            model_id, dataset_id, metric=self.transferability_metric)
-        if score is None:
+    def _raw_transferability_scores(self, dataset_id: str) -> dict[str, float]:
+        """Raw estimator scores of every zoo model on one dataset.
+
+        Thread-safe via a scoped recorder: known scores are snapshotted
+        under the catalog lock, *missing* ones are computed into a local
+        batch with the lock released (forward passes are the expensive
+        part and fits for other targets should overlap them), and the
+        batch is merged back under the lock.  Two threads racing on the
+        same dataset duplicate some deterministic work at worst — the
+        upserted values are identical.
+        """
+        catalog = self.zoo.catalog
+        model_ids = self.zoo.model_ids()
+        with catalog.lock:
+            scores = {m: catalog.get_transferability(
+                          m, dataset_id, metric=self.transferability_metric)
+                      for m in model_ids}
+        missing = [m for m, s in scores.items() if s is None]
+        if missing:
             # Computable without fine-tuning: forward pass + estimator.
-            score = score_model_on_dataset(self.zoo, model_id, dataset_id,
-                                           self.transferability_metric)
-            self.zoo.catalog.record_transferability(
-                model_id, dataset_id, self.transferability_metric, score)
-        return score
+            batch = {m: score_model_on_dataset(self.zoo, m, dataset_id,
+                                               self.transferability_metric)
+                     for m in missing}
+            with catalog.lock:
+                for model_id, score in batch.items():
+                    catalog.record_transferability(
+                        model_id, dataset_id, self.transferability_metric,
+                        score)
+            scores.update(batch)
+        return scores
 
     def _transferability_feature(self, model_id: str, dataset_id: str) -> float:
         """Per-dataset min-max normalised estimator score.
@@ -85,9 +105,9 @@ class FeatureAssembler:
             self._transfer_norm_cache: dict[str, dict[str, float]] = {}
         per_dataset = self._transfer_norm_cache.get(dataset_id)
         if per_dataset is None:
-            model_ids = self.zoo.model_ids()
-            raw = np.array([self._raw_transferability(m, dataset_id)
-                            for m in model_ids])
+            scores = self._raw_transferability_scores(dataset_id)
+            model_ids = list(scores)
+            raw = np.array([scores[m] for m in model_ids])
             lo, hi = raw.min(), raw.max()
             normed = (raw - lo) / (hi - lo) if hi - lo > 1e-12 \
                 else np.full_like(raw, 0.5)

@@ -76,29 +76,41 @@ class GraphBuilder:
 
     # ------------------------------------------------------------------ #
     def ensure_similarities(self) -> None:
-        """Compute + record dataset similarities if the catalog lacks them."""
+        """Compute + record dataset similarities if the catalog lacks them.
+
+        The whole check-and-fill runs under the catalog lock so that
+        concurrent fits (the router's parallel fit workers) see either
+        an untouched or a fully-filled similarity table, never a
+        half-written one — and only one thread pays for the fill.
+        """
         method = self.config.similarity_method
         names = self.zoo.dataset_names()
-        missing = any(
-            self.zoo.catalog.get_similarity(names[i], names[j], method=method) is None
-            for i in range(min(2, len(names)))
-            for j in range(i + 1, min(3, len(names)))
-        )
-        if missing:
-            embeddings = compute_dataset_embeddings(self.zoo, method=method)
-            record_dataset_similarities(self.zoo, embeddings, method=method)
+        with self.zoo.catalog.lock:
+            missing = any(
+                self.zoo.catalog.get_similarity(names[i], names[j], method=method) is None
+                for i in range(min(2, len(names)))
+                for j in range(i + 1, min(3, len(names)))
+            )
+            if missing:
+                embeddings = compute_dataset_embeddings(self.zoo, method=method)
+                record_dataset_similarities(self.zoo, embeddings, method=method)
 
     def ensure_transferability(self) -> None:
-        """Compute + record transferability scores if absent."""
+        """Compute + record transferability scores if absent.
+
+        Atomic check-and-fill under the catalog lock, same as
+        :meth:`ensure_similarities`.
+        """
         metric = self.config.transferability_metric
         model_ids = self.zoo.model_ids()
         targets = self.zoo.target_names()
         if not model_ids or not targets:
             return
-        probe = self.zoo.catalog.get_transferability(model_ids[0], targets[0],
-                                                     metric=metric)
-        if probe is None:
-            score_zoo(self.zoo, metric=metric, record=True)
+        with self.zoo.catalog.lock:
+            probe = self.zoo.catalog.get_transferability(
+                model_ids[0], targets[0], metric=metric)
+            if probe is None:
+                score_zoo(self.zoo, metric=metric, record=True)
 
     # ------------------------------------------------------------------ #
     def _normalised_history(self, exclude_target: str | None

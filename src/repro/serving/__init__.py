@@ -9,13 +9,21 @@ true operationally:
 - :mod:`repro.serving.artifacts` — pack/unpack a fitted pipeline into
   JSON metadata + ``.npz`` arrays;
 - :mod:`repro.serving.registry` — the versioned on-disk artifact store;
+- :mod:`repro.serving.protocol` — the typed v1 wire protocol every
+  entry point (Python, CLI, HTTP) speaks;
 - :mod:`repro.serving.service` — :class:`SelectionService`, the LRU
   warm-start facade with per-query latency/hit-rate counters;
 - :mod:`repro.serving.router` — :class:`AsyncSelectionRouter`, the
-  asyncio front-end with single-flight fit coalescing and a bounded
-  cold-fit queue;
-- :mod:`repro.serving.workload` — synthetic query streams and serial or
-  concurrent replay for the ``repro serve-sim`` command.
+  asyncio front-end with single-flight fit coalescing, parallel cold
+  fits, and a bounded cold-fit queue with adaptive backpressure;
+- :mod:`repro.serving.gateway` — :class:`SelectionGateway`, routing
+  protocol requests across named (zoo, config) namespaces with
+  per-namespace registry shards;
+- :mod:`repro.serving.http` — the dependency-free asyncio HTTP front
+  door (``repro serve``): ``/v1/rank``, ``/v1/score_batch``,
+  ``/v1/stats``, ``/v1/healthz``;
+- :mod:`repro.serving.workload` — synthetic protocol-request streams
+  and serial or concurrent replay for ``repro serve-sim``.
 """
 
 from repro.serving.fingerprint import (
@@ -31,6 +39,19 @@ from repro.serving.artifacts import (
     pack_fitted,
     unpack_fitted,
 )
+from repro.serving.protocol import (
+    DEFAULT_NAMESPACE,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ErrorResponse,
+    ProtocolError,
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    StatsResponse,
+    message_from_json,
+)
 from repro.serving.registry import ArtifactRegistry
 from repro.serving.router import (
     AsyncSelectionRouter,
@@ -38,8 +59,14 @@ from repro.serving.router import (
     RouterStats,
 )
 from repro.serving.service import SelectionService, ServiceStats
+from repro.serving.gateway import (
+    SelectionGateway,
+    UnknownModelError,
+    UnknownNamespaceError,
+    UnknownTargetError,
+)
+from repro.serving.http import GatewayHTTPServer
 from repro.serving.workload import (
-    Query,
     WorkloadConfig,
     generate_workload,
     replay,
@@ -57,13 +84,28 @@ __all__ = [
     "StaleArtifactError",
     "pack_fitted",
     "unpack_fitted",
+    "DEFAULT_NAMESPACE",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "ErrorResponse",
+    "ProtocolError",
+    "RankRequest",
+    "RankResponse",
+    "ScoreBatchRequest",
+    "ScoreBatchResponse",
+    "StatsResponse",
+    "message_from_json",
     "ArtifactRegistry",
     "AsyncSelectionRouter",
     "QueueFullError",
     "RouterStats",
     "SelectionService",
     "ServiceStats",
-    "Query",
+    "SelectionGateway",
+    "UnknownModelError",
+    "UnknownNamespaceError",
+    "UnknownTargetError",
+    "GatewayHTTPServer",
     "WorkloadConfig",
     "generate_workload",
     "replay",

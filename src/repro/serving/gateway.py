@@ -1,0 +1,249 @@
+"""Multi-tenant selection gateway: N named namespaces, one front door.
+
+A *namespace* is an independently-served (zoo, config) pair — one
+modality's zoo under one :class:`~repro.core.TransferGraphConfig` —
+with its own registry shard, warm cache, and async router.  The
+:class:`SelectionGateway` routes typed protocol requests to the
+namespace they name:
+
+- registry shards are keyed by ``(namespace, config fingerprint)`` —
+  on disk, ``<root>/<namespace>/<config_fp>/<target>`` — so two
+  namespaces never serve each other's artifacts even under identical
+  configs;
+- unknown namespaces raise :class:`UnknownNamespaceError` (the HTTP
+  front door maps it to a typed 404 body), unknown targets/models get
+  their own typed errors instead of leaking service internals;
+- :meth:`SelectionGateway.stats` merges every namespace's raw counter
+  snapshots into a fleet-wide summary (true percentiles over the pooled
+  latency windows, not averages of per-namespace percentiles).
+
+The gateway is the in-process seam the HTTP front door
+(:mod:`repro.serving.http`) sits on: both speak only protocol types.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core import TransferGraphConfig
+from repro.serving.protocol import (
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    StatsResponse,
+)
+from repro.serving.registry import ArtifactRegistry
+from repro.serving.router import AsyncSelectionRouter, RouterStats
+from repro.serving.service import SelectionService, ServiceStats
+
+__all__ = ["SelectionGateway", "UnknownNamespaceError", "UnknownTargetError",
+           "UnknownModelError"]
+
+#: namespace names become registry path segments, so they must be plain
+#: slugs — in particular '.'/'..' must not resolve outside the shard root
+_NAMESPACE_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+class UnknownNamespaceError(KeyError):
+    """The request names a namespace this gateway does not serve."""
+
+    def __init__(self, namespace: str, known: list[str]):
+        super().__init__(
+            f"unknown namespace {namespace!r}; serving {sorted(known)}")
+        self.namespace = namespace
+
+    def __str__(self) -> str:  # KeyError str() wraps args in quotes
+        return self.args[0]
+
+
+class UnknownTargetError(KeyError):
+    """The namespace exists but its zoo has no such target dataset."""
+
+    def __init__(self, target: str, namespace: str):
+        super().__init__(
+            f"unknown target {target!r} in namespace {namespace!r}")
+        self.target = target
+        self.namespace = namespace
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class UnknownModelError(ValueError):
+    """A score_batch pair names a model the namespace's zoo lacks."""
+
+    def __init__(self, model_id: str, namespace: str):
+        super().__init__(
+            f"unknown model {model_id!r} in namespace {namespace!r}")
+        self.model_id = model_id
+        self.namespace = namespace
+
+
+class _Namespace:
+    """One tenant: a service + router pair under a name."""
+
+    def __init__(self, name: str, service: SelectionService,
+                 router: AsyncSelectionRouter):
+        self.name = name
+        self.service = service
+        self.router = router
+        # Frozen at registration so per-request validation costs two set
+        # probes, not two sorted list rebuilds (zoos are immutable
+        # between explicit invalidations).
+        self.targets = frozenset(service.zoo.target_names())
+        self.models = frozenset(service.zoo.model_ids())
+
+
+class SelectionGateway:
+    """Route protocol requests across named (zoo, config) namespaces.
+
+    Parameters
+    ----------
+    registry_root:
+        When given, every namespace added without an explicit registry
+        gets the shard ``registry_root / <namespace name>`` (the
+        namespace's own fingerprint-keyed registry tree lives below
+        that).  ``None`` means namespaces run memory-only unless they
+        bring their own registry.
+    """
+
+    def __init__(self, registry_root: str | Path | None = None):
+        self._registry_root = (
+            Path(registry_root) if registry_root is not None else None)
+        self._namespaces: dict[str, _Namespace] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # namespace management
+    # ------------------------------------------------------------------ #
+    def add_namespace(self, name: str, zoo,
+                      config: TransferGraphConfig | None = None, *,
+                      registry: ArtifactRegistry | None = None,
+                      cache_size: int = 32,
+                      max_pending_fits: int = 8,
+                      overflow: str = "reject",
+                      retry_after_s: float = 0.5,
+                      fit_workers: int = 2,
+                      predict_workers: int = 4) -> SelectionService:
+        """Register one namespace; returns its service (e.g. for warmup)."""
+        if not _NAMESPACE_NAME.fullmatch(name):
+            raise ValueError(
+                f"namespace name {name!r} must match "
+                f"{_NAMESPACE_NAME.pattern!r} (it becomes a registry "
+                "path segment)")
+        if name in self._namespaces:
+            raise ValueError(f"namespace {name!r} already registered")
+        if registry is None and self._registry_root is not None:
+            registry = ArtifactRegistry(self._registry_root / name)
+        service = SelectionService(zoo, config, registry=registry,
+                                   cache_size=cache_size)
+        router = AsyncSelectionRouter(
+            service, max_pending_fits=max_pending_fits, overflow=overflow,
+            retry_after_s=retry_after_s, fit_workers=fit_workers,
+            predict_workers=predict_workers)
+        self._namespaces[name] = _Namespace(name, service, router)
+        return service
+
+    def namespaces(self) -> list[str]:
+        return sorted(self._namespaces)
+
+    def service(self, namespace: str) -> SelectionService:
+        return self._get(namespace).service
+
+    def router(self, namespace: str) -> AsyncSelectionRouter:
+        return self._get(namespace).router
+
+    def _get(self, namespace: str) -> _Namespace:
+        ns = self._namespaces.get(namespace)
+        if ns is None:
+            raise UnknownNamespaceError(namespace, list(self._namespaces))
+        return ns
+
+    # ------------------------------------------------------------------ #
+    # protocol entry points
+    # ------------------------------------------------------------------ #
+    def _check_names(self, ns: _Namespace, targets: set[str],
+                     models: set[str]) -> None:
+        """Typed 404/400-able errors instead of service KeyErrors.
+
+        Targets are checked against the zoo's *target* roster (the same
+        contract ``repro rank`` enforces) — source datasets are rankable
+        in principle but not served, so clients cannot burn fit-queue
+        capacity on them.
+        """
+        unknown_targets = targets - ns.targets
+        if unknown_targets:
+            raise UnknownTargetError(sorted(unknown_targets)[0], ns.name)
+        unknown_models = models - ns.models
+        if unknown_models:
+            raise UnknownModelError(sorted(unknown_models)[0], ns.name)
+
+    async def rank(self, request: RankRequest) -> RankResponse:
+        ns = self._get(request.namespace)
+        self._check_names(ns, {request.target}, set())
+        return await ns.router.handle(request)
+
+    async def score_batch(self, request: ScoreBatchRequest
+                          ) -> ScoreBatchResponse:
+        ns = self._get(request.namespace)
+        self._check_names(ns, {t for _, t in request.pairs},
+                          {m for m, _ in request.pairs})
+        return await ns.router.handle(request)
+
+    async def handle(self, request: RankRequest | ScoreBatchRequest):
+        """Dispatch one protocol request to its namespace's router."""
+        if isinstance(request, RankRequest):
+            return await self.rank(request)
+        if isinstance(request, ScoreBatchRequest):
+            return await self.score_batch(request)
+        raise TypeError(
+            f"unsupported request type {type(request).__name__}")
+
+    async def warmup(self, namespace: str | None = None
+                     ) -> dict[str, dict[str, float]]:
+        """Pre-fit targets — one namespace or all; seconds per target."""
+        names = [namespace] if namespace is not None else self.namespaces()
+        out: dict[str, dict[str, float]] = {}
+        for name in names:
+            out[name] = await self._get(name).router.warmup()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> StatsResponse:
+        """Per-namespace summaries + fleet-wide aggregate.
+
+        The fleet row merges *raw* snapshots — counters sum, latency
+        windows pool — so fleet percentiles are computed over every
+        query, not averaged from per-namespace percentiles.
+        """
+        per_namespace: dict[str, dict[str, float]] = {}
+        fleet_service, fleet_router = ServiceStats(), RouterStats()
+        for name, ns in sorted(self._namespaces.items()):
+            service_snap, router_snap = ns.router.stats_snapshot()
+            per_namespace[name] = {**service_snap.summary(),
+                                   **router_snap.summary()}
+            fleet_service.merge(service_snap)
+            fleet_router.merge(router_snap)
+        fleet = {**fleet_service.summary(), **fleet_router.summary(),
+                 "namespaces": float(len(self._namespaces))}
+        return StatsResponse(namespaces=per_namespace, fleet=fleet)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut every namespace's router down; idempotent."""
+        if not self._closed:
+            self._closed = True
+            for ns in self._namespaces.values():
+                ns.router.close()
+
+    async def __aenter__(self) -> "SelectionGateway":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,431 @@
+"""The v1 wire protocol: typed request/response messages for selection.
+
+Every way into the serving layer — the in-process Python API
+(:meth:`SelectionService.handle`), the async router, the multi-tenant
+:class:`~repro.serving.gateway.SelectionGateway`, the CLI, and the HTTP
+front door — speaks these message types, so the paths cannot diverge:
+a response is *constructed* in exactly one place (the ``build``
+classmethods here) regardless of how the request arrived.
+
+Messages are frozen dataclasses with strict ``to_json``/``from_json``
+round-trips:
+
+- unknown fields, missing required fields, and wrong types all raise
+  :class:`ProtocolError`;
+- validation messages are written for clients: they name the offending
+  field and the expectation, never internal state, stack frames, or
+  server paths;
+- ``to_json(from_json(text))`` is byte-stable for every valid message
+  (keys are sorted, floats use Python's shortest round-trip repr), so
+  rankings served over the wire compare byte-identical to in-process
+  ones.
+
+Versioning rule: the ``v1`` protocol is *additive-only* — new optional
+fields may appear in responses, but existing fields never change type or
+meaning, and requests never grow new required fields.  Breaking changes
+get a ``/v2`` prefix and a new module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import ClassVar
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_NAMESPACE",
+    "ERROR_CODES",
+    "ProtocolError",
+    "RankRequest",
+    "RankResponse",
+    "ScoreBatchRequest",
+    "ScoreBatchResponse",
+    "StatsResponse",
+    "ErrorResponse",
+    "MESSAGE_TYPES",
+    "message_from_json",
+]
+
+PROTOCOL_VERSION = "v1"
+
+#: namespace used by single-tenant entry points (one service, no gateway)
+DEFAULT_NAMESPACE = "default"
+
+#: machine-readable error discriminants a client may rely on
+ERROR_CODES = frozenset({
+    "bad_request",          # malformed JSON / failed validation
+    "unknown_namespace",    # no such namespace behind the gateway
+    "unknown_target",       # namespace exists, target dataset does not
+    "unknown_model",        # a score_batch pair names no zoo model
+    "queue_full",           # cold-fit queue saturated; carries retry_after_s
+    "not_found",            # no such route
+    "method_not_allowed",   # route exists, wrong HTTP method
+    "payload_too_large",    # request body over the server's byte cap
+    "internal",             # unexpected server error (no details leaked)
+})
+
+
+class ProtocolError(ValueError):
+    """A message failed wire-protocol validation.
+
+    The message text is client-safe by construction: it names fields and
+    expectations only, never server internals.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# validation primitives
+# ---------------------------------------------------------------------- #
+def _type_name(value) -> str:
+    return type(value).__name__
+
+
+def _check_str(kind: str, name: str, value) -> str:
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            f"{kind}.{name} must be a non-empty string, got {_type_name(value)}")
+    return value
+
+
+def _check_float(kind: str, name: str, value) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"{kind}.{name} must be a number, got {_type_name(value)}")
+    value = float(value)
+    if not math.isfinite(value):
+        # json.dumps would emit bare NaN/Infinity — not RFC JSON, and
+        # strict clients would choke on an otherwise-200 body.
+        raise ProtocolError(f"{kind}.{name} must be a finite number")
+    return value
+
+
+def _check_optional_top_k(kind: str, value) -> int | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ProtocolError(
+            f"{kind}.top_k must be null or a positive integer")
+    return value
+
+
+def _check_payload(kind: str, payload, allowed: set[str],
+                   required: set[str]) -> dict:
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"{kind} payload must be a JSON object, got {_type_name(payload)}")
+    declared = payload.get("kind")
+    if declared is not None and declared != kind:
+        raise ProtocolError(
+            f"payload kind {declared!r} does not match expected {kind!r}")
+    unknown = set(payload) - allowed - {"kind"}
+    if unknown:
+        raise ProtocolError(
+            f"{kind} has unknown field(s): {sorted(unknown)}")
+    missing = required - set(payload)
+    if missing:
+        raise ProtocolError(
+            f"{kind} is missing required field(s): {sorted(missing)}")
+    return payload
+
+
+def _check_pairs(kind: str, name: str, value) -> tuple[tuple[str, str], ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(f"{kind}.{name} must be a list of "
+                            f"[model_id, target] pairs")
+    out = []
+    for i, pair in enumerate(value):
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ProtocolError(
+                f"{kind}.{name}[{i}] must be a [model_id, target] pair")
+        out.append((_check_str(kind, f"{name}[{i}][0]", pair[0]),
+                    _check_str(kind, f"{name}[{i}][1]", pair[1])))
+    return tuple(out)
+
+
+def _check_summary(kind: str, name: str, value) -> dict[str, float]:
+    if not isinstance(value, dict):
+        raise ProtocolError(f"{kind}.{name} must be an object of "
+                            f"metric name -> number")
+    return {_check_str(kind, f"{name} key", k):
+            _check_float(kind, f"{name}[{k}]", v) for k, v in value.items()}
+
+
+def _json_loads(kind: str, text: str | bytes) -> dict:
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError, UnicodeDecodeError):
+        raise ProtocolError(f"{kind} body is not valid JSON") from None
+
+
+# ---------------------------------------------------------------------- #
+# message base
+# ---------------------------------------------------------------------- #
+class _Message:
+    """Shared wire behaviour; subclasses define ``kind`` + ``from_dict``."""
+
+    kind: ClassVar[str]
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str | bytes):
+        return cls.from_dict(_json_loads(cls.kind, text))
+
+
+# ---------------------------------------------------------------------- #
+# requests
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RankRequest(_Message):
+    """Rank every model of a namespace's zoo for one target dataset."""
+
+    kind: ClassVar[str] = "rank"
+
+    target: str
+    namespace: str = DEFAULT_NAMESPACE
+    top_k: int | None = None
+
+    def __post_init__(self):
+        _check_str(self.kind, "target", self.target)
+        _check_str(self.kind, "namespace", self.namespace)
+        _check_optional_top_k(self.kind, self.top_k)
+
+    @classmethod
+    def from_dict(cls, payload) -> "RankRequest":
+        payload = _check_payload(cls.kind, payload,
+                                 {"target", "namespace", "top_k"}, {"target"})
+        return cls(target=payload["target"],
+                   namespace=payload.get("namespace", DEFAULT_NAMESPACE),
+                   top_k=payload.get("top_k"))
+
+
+@dataclass(frozen=True)
+class ScoreBatchRequest(_Message):
+    """Score explicit (model_id, target) pairs; aligned to input order."""
+
+    kind: ClassVar[str] = "score_batch"
+
+    pairs: tuple[tuple[str, str], ...]
+    namespace: str = DEFAULT_NAMESPACE
+
+    def __post_init__(self):
+        object.__setattr__(self, "pairs",
+                           _check_pairs(self.kind, "pairs", self.pairs))
+        _check_str(self.kind, "namespace", self.namespace)
+
+    @property
+    def target(self) -> str:
+        """First pair's target (workload-replay convenience, '' if empty)."""
+        return self.pairs[0][1] if self.pairs else ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "namespace": self.namespace,
+                "pairs": [list(p) for p in self.pairs]}
+
+    @classmethod
+    def from_dict(cls, payload) -> "ScoreBatchRequest":
+        payload = _check_payload(cls.kind, payload,
+                                 {"pairs", "namespace"}, {"pairs"})
+        return cls(pairs=payload["pairs"],  # __post_init__ validates
+                   namespace=payload.get("namespace", DEFAULT_NAMESPACE))
+
+
+# ---------------------------------------------------------------------- #
+# responses
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RankResponse(_Message):
+    """Models ranked best-first with their predicted scores."""
+
+    kind: ClassVar[str] = "rank_response"
+
+    namespace: str
+    target: str
+    ranking: tuple[tuple[str, float], ...]
+
+    def __post_init__(self):
+        _check_str(self.kind, "namespace", self.namespace)
+        _check_str(self.kind, "target", self.target)
+        if not isinstance(self.ranking, (list, tuple)):
+            raise ProtocolError(f"{self.kind}.ranking must be a list of "
+                                f"[model_id, score] pairs")
+        ranking = []
+        for i, entry in enumerate(self.ranking):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ProtocolError(
+                    f"{self.kind}.ranking[{i}] must be a [model_id, score] "
+                    f"pair")
+            ranking.append(
+                (_check_str(self.kind, f"ranking[{i}][0]", entry[0]),
+                 _check_float(self.kind, f"ranking[{i}][1]", entry[1])))
+        object.__setattr__(self, "ranking", tuple(ranking))
+
+    @classmethod
+    def build(cls, request: RankRequest,
+              ranking: list[tuple[str, float]]) -> "RankResponse":
+        """THE constructor every serving path funnels through."""
+        return cls(namespace=request.namespace, target=request.target,
+                   ranking=tuple((m, float(s)) for m, s in ranking))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "namespace": self.namespace,
+                "target": self.target,
+                "ranking": [[m, s] for m, s in self.ranking]}
+
+    @classmethod
+    def from_dict(cls, payload) -> "RankResponse":
+        payload = _check_payload(cls.kind, payload,
+                                 {"namespace", "target", "ranking"},
+                                 {"namespace", "target", "ranking"})
+        return cls(namespace=payload["namespace"], target=payload["target"],
+                   ranking=payload["ranking"])
+
+
+@dataclass(frozen=True)
+class ScoreBatchResponse(_Message):
+    """Predicted scores aligned one-to-one with the request's pairs."""
+
+    kind: ClassVar[str] = "score_batch_response"
+
+    namespace: str
+    pairs: tuple[tuple[str, str], ...]
+    scores: tuple[float, ...]
+
+    def __post_init__(self):
+        _check_str(self.kind, "namespace", self.namespace)
+        object.__setattr__(self, "pairs",
+                           _check_pairs(self.kind, "pairs", self.pairs))
+        if not isinstance(self.scores, (list, tuple)):
+            raise ProtocolError(f"{self.kind}.scores must be a list of numbers")
+        scores = tuple(_check_float(self.kind, f"scores[{i}]", s)
+                       for i, s in enumerate(self.scores))
+        object.__setattr__(self, "scores", scores)
+        if len(self.scores) != len(self.pairs):
+            raise ProtocolError(
+                f"{self.kind}.scores length {len(self.scores)} does not "
+                f"match pairs length {len(self.pairs)}")
+
+    @classmethod
+    def build(cls, request: ScoreBatchRequest,
+              scores) -> "ScoreBatchResponse":
+        """THE constructor every serving path funnels through."""
+        return cls(namespace=request.namespace, pairs=request.pairs,
+                   scores=tuple(float(s) for s in scores))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "namespace": self.namespace,
+                "pairs": [list(p) for p in self.pairs],
+                "scores": list(self.scores)}
+
+    @classmethod
+    def from_dict(cls, payload) -> "ScoreBatchResponse":
+        payload = _check_payload(cls.kind, payload,
+                                 {"namespace", "pairs", "scores"},
+                                 {"namespace", "pairs", "scores"})
+        return cls(namespace=payload["namespace"], pairs=payload["pairs"],
+                   scores=payload["scores"])
+
+
+@dataclass(frozen=True)
+class StatsResponse(_Message):
+    """Per-namespace serving summaries plus fleet-wide aggregates."""
+
+    kind: ClassVar[str] = "stats_response"
+
+    namespaces: dict[str, dict[str, float]] = field(default_factory=dict)
+    fleet: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.namespaces, dict):
+            raise ProtocolError(f"{self.kind}.namespaces must be an object")
+        namespaces = {
+            _check_str(self.kind, "namespaces key", name):
+                _check_summary(self.kind, f"namespaces[{name}]", summary)
+            for name, summary in self.namespaces.items()}
+        object.__setattr__(self, "namespaces", namespaces)
+        object.__setattr__(self, "fleet",
+                           _check_summary(self.kind, "fleet", self.fleet))
+
+    @classmethod
+    def from_dict(cls, payload) -> "StatsResponse":
+        payload = _check_payload(cls.kind, payload, {"namespaces", "fleet"},
+                                 {"namespaces", "fleet"})
+        return cls(namespaces=payload["namespaces"], fleet=payload["fleet"])
+
+
+@dataclass(frozen=True)
+class ErrorResponse(_Message):
+    """A typed failure: machine-readable code, client-safe message.
+
+    ``retry_after_s`` is populated for ``queue_full`` errors with the
+    router's adaptive backpressure hint (stats-window p95 fit latency
+    scaled by queue depth); clients should wait that long before
+    retrying.
+    """
+
+    kind: ClassVar[str] = "error"
+
+    code: str
+    message: str
+    retry_after_s: float | None = None
+
+    def __post_init__(self):
+        if self.code not in ERROR_CODES:
+            raise ProtocolError(
+                f"{self.kind}.code must be one of {sorted(ERROR_CODES)}")
+        _check_str(self.kind, "message", self.message)
+        if self.retry_after_s is not None:
+            value = _check_float(self.kind, "retry_after_s",
+                                 self.retry_after_s)
+            if value < 0:
+                raise ProtocolError(
+                    f"{self.kind}.retry_after_s must be >= 0")
+            object.__setattr__(self, "retry_after_s", value)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "code": self.code, "message": self.message}
+        if self.retry_after_s is not None:  # only queue_full carries it
+            out["retry_after_s"] = self.retry_after_s
+        return out
+
+    @classmethod
+    def from_dict(cls, payload) -> "ErrorResponse":
+        payload = _check_payload(cls.kind, payload,
+                                 {"code", "message", "retry_after_s"},
+                                 {"code", "message"})
+        return cls(code=payload["code"], message=payload["message"],
+                   retry_after_s=payload.get("retry_after_s"))
+
+
+#: wire-kind -> message class, for kind-dispatched decoding
+MESSAGE_TYPES: dict[str, type] = {
+    cls.kind: cls for cls in (RankRequest, ScoreBatchRequest, RankResponse,
+                              ScoreBatchResponse, StatsResponse,
+                              ErrorResponse)
+}
+
+
+def message_from_json(text: str | bytes):
+    """Decode any protocol message, dispatching on its ``kind`` field."""
+    payload = _json_loads("message", text)
+    if not isinstance(payload, dict):
+        raise ProtocolError("message payload must be a JSON object")
+    kind = payload.get("kind")
+    # isinstance guard: an unhashable kind (list/object) must be a
+    # validation error, not a TypeError out of dict.get
+    cls = MESSAGE_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        shown = repr(kind) if isinstance(kind, str) else _type_name(kind)
+        raise ProtocolError(f"unknown message kind {shown}; expected one "
+                            f"of {sorted(MESSAGE_TYPES)}")
+    return cls.from_dict(payload)

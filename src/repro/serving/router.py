@@ -10,14 +10,16 @@ loop and fixes exactly that:
   ``(target, config_fp)`` key await one in-flight fit future; the fit
   runs once no matter how many clients asked for it;
 - **thread-pool offload** — fits/revives and predicts are CPU-bound, so
-  they run in executors while the event loop keeps accepting requests
-  (fits default to one worker: pipeline fitting lazily records derived
-  scores into the shared catalog, which is not safe to do from two
-  threads at once; the fit job also runs one warm-up predict so the
-  predict pool never touches that lazy state);
+  they run in executors while the event loop keeps accepting requests;
+  distinct cold targets fit in parallel (derived-score recording into
+  the shared zoo catalog is lock-guarded — see
+  :attr:`repro.store.ZooCatalog.lock` — so ``fit_workers`` defaults
+  above one; the fit job also runs one warm-up predict so the predict
+  pool never touches a pipeline's lazy normalisation state);
 - **bounded cold-fit queue** — at most ``max_pending_fits`` cold fits
   may be admitted (in flight or waiting for a fit worker); an overflow
-  either raises :class:`QueueFullError` with a ``retry_after_s`` hint
+  either raises :class:`QueueFullError` with an adaptive
+  ``retry_after_s`` hint derived from the stats-window p95 fit latency
   (``overflow="reject"``, the default) or waits for capacity
   (``overflow="wait"``);
 - **router stats** — coalesced-request count, rejections, peak queue
@@ -30,11 +32,17 @@ transferability normalisation before any predict-pool thread sees the
 pipeline.  Per-pipeline predict calls are additionally serialised with a
 per-key thread lock as a safety net; predicts for *different* targets
 run concurrently.
+
+The router also answers typed protocol requests
+(:meth:`AsyncSelectionRouter.handle`), sharing the response constructors
+with :meth:`SelectionService.handle` so the async and serial paths
+cannot diverge.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 import time
 from collections import deque
@@ -43,6 +51,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serving.protocol import (
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+)
 from repro.serving.service import SelectionService, ServiceStats
 
 __all__ = ["AsyncSelectionRouter", "RouterStats", "QueueFullError",
@@ -50,6 +64,9 @@ __all__ = ["AsyncSelectionRouter", "RouterStats", "QueueFullError",
 
 #: rolling window of per-stage latencies kept for percentile reporting
 ROUTER_LATENCY_WINDOW = 10_000
+
+#: most-recent fit samples feeding the adaptive retry hint's p95
+_HINT_SAMPLE_WINDOW = 1_024
 
 _COUNTER_FIELDS = ("requests", "coalesced", "rejections", "cold_fits",
                    "queue_waits", "fits_timed", "predicts_timed")
@@ -126,6 +143,17 @@ class RouterStats:
                 getattr(out, name).extend(list(getattr(self, name))[-fresh:])
         return out
 
+    def merge(self, other: "RouterStats") -> "RouterStats":
+        """Pool another snapshot in (fleet aggregation over namespaces):
+        counters sum, stage windows extend, the peak stays a max."""
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.peak_pending_fits = max(self.peak_pending_fits,
+                                     other.peak_pending_fits)
+        for name in _STAGE_COUNTERS:
+            getattr(self, name).extend(getattr(other, name))
+        return self
+
     @staticmethod
     def _percentile(values: deque, q: float) -> float:
         if not values:
@@ -173,12 +201,13 @@ class AsyncSelectionRouter:
         (carrying a ``retry_after_s`` hint); ``"wait"`` parks it until a
         slot frees up.
     retry_after_s:
-        Floor for the retry hint; the hint grows with observed fit
-        latency and current queue depth.
+        Floor for the retry hint; the adaptive hint is the stats-window
+        p95 fit latency times the queue-drain rounds ahead of the shed
+        request (pending fits / fit workers).
     fit_workers:
-        Threads fitting cold pipelines.  Default 1: fits lazily record
-        derived similarity/transferability scores into the shared zoo
-        catalog, which concurrent fits would race on.
+        Threads fitting cold pipelines.  Distinct cold targets fit in
+        parallel: derived similarity/transferability recording into the
+        shared zoo catalog is serialised by the catalog's own lock.
     predict_workers:
         Threads answering warm predicts (safe to raise: per-key locks
         already serialise same-pipeline predicts).
@@ -188,7 +217,7 @@ class AsyncSelectionRouter:
                  max_pending_fits: int = 8,
                  overflow: str = "reject",
                  retry_after_s: float = 0.5,
-                 fit_workers: int = 1,
+                 fit_workers: int = 2,
                  predict_workers: int = 4):
         if max_pending_fits < 1:
             raise ValueError("max_pending_fits must be >= 1")
@@ -201,12 +230,15 @@ class AsyncSelectionRouter:
         self.max_pending_fits = max_pending_fits
         self.overflow = overflow
         self.retry_after_s = retry_after_s
+        self.fit_workers = fit_workers
         self._fit_pool = ThreadPoolExecutor(
             max_workers=fit_workers, thread_name_prefix="router-fit")
         self._predict_pool = ThreadPoolExecutor(
             max_workers=predict_workers, thread_name_prefix="router-predict")
         self._stats = RouterStats()
         self._stats_lock = threading.Lock()
+        #: (fits_timed generation, p95 ms) — see _retry_after_hint
+        self._p95_cache: tuple[int, float] = (-1, 0.0)
         #: in-flight fit futures keyed by (target, config_fp); mutated
         #: only from the event-loop thread, so no lock is needed
         self._inflight: dict[tuple[str, str], asyncio.Future] = {}
@@ -238,12 +270,31 @@ class AsyncSelectionRouter:
     # single-flight fit acquisition
     # ------------------------------------------------------------------ #
     def _retry_after_hint(self) -> float:
+        """Adaptive backpressure: when will a retry plausibly be admitted?
+
+        The stats-window p95 fit latency (not the mean: shed clients who
+        return too early are shed again, so the hint must cover slow
+        fits) times the number of queue-drain rounds ahead of the shed
+        request — pending fits spread over the fit workers.  Falls back
+        to the configured floor until the window has samples.
+
+        The p95 is cached per fit-count generation: a rejection storm —
+        exactly when this path is hot — recomputes nothing and holds
+        ``_stats_lock`` only long enough to read one counter.  Only the
+        event-loop thread calls this, so the cache needs no lock.
+        """
         with self._stats_lock:
-            fit_ms = list(self._stats.fit_ms)[-20:]
-        if not fit_ms:
+            generation = self._stats.fits_timed
+            samples = (list(self._stats.fit_ms)[-_HINT_SAMPLE_WINDOW:]
+                       if generation != self._p95_cache[0] else None)
+        if samples is not None:  # percentile math outside the lock
+            self._p95_cache = (generation,
+                               RouterStats._percentile(samples, 95))
+        p95_ms = self._p95_cache[1]
+        if p95_ms <= 0.0:
             return self.retry_after_s
-        expected = (sum(fit_ms) / len(fit_ms) / 1e3) * (self._pending_fits or 1)
-        return max(self.retry_after_s, expected)
+        drain_rounds = math.ceil((self._pending_fits or 1) / self.fit_workers)
+        return max(self.retry_after_s, (p95_ms / 1e3) * drain_rounds)
 
     async def _admit_cold_fit(self, target: str, overflow: str) -> None:
         """Take one cold-fit queue slot or shed the request."""
@@ -276,9 +327,10 @@ class AsyncSelectionRouter:
         The throwaway predict materialises the target's transferability
         normalisation, which records scores into the *shared* zoo
         catalog on first use.  Doing it here keeps fit workers the only
-        catalog writers (serialised by ``fit_workers=1``); the predict
-        pool then never mutates shared state.  Costs one extra predict
-        per cold fit — microscopic next to the fit itself.
+        catalog writers (their derived-score recording is serialised by
+        ``ZooCatalog.lock``); the predict pool then never mutates shared
+        state.  Costs one extra predict per cold fit — microscopic next
+        to the fit itself.
         """
         fitted = self.service.load_or_fit(target)
         fitted.predict(self.service.zoo.model_ids())
@@ -424,6 +476,23 @@ class AsyncSelectionRouter:
             out[by_target[target]] = target_scores
         self.service.record_query(started)
         return out
+
+    async def handle(self, request: RankRequest | ScoreBatchRequest):
+        """Async :meth:`SelectionService.handle`: protocol in, protocol out.
+
+        Responses go through the same ``build`` constructors as the
+        serial facade, so a ranking served through the router (and the
+        HTTP front door above it) is byte-identical to one served
+        in-process.
+        """
+        if isinstance(request, RankRequest):
+            return RankResponse.build(
+                request, await self.rank(request.target, top_k=request.top_k))
+        if isinstance(request, ScoreBatchRequest):
+            return ScoreBatchResponse.build(
+                request, await self.score_batch(list(request.pairs)))
+        raise TypeError(
+            f"unsupported request type {type(request).__name__}")
 
     async def warmup(self, targets: list[str] | None = None
                      ) -> dict[str, float]:

@@ -33,6 +33,12 @@ import numpy as np
 from repro.core import FittedTransferGraph, TransferGraph, TransferGraphConfig
 from repro.serving.artifacts import ArtifactError
 from repro.serving.fingerprint import config_fingerprint
+from repro.serving.protocol import (
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+)
 from repro.serving.registry import ArtifactRegistry
 
 __all__ = ["SelectionService", "ServiceStats", "LATENCY_WINDOW"]
@@ -86,6 +92,18 @@ class ServiceStats:
         if out.queries > 0:
             out.latencies_ms.extend(list(self.latencies_ms)[-out.queries:])
         return out
+
+    def merge(self, other: "ServiceStats") -> "ServiceStats":
+        """Pool another snapshot in: counters sum, latency windows extend.
+
+        Used for fleet-wide aggregation across gateway namespaces —
+        percentiles of the merged window are true pooled percentiles,
+        not averages of per-namespace ones.
+        """
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.latencies_ms.extend(other.latencies_ms)
+        return self
 
     def summary(self) -> dict[str, float]:
         return {
@@ -235,6 +253,23 @@ class SelectionService:
             out[indices] = fitted.predict([pairs[i][0] for i in indices])
         self._record(started)
         return out
+
+    def handle(self, request: RankRequest | ScoreBatchRequest):
+        """Answer one protocol request with its typed protocol response.
+
+        This is the in-process face of the v1 wire protocol: the gateway,
+        the HTTP front door, and workload replay all funnel through the
+        same ``build`` constructors, so a response served over the wire
+        is byte-identical to one built here.
+        """
+        if isinstance(request, RankRequest):
+            return RankResponse.build(
+                request, self.rank(request.target, top_k=request.top_k))
+        if isinstance(request, ScoreBatchRequest):
+            return ScoreBatchResponse.build(
+                request, self.score_batch(list(request.pairs)))
+        raise TypeError(
+            f"unsupported request type {type(request).__name__}")
 
     # ------------------------------------------------------------------ #
     def warmup(self, targets: list[str] | None = None) -> dict[str, float]:

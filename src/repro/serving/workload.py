@@ -2,14 +2,18 @@
 
 Real selection traffic is skewed: a few popular target datasets receive
 most queries.  The generator draws targets from a Zipf-like popularity
-distribution over the zoo's targets and mixes two query shapes —
-full rankings (``rank``) and batched pair scoring (``score_batch``) —
-then :func:`replay` runs the sequence against a service and reports the
-latency/hit-rate summary.
+distribution over the zoo's targets and mixes two query shapes — full
+rankings (:class:`~repro.serving.protocol.RankRequest`) and batched pair
+scoring (:class:`~repro.serving.protocol.ScoreBatchRequest`) — then
+:func:`replay` runs the sequence against a service and reports the
+latency/hit-rate summary.  Workloads are lists of *protocol* messages,
+so the same stream replays unchanged against the serial facade, the
+async router, a multi-namespace gateway, or the HTTP front door.
 
 The async mode (:func:`replay_async` / :func:`replay_concurrent`)
-replays the same stream through an
-:class:`~repro.serving.router.AsyncSelectionRouter` with N concurrent
+replays the same stream through anything with an async ``handle``
+(an :class:`~repro.serving.router.AsyncSelectionRouter` or a
+:class:`~repro.serving.gateway.SelectionGateway`) with N concurrent
 clients.  Each client replays the full sequence (N users asking the same
 popular questions — the scenario coalescing exists for) unless
 ``partition=True`` splits the stream round-robin instead.  Requests shed
@@ -25,9 +29,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.serving.service import SelectionService
+from repro.serving.protocol import (
+    DEFAULT_NAMESPACE,
+    RankRequest,
+    ScoreBatchRequest,
+)
+from repro.serving.router import QueueFullError, RouterStats
+from repro.serving.service import SelectionService, ServiceStats
 
-__all__ = ["WorkloadConfig", "Query", "generate_workload", "replay",
+__all__ = ["WorkloadConfig", "generate_workload", "replay",
            "replay_async", "replay_concurrent"]
 
 #: retry ceiling per shed query before the rejection is re-raised
@@ -57,18 +67,10 @@ class WorkloadConfig:
             raise ValueError("zipf_alpha must be >= 0")
 
 
-@dataclass(frozen=True)
-class Query:
-    """One serving request: ``kind`` is ``"rank"`` or ``"score_batch"``."""
-
-    kind: str
-    target: str
-    top_k: int = 5
-    pairs: tuple[tuple[str, str], ...] = ()
-
-
-def generate_workload(zoo, config: WorkloadConfig | None = None) -> list[Query]:
-    """A reproducible query sequence over the zoo's target datasets."""
+def generate_workload(zoo, config: WorkloadConfig | None = None,
+                      namespace: str = DEFAULT_NAMESPACE
+                      ) -> list[RankRequest | ScoreBatchRequest]:
+    """A reproducible protocol-request sequence over the zoo's targets."""
     config = config or WorkloadConfig()
     rng = np.random.default_rng(config.seed)
     targets = list(zoo.target_names())
@@ -79,7 +81,7 @@ def generate_workload(zoo, config: WorkloadConfig | None = None) -> list[Query]:
     weights = 1.0 / (1.0 + order.astype(np.float64)) ** config.zipf_alpha
     weights /= weights.sum()
 
-    queries: list[Query] = []
+    requests: list[RankRequest | ScoreBatchRequest] = []
     for _ in range(config.num_queries):
         target = targets[rng.choice(len(targets), p=weights)]
         if rng.random() < config.batch_fraction:
@@ -87,15 +89,17 @@ def generate_workload(zoo, config: WorkloadConfig | None = None) -> list[Query]:
                                                       len(models)),
                                 replace=False)
             pairs = tuple((models[i], target) for i in chosen)
-            queries.append(Query(kind="score_batch", target=target,
-                                 pairs=pairs))
+            requests.append(ScoreBatchRequest(pairs=pairs,
+                                              namespace=namespace))
         else:
-            queries.append(Query(kind="rank", target=target,
-                                 top_k=config.top_k))
-    return queries
+            requests.append(RankRequest(target=target, top_k=config.top_k,
+                                        namespace=namespace))
+    return requests
 
 
-def replay(service: SelectionService, queries: list[Query]) -> dict[str, float]:
+def replay(service: SelectionService,
+           requests: list[RankRequest | ScoreBatchRequest]
+           ) -> dict[str, float]:
     """Run a workload; returns the stats summary *of this replay only*.
 
     Counters are diffed against a snapshot taken at entry, so traffic
@@ -103,72 +107,80 @@ def replay(service: SelectionService, queries: list[Query]) -> dict[str, float]:
     """
     before = service.stats_snapshot()
     started = time.perf_counter()
-    for query in queries:
-        if query.kind == "rank":
-            service.rank(query.target, top_k=query.top_k)
-        elif query.kind == "score_batch":
-            service.score_batch(list(query.pairs))
-        else:
-            raise ValueError(f"unknown query kind {query.kind!r}")
+    for request in requests:
+        service.handle(request)
     elapsed = time.perf_counter() - started
     summary = service.stats_snapshot().since(before).summary()
     summary["wall_s"] = elapsed
-    summary["qps"] = len(queries) / elapsed if elapsed > 0 else float("inf")
+    summary["qps"] = len(requests) / elapsed if elapsed > 0 else float("inf")
     return summary
 
 
-async def replay_async(router, queries: list[Query], *, clients: int = 1,
+def _stats_snapshots(handler):
+    """(service, router) snapshot pairs for a router or a gateway."""
+    if hasattr(handler, "stats_snapshot"):      # AsyncSelectionRouter
+        return [handler.stats_snapshot()]
+    return [handler.router(name).stats_snapshot()  # SelectionGateway
+            for name in handler.namespaces()]
+
+
+def _merged_summary(handler, before) -> dict[str, float]:
+    """Pool per-namespace deltas into one summary (true percentiles)."""
+    service_total, router_total = ServiceStats(), RouterStats()
+    for (service_b, router_b), (service_a, router_a) in zip(
+            before, _stats_snapshots(handler)):
+        service_total.merge(service_a.since(service_b))
+        router_total.merge(router_a.since(router_b))
+    return {**service_total.summary(), **router_total.summary()}
+
+
+async def replay_async(handler,
+                       requests: list[RankRequest | ScoreBatchRequest], *,
+                       clients: int = 1,
                        partition: bool = False) -> dict[str, float]:
-    """Replay a workload through an async router with concurrent clients.
+    """Replay a workload through an async handler with concurrent clients.
 
-    By default every client replays the *full* query list concurrently
-    (total traffic = ``clients * len(queries)``); ``partition=True``
-    deals the list round-robin so total traffic stays ``len(queries)``.
-    Shed queries (:class:`~repro.serving.router.QueueFullError`) sleep
-    the router's ``retry_after_s`` hint and retry.  Returns the merged
-    service+router stats delta for this replay only, plus ``wall_s``,
-    ``qps``, and ``retries``.
+    ``handler`` is anything with an async ``handle(request)`` — a router
+    or a gateway.  By default every client replays the *full* request
+    list concurrently (total traffic = ``clients * len(requests)``);
+    ``partition=True`` deals the list round-robin so total traffic stays
+    ``len(requests)``.  Shed requests
+    (:class:`~repro.serving.router.QueueFullError`) sleep the adaptive
+    ``retry_after_s`` hint and retry.  Returns the merged service+router
+    stats delta for this replay only, plus ``wall_s``, ``qps``, and
+    ``retries``.
     """
-    from repro.serving.router import QueueFullError
-
     if clients < 1:
         raise ValueError("clients must be >= 1")
     if partition:
-        assignments = [queries[i::clients] for i in range(clients)]
+        assignments = [requests[i::clients] for i in range(clients)]
     else:
-        assignments = [list(queries) for _ in range(clients)]
+        assignments = [list(requests) for _ in range(clients)]
     retries = 0
 
-    async def run_one(query: Query) -> None:
+    async def run_one(request) -> None:
         nonlocal retries
         for _ in range(_MAX_RETRIES):
             try:
-                if query.kind == "rank":
-                    await router.rank(query.target, top_k=query.top_k)
-                elif query.kind == "score_batch":
-                    await router.score_batch(list(query.pairs))
-                else:
-                    raise ValueError(f"unknown query kind {query.kind!r}")
+                await handler.handle(request)
                 return
             except QueueFullError as exc:
                 retries += 1
                 await asyncio.sleep(exc.retry_after_s)
         raise QueueFullError(
-            f"query for {query.target!r} shed {_MAX_RETRIES} times",
+            f"request for {request.target!r} shed {_MAX_RETRIES} times",
             retry_after_s=0.0)
 
-    async def client(assigned: list[Query]) -> None:
-        for query in assigned:
-            await run_one(query)
+    async def client(assigned) -> None:
+        for request in assigned:
+            await run_one(request)
 
-    service_before, router_before = router.stats_snapshot()
+    before = _stats_snapshots(handler)
     started = time.perf_counter()
     await asyncio.gather(*(client(a) for a in assignments))
     elapsed = time.perf_counter() - started
 
-    service_after, router_after = router.stats_snapshot()
-    summary = service_after.since(service_before).summary()
-    summary.update(router_after.since(router_before).summary())
+    summary = _merged_summary(handler, before)
     total = sum(len(a) for a in assignments)
     summary["wall_s"] = elapsed
     summary["qps"] = total / elapsed if elapsed > 0 else float("inf")
@@ -177,8 +189,10 @@ async def replay_async(router, queries: list[Query], *, clients: int = 1,
     return summary
 
 
-def replay_concurrent(router, queries: list[Query], *, clients: int = 1,
+def replay_concurrent(handler,
+                      requests: list[RankRequest | ScoreBatchRequest], *,
+                      clients: int = 1,
                       partition: bool = False) -> dict[str, float]:
     """Synchronous wrapper: run :func:`replay_async` in a fresh loop."""
-    return asyncio.run(replay_async(router, queries, clients=clients,
+    return asyncio.run(replay_async(handler, requests, clients=clients,
                                     partition=partition))

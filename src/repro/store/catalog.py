@@ -18,6 +18,7 @@ The catalog is the single source of truth consumed by the graph builder
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -94,9 +95,21 @@ _SIMILARITY_SCHEMA = Schema(
 
 
 class ZooCatalog:
-    """Typed facade over the five zoo tables."""
+    """Typed facade over the five zoo tables.
+
+    :attr:`lock` serialises *derived-score* recording (lazy similarity
+    and transferability fills) so multiple threads may fit pipelines
+    against one catalog concurrently: writers compute into a scoped
+    batch and merge it under the lock (see
+    :meth:`repro.graph.GraphBuilder.ensure_similarities` and
+    :meth:`repro.core.features.FeatureAssembler`).  Reads of settled
+    rows need no lock — after the one-time fills the catalog is
+    effectively immutable between explicit invalidations.
+    """
 
     def __init__(self):
+        #: re-entrant: recording helpers nest inside locked fill sections
+        self.lock = threading.RLock()
         self.models = Table(_MODEL_SCHEMA)
         self.datasets = Table(_DATASET_SCHEMA)
         self.history = Table(_HISTORY_SCHEMA).add_index("dataset_id").add_index("model_id")

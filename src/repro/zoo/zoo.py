@@ -17,6 +17,7 @@ TransferGraph framework, baselines, benchmarks) consume.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, asdict
 
 import numpy as np
@@ -111,6 +112,8 @@ class ModelZoo:
         self.models = {m.model_id: m for m in models}
         self.catalog = catalog
         self._feature_cache: dict[tuple[str, str, str], np.ndarray] = {}
+        #: guards the feature cache only; never held during a forward pass
+        self._feature_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -144,12 +147,21 @@ class ModelZoo:
     # ------------------------------------------------------------------ #
     def features(self, model_id: str, dataset_name: str,
                  split: str = "train") -> np.ndarray:
-        """Cached forward-pass features of a model on a dataset split."""
+        """Cached forward-pass features of a model on a dataset split.
+
+        Thread-safe for the router's parallel fit workers: the forward
+        pass runs outside the lock (two threads racing on one key
+        recompute identical deterministic features at worst).
+        """
         key = (model_id, dataset_name, split)
-        if key not in self._feature_cache:
-            self._feature_cache[key] = self.model(model_id).features_for(
+        with self._feature_lock:
+            cached = self._feature_cache.get(key)
+        if cached is None:
+            cached = self.model(model_id).features_for(
                 self.dataset(dataset_name), split=split)
-        return self._feature_cache[key]
+            with self._feature_lock:
+                self._feature_cache[key] = cached
+        return cached
 
     def ground_truth(self, dataset_name: str,
                      method: str = "finetune") -> tuple[list[str], np.ndarray]:

@@ -43,15 +43,9 @@ class StubFitted:
         return np.arange(len(model_ids), dtype=float)
 
 
-def stub_service(targets=("t0", "t1", "t2", "t3"), fit_seconds=0.0,
-                 fail_first=0, cache_size=32) -> SelectionService:
-    """A SelectionService whose fits sleep instead of fitting.
-
-    ``fail_first=k`` makes the first k fits raise, to test error
-    propagation through coalesced futures.
-    """
-    service = SelectionService(StubZoo(targets), TransferGraphConfig(),
-                               cache_size=cache_size)
+def install_stub_fit(service: SelectionService, fit_seconds=0.0,
+                     fail_first=0) -> None:
+    """Replace a service's strategy fit with a controllable sleep."""
     lock, counter = threading.Lock(), [0]
 
     def fake_fit(zoo, target):
@@ -64,4 +58,35 @@ def stub_service(targets=("t0", "t1", "t2", "t3"), fit_seconds=0.0,
         return StubFitted(target)
 
     service.strategy.fit = fake_fit
+
+
+def stub_service(targets=("t0", "t1", "t2", "t3"), fit_seconds=0.0,
+                 fail_first=0, cache_size=32) -> SelectionService:
+    """A SelectionService whose fits sleep instead of fitting.
+
+    ``fail_first=k`` makes the first k fits raise, to test error
+    propagation through coalesced futures.
+    """
+    service = SelectionService(StubZoo(targets), TransferGraphConfig(),
+                               cache_size=cache_size)
+    install_stub_fit(service, fit_seconds=fit_seconds, fail_first=fail_first)
     return service
+
+
+def stub_gateway(names=("alpha", "beta"), targets=("t0", "t1", "t2", "t3"),
+                 fit_seconds=0.0, **namespace_kwargs):
+    """A SelectionGateway whose namespaces serve stub zoos.
+
+    Each namespace gets its own StubZoo and sleep-fit service; extra
+    kwargs (max_pending_fits, fit_workers, ...) apply to every
+    namespace's router.
+    """
+    from repro.serving import SelectionGateway
+
+    gateway = SelectionGateway()
+    for name in names:
+        service = gateway.add_namespace(name, StubZoo(targets),
+                                        TransferGraphConfig(),
+                                        **namespace_kwargs)
+        install_stub_fit(service, fit_seconds=fit_seconds)
+    return gateway

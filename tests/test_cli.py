@@ -50,6 +50,46 @@ class TestParser:
         assert args.command == "registry-gc"
         assert args.dry_run is True
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0",
+             "--namespace", "img=image:tiny",
+             "--namespace", "txt=text:tiny",
+             "--fit-workers", "4"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.namespaces == [("img", "image", "tiny"),
+                                   ("txt", "text", "tiny")]
+        assert args.fit_workers == 4
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.namespaces is None
+        assert args.warmup is False
+
+    def test_serve_rejects_bad_namespace_specs(self):
+        from repro.cli import parse_namespace_spec
+
+        for bad in ("noequals", "name=", "=image", "n=audio",
+                    "n=image:huge", "a/b=image", "..=image"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--namespace", bad])
+        assert parse_namespace_spec("n=text:tiny") == ("n", "text", "tiny")
+        # omitted scale resolves to the global --scale flag at serve time
+        assert parse_namespace_spec("n=text") == ("n", "text", None)
+
+    def test_serve_rejects_duplicate_namespace_names(self, capsys):
+        assert main(["serve", "--namespace", "a=image:tiny",
+                     "--namespace", "a=text:tiny"]) == 2
+        assert "duplicate namespace" in capsys.readouterr().err
+
+    def test_rank_rejects_non_positive_top(self):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["rank", "dtd", "--top", bad])
+
 
 class TestCommands:
     """End-to-end CLI runs on the tiny preset (uses the shared cache)."""
@@ -128,3 +168,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "dry run" in out
         assert junk.exists()
+
+
+class TestServeEndToEnd:
+    """`repro serve` as a real subprocess, hit over HTTP (the same
+    exchange the CI smoke-test step runs)."""
+
+    def test_serve_answers_http(self, tmp_path):
+        import json
+        import re
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "--scale", "tiny", "--seed",
+             "7", "serve", "--port", "0", "--predictor", "lr",
+             "--namespace", "img=image:tiny",
+             "--registry-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            url = None
+            for _ in range(200):           # zoo may build on first run
+                line = process.stdout.readline()
+                if not line:
+                    raise AssertionError("serve exited before listening")
+                match = re.search(r"serving on (http://[\d.:]+)", line)
+                if match:
+                    url = match.group(1)
+                    break
+            assert url is not None
+
+            with urllib.request.urlopen(f"{url}/v1/healthz", timeout=10) as r:
+                assert r.status == 200
+                health = json.loads(r.read())
+            assert health["status"] == "ok"
+            assert health["namespaces"] == ["img"]
+
+            request = urllib.request.Request(
+                f"{url}/v1/rank",
+                data=json.dumps({"namespace": "img", "target": "caltech101",
+                                 "top_k": 3}).encode(),
+                method="POST")
+            with urllib.request.urlopen(request, timeout=60) as r:
+                assert r.status == 200
+                ranking = json.loads(r.read())
+            assert ranking["kind"] == "rank_response"
+            assert ranking["target"] == "caltech101"
+            assert len(ranking["ranking"]) == 3
+        finally:
+            process.terminate()
+            process.wait(timeout=10)

@@ -1,0 +1,178 @@
+"""SelectionGateway: namespace routing, shard isolation, fleet stats."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import FeatureSet, TransferGraphConfig
+from repro.serving import (
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    SelectionGateway,
+    UnknownModelError,
+    UnknownNamespaceError,
+    UnknownTargetError,
+)
+
+from serving_stubs import stub_gateway
+
+
+@pytest.fixture(scope="module")
+def lr_config():
+    return TransferGraphConfig(predictor="lr", embedding_dim=16,
+                               features=FeatureSet.everything())
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRouting:
+    def test_requests_route_to_their_namespace(self):
+        gateway = stub_gateway(names=("alpha", "beta"))
+        try:
+            a = run(gateway.rank(RankRequest(target="t0",
+                                             namespace="alpha")))
+            b = run(gateway.rank(RankRequest(target="t0", namespace="beta")))
+            assert a.namespace == "alpha" and b.namespace == "beta"
+            assert a.ranking == b.ranking  # identical stub zoos
+            stats = gateway.stats()
+            assert stats.namespaces["alpha"]["queries"] == 1
+            assert stats.namespaces["beta"]["queries"] == 1
+            assert stats.fleet["queries"] == 2
+            assert stats.fleet["namespaces"] == 2.0
+        finally:
+            gateway.close()
+
+    def test_handle_dispatches_by_request_type(self):
+        gateway = stub_gateway(names=("alpha",))
+        try:
+            rank = run(gateway.handle(RankRequest(target="t0",
+                                                  namespace="alpha")))
+            batch = run(gateway.handle(ScoreBatchRequest(
+                pairs=(("m0", "t0"), ("m1", "t1")), namespace="alpha")))
+            assert isinstance(rank, RankResponse)
+            assert len(batch.scores) == 2
+        finally:
+            gateway.close()
+
+    def test_unknown_namespace_is_typed(self):
+        gateway = stub_gateway(names=("alpha",))
+        try:
+            with pytest.raises(UnknownNamespaceError) as exc_info:
+                run(gateway.rank(RankRequest(target="t0", namespace="nope")))
+            assert exc_info.value.namespace == "nope"
+            assert "alpha" in str(exc_info.value)
+        finally:
+            gateway.close()
+
+    def test_unknown_target_and_model_are_typed(self):
+        gateway = stub_gateway(names=("alpha",))
+        try:
+            with pytest.raises(UnknownTargetError):
+                run(gateway.rank(RankRequest(target="zzz",
+                                             namespace="alpha")))
+            with pytest.raises(UnknownModelError):
+                run(gateway.score_batch(ScoreBatchRequest(
+                    pairs=(("not_a_model", "t0"),), namespace="alpha")))
+        finally:
+            gateway.close()
+
+    def test_rejects_duplicate_and_bad_names(self):
+        gateway = stub_gateway(names=("alpha",))
+        try:
+            from serving_stubs import StubZoo
+            # '..'/'.' would escape the registry shard root as a path
+            # segment; slugs must start alphanumeric.
+            for bad in ("", "a/b", " padded ", "..", ".", ".hidden",
+                        "a\\b"):
+                with pytest.raises(ValueError):
+                    gateway.add_namespace(bad, StubZoo())
+            with pytest.raises(ValueError):
+                gateway.add_namespace("alpha", StubZoo())
+        finally:
+            gateway.close()
+
+    def test_source_datasets_are_not_servable_targets(self, tiny_image_zoo,
+                                                      lr_config):
+        """The gateway enforces the CLI's contract: only *target*
+        datasets rank; a source dataset must not burn a cold fit."""
+        gateway = SelectionGateway()
+        gateway.add_namespace("image", tiny_image_zoo, lr_config)
+        source = tiny_image_zoo.source_names()[0]
+        try:
+            with pytest.raises(UnknownTargetError):
+                run(gateway.rank(RankRequest(target=source,
+                                             namespace="image")))
+            assert gateway.stats().fleet["fits"] == 0
+        finally:
+            gateway.close()
+
+
+class TestRegistrySharding:
+    def test_namespaces_get_disjoint_shards(self, tiny_image_zoo, lr_config,
+                                            tmp_path):
+        """Two namespaces over one zoo+config never share artifacts:
+        shards are keyed by (namespace, config fingerprint)."""
+        gateway = SelectionGateway(registry_root=tmp_path)
+        gateway.add_namespace("one", tiny_image_zoo, lr_config)
+        gateway.add_namespace("two", tiny_image_zoo, lr_config)
+        target = tiny_image_zoo.target_names()[0]
+        try:
+            run(gateway.rank(RankRequest(target=target, namespace="one")))
+            one, two = gateway.service("one"), gateway.service("two")
+            assert one.registry.root == tmp_path / "one"
+            assert two.registry.root == tmp_path / "two"
+            assert one.registry.targets(lr_config) == [target]
+            assert two.registry.targets(lr_config) == []
+
+            # namespace "two" must cold-fit despite "one"'s artifact
+            run(gateway.rank(RankRequest(target=target, namespace="two")))
+            stats = gateway.stats()
+            assert stats.namespaces["two"]["fits"] == 1
+            assert stats.namespaces["two"]["registry_hits"] == 0
+        finally:
+            gateway.close()
+
+
+class TestWarmPathParity:
+    def test_gateway_matches_selection_service_exactly(self, tiny_image_zoo,
+                                                       tiny_text_zoo,
+                                                       lr_config):
+        """Acceptance: two live namespaces (distinct zoos), warm-path
+        rankings identical to the namespace's SelectionService.rank."""
+        gateway = SelectionGateway()
+        gateway.add_namespace("image", tiny_image_zoo, lr_config)
+        gateway.add_namespace("text", tiny_text_zoo, lr_config)
+        try:
+            for namespace, zoo in (("image", tiny_image_zoo),
+                                   ("text", tiny_text_zoo)):
+                target = zoo.target_names()[0]
+                request = RankRequest(target=target, namespace=namespace)
+                cold = run(gateway.rank(request))      # fits the pipeline
+                warm = run(gateway.rank(request))      # served from memory
+                expected = gateway.service(namespace).rank(target)
+                assert warm.ranking == tuple(expected)  # bit-exact floats
+                assert cold.ranking == warm.ranking
+        finally:
+            gateway.close()
+
+
+class TestLifecycle:
+    def test_close_closes_every_router(self):
+        gateway = stub_gateway(names=("alpha", "beta"))
+        gateway.close()
+        with pytest.raises(RuntimeError):
+            run(gateway.rank(RankRequest(target="t0", namespace="alpha")))
+
+    def test_async_context_manager(self):
+        async def scenario():
+            async with stub_gateway(names=("alpha",)) as gateway:
+                return await gateway.rank(RankRequest(target="t0",
+                                                      namespace="alpha"))
+
+        response = run(scenario())
+        assert response.ranking[0][0] == "m0"

@@ -1,0 +1,375 @@
+"""HTTP front door: live loopback round-trips, typed failures, 429s.
+
+Every test starts a real :class:`GatewayHTTPServer` on an ephemeral
+loopback port and talks raw HTTP/1.1 over ``asyncio.open_connection`` —
+no HTTP client library, mirroring the server's no-dependency stance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving import (
+    ErrorResponse,
+    GatewayHTTPServer,
+    RankResponse,
+    ScoreBatchResponse,
+    StatsResponse,
+)
+
+from serving_stubs import stub_gateway
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_request(host, port, method, path, body=None,
+                       raw_head: str | None = None):
+    """One HTTP/1.1 exchange; returns (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if raw_head is not None:
+            writer.write(raw_head.encode())
+        else:
+            payload = body.encode() if isinstance(body, str) else (body or b"")
+            head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+            if payload:
+                head.append(f"Content-Length: {len(payload)}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    head_raw, _, body_raw = raw.partition(b"\r\n\r\n")
+    lines = head_raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body_raw
+
+
+async def serve(gateway):
+    """Started server bound to an ephemeral loopback port."""
+    server = GatewayHTTPServer(gateway, "127.0.0.1", 0)
+    await server.start()
+    return server
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha", "beta"))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, headers, body = await http_request(
+                    host, port, "GET", "/v1/healthz")
+                await server.close()
+                return status, headers, json.loads(body)
+            finally:
+                gateway.close()
+
+        status, headers, payload = run(scenario())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert payload == {"namespaces": ["alpha", "beta"],
+                           "protocol": "v1", "status": "ok"}
+
+    def test_rank_round_trip(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/rank",
+                    body='{"namespace": "alpha", "target": "t0", "top_k": 2}')
+                await server.close()
+                return status, body, gateway.service("alpha").rank("t0",
+                                                                   top_k=2)
+            finally:
+                gateway.close()
+
+        status, body, expected = run(scenario())
+        assert status == 200
+        response = RankResponse.from_json(body)
+        assert response.namespace == "alpha"
+        assert response.target == "t0"
+        assert response.ranking == tuple(expected)  # bit-exact parity
+
+    def test_score_batch_round_trip(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                request = {"namespace": "alpha",
+                           "pairs": [["m0", "t0"], ["m2", "t1"]]}
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/score_batch",
+                    body=json.dumps(request))
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 200
+        response = ScoreBatchResponse.from_json(body)
+        assert response.pairs == (("m0", "t0"), ("m2", "t1"))
+        assert len(response.scores) == 2
+
+    def test_expect_100_continue_gets_interim_reply(self):
+        """curl sends Expect: 100-continue for larger bodies and stalls
+        ~1 s unless the server answers the interim 100."""
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                payload = b'{"namespace": "alpha", "target": "t0"}'
+                head = (f"POST /v1/rank HTTP/1.1\r\nHost: {host}\r\n"
+                        f"Expect: 100-continue\r\n"
+                        f"Content-Length: {len(payload)}\r\n\r\n")
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(head.encode())
+                    await writer.drain()
+                    interim = await reader.readuntil(b"\r\n\r\n")
+                    writer.write(payload)
+                    await writer.drain()
+                    final = await reader.read()
+                finally:
+                    writer.close()
+                await server.close()
+                return interim, final
+            finally:
+                gateway.close()
+
+        interim, final = run(scenario())
+        assert interim.startswith(b"HTTP/1.1 100 Continue")
+        assert final.startswith(b"HTTP/1.1 200 OK")
+        assert b'"kind":"rank_response"' in final
+
+    def test_stats_reports_served_traffic(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha", "beta"))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                await http_request(
+                    host, port, "POST", "/v1/rank",
+                    body='{"namespace": "alpha", "target": "t0"}')
+                status, _, body = await http_request(host, port, "GET",
+                                                     "/v1/stats")
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 200
+        stats = StatsResponse.from_json(body)
+        assert stats.namespaces["alpha"]["queries"] == 1
+        assert stats.namespaces["beta"]["queries"] == 0
+        assert stats.fleet["queries"] == 1
+
+
+class TestTypedFailures:
+    def _exchange(self, method, path, body=None, raw_head=None,
+                  names=("alpha",)):
+        async def scenario():
+            gateway = stub_gateway(names=names)
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                result = await http_request(host, port, method, path,
+                                            body=body, raw_head=raw_head)
+                await server.close()
+                return result
+            finally:
+                gateway.close()
+
+        return run(scenario())
+
+    def test_malformed_json_is_structured_400(self):
+        status, _, body = self._exchange("POST", "/v1/rank",
+                                         body="{not json at all")
+        assert status == 400
+        error = ErrorResponse.from_json(body)
+        assert error.code == "bad_request"
+
+    def test_validation_failure_is_structured_400(self):
+        status, _, body = self._exchange(
+            "POST", "/v1/rank", body='{"target": "t0", "bogus": true}')
+        assert status == 400
+        assert ErrorResponse.from_json(body).code == "bad_request"
+
+    def test_unknown_namespace_is_structured_404(self):
+        status, _, body = self._exchange(
+            "POST", "/v1/rank",
+            body='{"namespace": "nope", "target": "t0"}')
+        assert status == 404
+        error = ErrorResponse.from_json(body)
+        assert error.code == "unknown_namespace"
+        assert "nope" in error.message
+
+    def test_unknown_target_is_structured_404(self):
+        status, _, body = self._exchange(
+            "POST", "/v1/rank",
+            body='{"namespace": "alpha", "target": "zzz"}')
+        assert status == 404
+        assert ErrorResponse.from_json(body).code == "unknown_target"
+
+    def test_unknown_route_and_method(self):
+        status, _, body = self._exchange("GET", "/v2/rank")
+        assert status == 404
+        assert ErrorResponse.from_json(body).code == "not_found"
+
+        status, headers, body = self._exchange("GET", "/v1/rank")
+        assert status == 405
+        assert headers["allow"] == "POST"
+        assert ErrorResponse.from_json(body).code == "method_not_allowed"
+
+    def test_malformed_request_line(self):
+        status, _, body = self._exchange(
+            None, None, raw_head="BANANAS\r\n\r\n")
+        assert status == 400
+        assert ErrorResponse.from_json(body).code == "bad_request"
+
+    def test_idle_connection_times_out_without_response(self):
+        """A connection that never sends a request (probe/slowloris)
+        must be dropped by the read timeout, not pinned forever."""
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = GatewayHTTPServer(gateway, "127.0.0.1", 0,
+                                           read_timeout_s=0.2)
+                await server.start()
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    # no request bytes at all; server must hang up
+                    raw = await asyncio.wait_for(reader.read(), timeout=5)
+                finally:
+                    writer.close()
+                await server.close()
+                return raw
+            finally:
+                gateway.close()
+
+        assert run(scenario()) == b""  # dropped, no 500 invented
+
+    def test_oversized_body_is_413(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = GatewayHTTPServer(gateway, "127.0.0.1", 0,
+                                           max_body_bytes=64)
+                await server.start()
+                host, port = server.address
+                result = await http_request(host, port, "POST", "/v1/rank",
+                                            body="x" * 65)
+                await server.close()
+                return result
+            finally:
+                gateway.close()
+
+        status, _, body = run(scenario())
+        assert status == 413
+        assert ErrorResponse.from_json(body).code == "payload_too_large"
+
+
+class TestTwoZooAcceptance:
+    def test_two_real_namespaces_serve_byte_identical_rankings(
+            self, tiny_image_zoo, tiny_text_zoo):
+        """Acceptance: a gateway with two distinct zoos over live HTTP
+        answers rank with bodies byte-identical to the in-process
+        SelectionService for the same (namespace, target)."""
+        from repro.core import FeatureSet, TransferGraphConfig
+        from repro.serving import SelectionGateway
+
+        config = TransferGraphConfig(predictor="lr", embedding_dim=16,
+                                     features=FeatureSet.everything())
+        gateway = SelectionGateway()
+        gateway.add_namespace("image", tiny_image_zoo, config)
+        gateway.add_namespace("text", tiny_text_zoo, config)
+
+        async def scenario():
+            server = await serve(gateway)
+            host, port = server.address
+            exchanges = {}
+            for namespace, zoo in (("image", tiny_image_zoo),
+                                   ("text", tiny_text_zoo)):
+                target = zoo.target_names()[0]
+                body = json.dumps({"namespace": namespace,
+                                   "target": target})
+                await http_request(host, port, "POST", "/v1/rank",
+                                   body=body)          # cold fit
+                status, _, warm = await http_request(
+                    host, port, "POST", "/v1/rank", body=body)
+                exchanges[namespace] = (status, target, warm)
+            await server.close()
+            return exchanges
+
+        try:
+            exchanges = run(scenario())
+            for namespace in ("image", "text"):
+                status, target, body = exchanges[namespace]
+                assert status == 200
+                served = RankResponse.from_json(body)
+                expected = gateway.service(namespace).rank(target)
+                assert served.ranking == tuple(expected)  # bit-exact
+                # and the wire encoding itself is stable
+                assert RankResponse.from_json(
+                    served.to_json()).to_json() == body.decode()
+        finally:
+            gateway.close()
+
+
+class TestBackpressure:
+    def test_saturated_queue_is_429_with_retry_after(self):
+        """Concurrent cold ranks for distinct targets overflow a
+        one-slot fit queue: shed requests get 429 + Retry-After."""
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",), fit_seconds=0.3,
+                                   max_pending_fits=1, retry_after_s=0.25)
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+
+                async def rank(target):
+                    return await http_request(
+                        host, port, "POST", "/v1/rank",
+                        body=json.dumps({"namespace": "alpha",
+                                         "target": target}))
+
+                results = await asyncio.gather(rank("t0"), rank("t1"),
+                                               rank("t2"))
+                await server.close()
+                return results
+            finally:
+                gateway.close()
+
+        results = run(scenario())
+        shed = [(headers, body) for status, headers, body in results
+                if status == 429]
+        served = [body for status, _, body in results if status == 200]
+        assert len(served) >= 1 and len(shed) >= 1
+        assert len(served) + len(shed) == 3
+        for headers, body in shed:
+            error = ErrorResponse.from_json(body)
+            assert error.code == "queue_full"
+            assert error.retry_after_s >= 0.25
+            # integral header ceiling of the machine-readable hint
+            assert int(headers["retry-after"]) >= 1

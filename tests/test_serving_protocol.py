@@ -1,0 +1,164 @@
+"""The v1 wire protocol: strict round-trips, validation, stable encoding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    ERROR_CODES,
+    ErrorResponse,
+    ProtocolError,
+    RankRequest,
+    RankResponse,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    StatsResponse,
+    message_from_json,
+)
+
+_name = st.text(st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=24)
+_score = st.floats(allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------- #
+# round-trip properties
+# ---------------------------------------------------------------------- #
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(target=_name, namespace=_name,
+           top_k=st.none() | st.integers(min_value=1, max_value=1000))
+    def test_rank_request(self, target, namespace, top_k):
+        request = RankRequest(target=target, namespace=namespace, top_k=top_k)
+        assert RankRequest.from_json(request.to_json()) == request
+        # the encoding itself is stable (byte-identical re-serialisation)
+        assert RankRequest.from_json(request.to_json()).to_json() == \
+            request.to_json()
+
+    @settings(max_examples=60, deadline=None)
+    @given(namespace=_name, target=_name,
+           ranking=st.lists(st.tuples(_name, _score), max_size=12))
+    def test_rank_response(self, namespace, target, ranking):
+        response = RankResponse(namespace=namespace, target=target,
+                                ranking=tuple(ranking))
+        revived = RankResponse.from_json(response.to_json())
+        assert revived == response
+        # scores survive the wire bit-exactly (shortest-repr floats)
+        assert [s for _, s in revived.ranking] == [float(s)
+                                                   for _, s in ranking]
+
+    @settings(max_examples=60, deadline=None)
+    @given(namespace=_name,
+           pairs=st.lists(st.tuples(_name, _name), max_size=10))
+    def test_score_batch_pair(self, namespace, pairs):
+        request = ScoreBatchRequest(pairs=tuple(pairs), namespace=namespace)
+        assert ScoreBatchRequest.from_json(request.to_json()) == request
+        response = ScoreBatchResponse.build(
+            request, [float(i) for i in range(len(pairs))])
+        assert ScoreBatchResponse.from_json(response.to_json()) == response
+
+    @settings(max_examples=40, deadline=None)
+    @given(code=st.sampled_from(sorted(ERROR_CODES)), message=_name,
+           retry=st.none() | st.floats(min_value=0, max_value=1e6,
+                                       allow_nan=False))
+    def test_error_response(self, code, message, retry):
+        error = ErrorResponse(code=code, message=message, retry_after_s=retry)
+        assert ErrorResponse.from_json(error.to_json()) == error
+
+    def test_stats_response(self):
+        stats = StatsResponse(
+            namespaces={"image": {"queries": 3.0, "p50_ms": 1.5}},
+            fleet={"queries": 3.0, "namespaces": 1.0})
+        assert StatsResponse.from_json(stats.to_json()) == stats
+
+    @settings(max_examples=40, deadline=None)
+    @given(target=_name, namespace=_name)
+    def test_kind_dispatch(self, target, namespace):
+        for message in (RankRequest(target=target, namespace=namespace),
+                        ScoreBatchRequest(pairs=((target, target),),
+                                          namespace=namespace),
+                        ErrorResponse(code="internal", message="x")):
+            assert message_from_json(message.to_json()) == message
+
+
+# ---------------------------------------------------------------------- #
+# strict validation
+# ---------------------------------------------------------------------- #
+class TestValidation:
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            RankRequest.from_json("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            RankRequest.from_json("[1, 2]")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            RankRequest.from_json('{"target": "dtd", "tpo_k": 3}')
+
+    def test_rejects_missing_required(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            RankRequest.from_json('{"namespace": "image"}')
+
+    def test_rejects_wrong_kind(self):
+        payload = {"kind": "score_batch", "target": "dtd"}
+        with pytest.raises(ProtocolError, match="kind"):
+            RankRequest.from_json(json.dumps(payload))
+
+    def test_rejects_bad_top_k(self):
+        for bad in (0, -3, "five", 1.5, True):
+            with pytest.raises(ProtocolError, match="top_k"):
+                RankRequest(target="dtd", top_k=bad)
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(ProtocolError, match="target"):
+            RankRequest(target="")
+
+    def test_rejects_malformed_pairs(self):
+        for bad in ("mo", [["m0"]], [["m0", "d0", "x"]], [[1, "d0"]]):
+            with pytest.raises(ProtocolError):
+                ScoreBatchRequest(pairs=bad)
+
+    def test_rejects_score_length_mismatch(self):
+        with pytest.raises(ProtocolError, match="length"):
+            ScoreBatchResponse(namespace="n", pairs=(("m", "d"),),
+                               scores=(1.0, 2.0))
+
+    def test_rejects_unknown_error_code(self):
+        with pytest.raises(ProtocolError, match="code"):
+            ErrorResponse(code="oops", message="x")
+
+    def test_rejects_negative_retry_after(self):
+        with pytest.raises(ProtocolError, match="retry_after_s"):
+            ErrorResponse(code="queue_full", message="x", retry_after_s=-1)
+
+    def test_rejects_non_finite_scores(self):
+        """NaN/Infinity would serialise as RFC-invalid JSON; the
+        protocol refuses to build such a response at all."""
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ProtocolError, match="finite"):
+                RankResponse(namespace="n", target="t",
+                             ranking=(("m", bad),))
+
+    def test_rejects_unknown_message_kind(self):
+        with pytest.raises(ProtocolError, match="unknown message kind"):
+            message_from_json('{"kind": "frobnicate"}')
+
+    def test_rejects_unhashable_message_kind(self):
+        """A list-valued kind must be a ProtocolError, not a TypeError
+        out of the registry lookup."""
+        with pytest.raises(ProtocolError, match="unknown message kind"):
+            message_from_json('{"kind": ["rank"]}')
+
+    def test_errors_never_echo_values_of_wrong_type(self):
+        """Validation errors name the field and the *type*, not the
+        payload contents (which could be attacker-controlled junk)."""
+        secret = "super-secret-blob"
+        with pytest.raises(ProtocolError) as exc_info:
+            RankRequest(target={"blob": secret})
+        assert secret not in str(exc_info.value)

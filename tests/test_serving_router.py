@@ -328,8 +328,8 @@ class TestAsyncReplay:
         service = stub_service(fit_seconds=0.05)
         router = AsyncSelectionRouter(service, max_pending_fits=1,
                                       overflow="reject", retry_after_s=0.02)
-        from repro.serving import Query
-        workload = [Query(kind="rank", target=t) for t in
+        from repro.serving import RankRequest
+        workload = [RankRequest(target=t) for t in
                     ("t0", "t1", "t2", "t3")]
         summary = replay_concurrent(router, workload, clients=4)
         router.close()
@@ -340,8 +340,8 @@ class TestAsyncReplay:
 
     def test_replay_async_runs_inside_existing_loop(self):
         router = AsyncSelectionRouter(stub_service())
-        from repro.serving import Query
-        workload = [Query(kind="rank", target="t0")]
+        from repro.serving import RankRequest
+        workload = [RankRequest(target="t0")]
 
         async def drive():
             return await replay_async(router, workload, clients=2)
