@@ -11,7 +11,13 @@ This package reproduces "Model Selection with Model Zoo via Graph Learning"
 - :mod:`repro.graph` — graph construction and Node2Vec(+)/GraphSAGE/GAT;
 - :mod:`repro.predictors` — LR / RandomForest / XGBoost-style regressors;
 - :mod:`repro.core` — the 4-stage TransferGraph framework and evaluation;
-- :mod:`repro.baselines` — Random, LogME-as-strategy, Amazon LR.
+- :mod:`repro.strategies` — the unified SelectionStrategy API: every
+  ranker behind one fit/rank/pack interface, addressable by spec string
+  (``get_strategy("tg:lr,n2v,all" | "lr:all+logme" | "logme" | ...)``);
+- :mod:`repro.baselines` — Random, LogME-as-strategy, Amazon LR
+  (strategy subclasses);
+- :mod:`repro.serving` — artifact registry, warm-start service, async
+  router, v1 wire protocol, namespace gateway, HTTP front door.
 
 Quickstart::
 

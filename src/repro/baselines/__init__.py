@@ -7,8 +7,12 @@
   variants: ``LR`` (metadata), ``LR{all}`` (+dataset similarity),
   ``LR{all,LogME}`` (+LogME score feature).
 
-All expose the strategy protocol:
-``scores_for_target(zoo, target) -> {model_id: score}``.
+All are first-class :class:`~repro.strategies.SelectionStrategy`
+subclasses, so beyond the evaluation-harness protocol
+(``scores_for_target(zoo, target) -> {model_id: score}``) they fit,
+pack/unpack, and serve through the whole registry → service → gateway →
+HTTP stack like any other strategy
+(``repro.strategies.get_strategy("lr:all+logme" | "logme" | "random")``).
 """
 
 from repro.baselines.random_select import RandomSelection

@@ -8,41 +8,36 @@ on the fine-tuning history of all non-target datasets (LOO).  Variants:
 - ``LR{all,LogME}`` — metadata + dataset similarity + LogME score.
 
 Implementation-wise this is TransferGraph's Stage 3 with graph features
-switched off — which is precisely how the paper positions it.
+switched off — which is precisely how the paper positions it.  The class
+is a thin, backward-compatible face over the strategy layer: it *is* a
+:class:`~repro.strategies.TransferGraphStrategy` under an ``lr:`` spec,
+so the three variants are also servable end-to-end via
+``get_strategy("lr:basic" | "lr:all" | "lr:all+logme")``.
 """
 
 from __future__ import annotations
 
-from repro.core.config import FeatureSet, TransferGraphConfig
-from repro.core.framework import TransferGraph
+from repro.core.config import TransferGraphConfig
+from repro.strategies.transfer_graph import LR_VARIANTS, TransferGraphStrategy
 
 __all__ = ["AmazonLR"]
 
-_VARIANTS = {
-    "basic": (FeatureSet.basic, "LR"),
-    "all": (FeatureSet.all_no_graph, "LR{all}"),
-    "all+logme": (FeatureSet.all_logme, "LR{all,LogME}"),
-}
 
-
-class AmazonLR:
+class AmazonLR(TransferGraphStrategy):
     """Metadata linear regression in three feature variants."""
 
     def __init__(self, variant: str = "basic", seed: int = 0,
                  label_method: str = "finetune"):
-        if variant not in _VARIANTS:
+        if variant not in LR_VARIANTS:
             raise ValueError(
-                f"unknown variant {variant!r}; expected one of {sorted(_VARIANTS)}")
-        feature_set, name = _VARIANTS[variant]
+                f"unknown variant {variant!r}; expected one of "
+                f"{sorted(LR_VARIANTS)}")
+        feature_set, name = LR_VARIANTS[variant]
         self.variant = variant
-        self.name = name
         config = TransferGraphConfig(
             predictor="lr",
             features=feature_set(),
             label_method=label_method,
             seed=seed,
         )
-        self._tg = TransferGraph(config)
-
-    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
-        return self._tg.scores_for_target(zoo, target)
+        super().__init__(config, spec=f"lr:{variant}", name=name)

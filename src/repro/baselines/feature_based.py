@@ -2,35 +2,18 @@
 
 The paper's main feature-based baseline is LogME [4]: score every model
 with a forward pass on the target dataset, no fine-tuning and no learning
-from history.
+from history.  :class:`FeatureBasedStrategy` is the backward-compatible
+name for :class:`~repro.strategies.TransferabilityStrategy` — the same
+ranker is servable end-to-end via ``get_strategy("logme")`` (or any
+other estimator name).
 """
 
 from __future__ import annotations
 
-from repro.transferability import get_estimator, score_model_on_dataset
+from repro.strategies.score_based import TransferabilityStrategy
 
 __all__ = ["FeatureBasedStrategy"]
 
 
-class FeatureBasedStrategy:
+class FeatureBasedStrategy(TransferabilityStrategy):
     """Scores = estimator(model features on target).  Default: LogME."""
-
-    def __init__(self, metric: str = "logme", record: bool = True):
-        self.metric = metric
-        self.record = record
-        self.name = {"logme": "LogME"}.get(metric, metric.upper())
-        get_estimator(metric)  # fail fast on unknown metric
-
-    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
-        scores: dict[str, float] = {}
-        for model_id in zoo.model_ids():
-            cached = zoo.catalog.get_transferability(model_id, target,
-                                                     metric=self.metric)
-            if cached is None:
-                cached = score_model_on_dataset(zoo, model_id, target,
-                                                self.metric)
-                if self.record:
-                    zoo.catalog.record_transferability(model_id, target,
-                                                       self.metric, cached)
-            scores[model_id] = cached
-        return scores

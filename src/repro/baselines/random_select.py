@@ -1,22 +1,16 @@
-"""Random model selection — the naive baseline of Fig. 2."""
+"""Random model selection — the naive baseline of Fig. 2.
+
+:class:`RandomSelection` is the backward-compatible name for
+:class:`~repro.strategies.RandomStrategy`, kept so the evaluation
+harness and older call sites read as the paper does.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.utils.rng import derive_seed
+from repro.strategies.score_based import RandomStrategy
 
 __all__ = ["RandomSelection"]
 
 
-class RandomSelection:
+class RandomSelection(RandomStrategy):
     """Assigns i.i.d. uniform scores; deterministic per (seed, target)."""
-
-    def __init__(self, seed: int = 0):
-        self.seed = seed
-        self.name = "Random"
-
-    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
-        rng = np.random.default_rng(derive_seed(self.seed, "random", target))
-        model_ids = zoo.model_ids()
-        return dict(zip(model_ids, rng.random(len(model_ids))))

@@ -3,16 +3,23 @@
 Commands
 --------
 ``build-zoo``   build (and cache) a model zoo
-``rank``        rank zoo models for a target dataset with TransferGraph
+``rank``        rank zoo models for a target dataset (``--strategy`` picks
+                any registered ranker; default TransferGraph)
 ``evaluate``    run the leave-one-out comparison of selection strategies
 ``stats``       print catalog + graph statistics (Table II style)
 ``warmup``      pre-fit every target's pipeline into the artifact registry
 ``serve``       HTTP front door: a multi-namespace selection gateway on
                 ``/v1/rank``, ``/v1/score_batch``, ``/v1/stats``,
-                ``/v1/healthz``
+                ``/v1/healthz``; repeatable ``--strategy`` adds rankers
+                to every namespace's strategy map
 ``serve-sim``   replay a synthetic query workload against the service
                 (``--concurrency N`` routes it through the async router)
-``registry-gc`` sweep artifacts no live config/catalog can serve
+``registry-gc`` sweep artifacts no live strategy/catalog can serve
+                (``--gateway`` sweeps the namespace-sharded layout)
+
+Strategy specs (see :mod:`repro.strategies`): ``tg:PRED,LEARNER,FEAT``,
+``lr:basic|all|all+logme``, any transferability estimator (``logme``,
+``leep``, ...), ``random[:SEED]``.
 """
 
 from __future__ import annotations
@@ -37,9 +44,10 @@ def default_gateway_registry_dir() -> Path:
 
     Deliberately distinct from :func:`default_registry_dir`: the gateway
     layout inserts a namespace directory level
-    (``<root>/<namespace>/<config_fp>/<target>``), which ``registry-gc``
-    — which expects fingerprint directories at the top level — must not
-    sweep as dead namespaces.
+    (``<root>/<namespace>/<strategy_fp>/<target>``), which the flat
+    ``registry-gc`` sweep must not mistake for dead fingerprint
+    namespaces — ``repro registry-gc --gateway`` sweeps this root with
+    the shard-aware layout instead.
     """
     from repro.zoo.cache import default_cache_dir
 
@@ -70,6 +78,17 @@ def _graph_learner_choices() -> tuple[str, ...]:
     from repro.graph import GRAPH_LEARNERS
 
     return tuple(sorted(GRAPH_LEARNERS))
+
+
+def _strategy_spec(value: str) -> str:
+    """argparse type for ``--strategy``: validate the spec, keep the string."""
+    from repro.strategies import UnknownStrategyError, get_strategy
+
+    try:
+        get_strategy(value)
+    except UnknownStrategyError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 _SCALES = ("tiny", "small", "default")
@@ -131,10 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     predictors = _predictor_choices()
     learners = _graph_learner_choices()
 
-    def add_strategy_args(p: argparse.ArgumentParser) -> None:
+    def add_strategy_args(p: argparse.ArgumentParser,
+                          strategy_flag: bool = True) -> None:
         p.add_argument("--predictor", choices=predictors, default="xgb")
         p.add_argument("--graph-learner", default="node2vec",
                        choices=learners)
+        if strategy_flag:
+            p.add_argument("--strategy", type=_strategy_spec, default=None,
+                           metavar="SPEC",
+                           help="serve this strategy instead of the classic "
+                                "TransferGraph built from --predictor/"
+                                "--graph-learner (e.g. tg:lr,n2v,all, "
+                                "lr:all+logme, logme, random)")
 
     def add_registry_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--registry-dir", type=Path, default=None,
@@ -171,7 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
                        type=parse_namespace_spec, metavar="NAME=MODALITY[:SCALE]",
                        help="serve this namespace (repeatable); default: "
                             "one namespace named after --modality")
-    add_strategy_args(serve)
+    add_strategy_args(serve, strategy_flag=False)
+    serve.add_argument("--strategy", action="append", dest="strategies",
+                       type=_strategy_spec, metavar="SPEC",
+                       help="add this strategy to every namespace's map "
+                            "(repeatable); the classic TransferGraph from "
+                            "--predictor/--graph-learner stays the default "
+                            "answering requests without a strategy field")
+    serve.add_argument("--shed-start", type=_fraction, default=1.0,
+                       help="queue-depth fraction where probabilistic early "
+                            "shedding begins (1.0 = hard cliff only)")
     serve.add_argument("--registry-dir", type=Path, default=None,
                        help="gateway registry root, sharded per namespace "
                             "(default: <zoo cache>/serving_namespaces)")
@@ -204,18 +240,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--partition", action="store_true",
                      help="split the stream across clients instead of "
                           "replaying it once per client")
+    sim.add_argument("--shed-start", type=_fraction, default=1.0,
+                     help="queue-depth fraction where probabilistic early "
+                          "shedding begins (1.0 = hard cliff only)")
 
     gc = sub.add_parser(
         "registry-gc",
-        help="sweep registry artifacts no live config/catalog can serve")
+        help="sweep registry artifacts no live strategy/catalog can serve")
     add_strategy_args(gc)
     add_registry_arg(gc)
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without deleting")
     gc.add_argument("--only-strategy", action="store_true",
-                    help="treat ONLY the --predictor/--graph-learner pair "
-                         "as live (default: every strategy the CLI can "
-                         "currently serve)")
+                    help="treat ONLY the --strategy (or --predictor/"
+                         "--graph-learner) selection as live (default: "
+                         "every strategy the CLI can currently serve)")
+    gc.add_argument("--gateway", action="store_true",
+                    help="sweep the gateway's namespace-sharded layout "
+                         "(<root>/<namespace>/<strategy_fp>/<target>); "
+                         "default root becomes the gateway registry dir. "
+                         "Shards may serve different zoos, so this sweeps "
+                         "dead strategies and crash partials only — never "
+                         "catalog-stale artifacts")
     return parser
 
 
@@ -240,6 +286,40 @@ def _tg_strategy(predictor: str, graph_learner: str = "node2vec"):
     return TransferGraph(_tg_config(predictor, graph_learner))
 
 
+#: TransferGraphConfig overrides the CLI applies to tg:/lr: specs, so a
+#: --strategy TG variant fingerprints identically to the classic flags
+_CLI_TG_OVERRIDES = {"embedding_dim": 32}
+
+
+def _cli_strategy(spec: str):
+    """Resolve one --strategy spec under the CLI's TG config defaults."""
+    from repro.strategies import get_strategy
+
+    return get_strategy(spec, **_CLI_TG_OVERRIDES)
+
+
+def _cli_default_strategy(args):
+    """The strategy the CLI serves when no --strategy is given (or the
+    given one): classic TransferGraph from --predictor/--graph-learner."""
+    from repro.strategies import TransferGraphStrategy
+
+    spec = getattr(args, "strategy", None)
+    if spec:
+        return _cli_strategy(spec)
+    return TransferGraphStrategy(_tg_config(args.predictor,
+                                            args.graph_learner))
+
+
+def _cli_live_strategies():
+    """Every strategy the CLI can currently serve (the registry-gc
+    default live set): all TG predictor × learner × feature-tag combos
+    under the CLI's config defaults, the LR baselines, every
+    transferability estimator, and random."""
+    from repro.strategies import available_specs
+
+    return [_cli_strategy(spec) for spec in available_specs()]
+
+
 def _service(zoo, args, cache_size: int = 32):
     from repro.serving import ArtifactRegistry, SelectionService
 
@@ -247,9 +327,8 @@ def _service(zoo, args, cache_size: int = 32):
     if not getattr(args, "no_registry", False):
         root = args.registry_dir or default_registry_dir()
         registry = ArtifactRegistry(root)
-    config = _tg_config(args.predictor, args.graph_learner)
-    return SelectionService(zoo, config, registry=registry,
-                            cache_size=cache_size)
+    return SelectionService(zoo, _cli_default_strategy(args),
+                            registry=registry, cache_size=cache_size)
 
 
 def _cmd_build_zoo(args) -> int:
@@ -274,7 +353,7 @@ def _cmd_rank(args) -> int:
     response = service.handle(RankRequest(target=args.target,
                                           top_k=args.top))
     print(f"top {args.top} models for {response.target} "
-          f"({service.config.strategy_name()}):")
+          f"({service.strategy.name}):")
     for model_id, score in response.ranking:
         spec = zoo.model(model_id).spec
         print(f"  {model_id:<26} {score:+.3f}  "
@@ -322,7 +401,7 @@ def _cmd_warmup(args) -> int:
     zoo = _load_zoo(args)
     service = _service(zoo, args, cache_size=max(32, len(zoo.target_names())))
     print(f"warming {len(zoo.target_names())} targets into "
-          f"{service.registry.root} ({service.config.strategy_name()})")
+          f"{service.registry.root} ({service.strategy.name})")
     timings = service.warmup()
     for target, seconds in timings.items():
         print(f"  {target:<26} {seconds * 1e3:8.1f} ms")
@@ -348,18 +427,28 @@ def _cmd_serve(args) -> int:
     root = args.registry_dir or default_gateway_registry_dir()
     gateway = SelectionGateway(registry_root=root)
     presets = _scale_presets()
+    default_strategy = _cli_default_strategy(args)
+    extra_strategies: list = []
+    for spec in args.strategies or []:
+        strat = _cli_strategy(spec)
+        if strat.spec != default_strategy.spec and \
+                all(strat.spec != s.spec for s in extra_strategies):
+            extra_strategies.append(strat)
     for name, modality, scale in specs:
         scale = scale or args.scale  # spec omitted :SCALE -> --scale
         zoo = get_or_build_zoo(presets[scale](modality=modality,
                                               seed=args.seed))
         gateway.add_namespace(
-            name, zoo, _tg_config(args.predictor, args.graph_learner),
+            name, zoo, default_strategy,
+            strategies=extra_strategies,
             cache_size=args.cache_size,
             max_pending_fits=args.max_pending_fits,
-            fit_workers=args.fit_workers)
+            fit_workers=args.fit_workers,
+            shed_start=args.shed_start)
         print(f"namespace {name!r}: {modality}/{scale} zoo, "
               f"{len(zoo.model_ids())} models, "
-              f"{len(zoo.target_names())} targets "
+              f"{len(zoo.target_names())} targets, "
+              f"strategies: {', '.join(gateway.strategies(name))} "
               f"(registry shard {root / name})", flush=True)
 
     async def run() -> None:
@@ -376,6 +465,11 @@ def _cmd_serve(args) -> int:
         print(f"  curl -X POST http://{host}:{port}/v1/rank -d "
               f"'{{\"namespace\": \"{example}\", \"target\": \"{target}\", "
               f"\"top_k\": 5}}'", flush=True)
+        if extra_strategies:
+            print(f"  curl -X POST http://{host}:{port}/v1/rank -d "
+                  f"'{{\"namespace\": \"{example}\", \"target\": "
+                  f"\"{target}\", \"strategy\": "
+                  f"\"{extra_strategies[0].spec}\"}}'", flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -407,17 +501,18 @@ def _cmd_serve_sim(args) -> int:
 
     if args.concurrency == 1:
         print(f"replaying {len(workload)} queries "
-              f"({service.config.strategy_name()}, "
+              f"({service.strategy.name}, "
               f"registry={'on' if service.registry else 'off'})")
         summary = replay(service, workload)
     else:
         total = len(workload) if args.partition \
             else len(workload) * args.concurrency
         print(f"replaying {total} queries over {args.concurrency} "
-              f"async clients ({service.config.strategy_name()}, "
+              f"async clients ({service.strategy.name}, "
               f"registry={'on' if service.registry else 'off'})")
         router = AsyncSelectionRouter(
-            service, max_pending_fits=args.max_pending_fits)
+            service, max_pending_fits=args.max_pending_fits,
+            shed_start=args.shed_start)
         try:
             summary = replay_concurrent(router, workload,
                                         clients=args.concurrency,
@@ -445,23 +540,38 @@ def _cmd_serve_sim(args) -> int:
 def _cmd_registry_gc(args) -> int:
     from repro.serving import ArtifactRegistry
 
-    zoo = _load_zoo(args)
-    root = args.registry_dir or default_registry_dir()
+    if args.gateway:
+        # Gateway shards may serve different zoos per namespace
+        # (--namespace NAME=MODALITY[:SCALE]); one catalog fingerprint
+        # cannot judge staleness across them, so the sharded sweep only
+        # removes dead fingerprints and crash partials.
+        zoo = None
+        root = args.registry_dir or default_gateway_registry_dir()
+        layout = "namespaces"
+    else:
+        zoo = _load_zoo(args)
+        root = args.registry_dir or default_registry_dir()
+        layout = "flat"
     registry = ArtifactRegistry(root)
     if args.only_strategy:
-        live = [_tg_config(args.predictor, args.graph_learner)]
-        scope = live[0].strategy_name()
+        live = [_cli_default_strategy(args)]
+        scope = live[0].name
     else:
         # Anything the CLI can still serve is live: artifacts warmed
-        # under a *different* predictor/learner than today's flags must
-        # survive a sweep, or the next query under that strategy refits.
-        live = [_tg_config(p, g) for p in _predictor_choices()
-                for g in _graph_learner_choices()]
+        # under a *different* strategy than today's flags must survive
+        # a sweep, or the next query under that strategy refits.  The
+        # enumerable roster can't cover parameterized specs (random:N),
+        # so an explicit --strategy joins it.
+        live = _cli_live_strategies()
+        if args.strategy:
+            live.append(_cli_strategy(args.strategy))
         scope = f"all {len(live)} servable strategies"
-    report = registry.gc(live, zoo, dry_run=args.dry_run)
+    report = registry.gc(live, zoo, dry_run=args.dry_run, layout=layout)
     verb = "would reclaim" if args.dry_run else "reclaimed"
     print(f"registry-gc {root} "
-          f"(live: {scope}{', dry run' if args.dry_run else ''})")
+          f"(live: {scope}"
+          f"{', gateway layout' if args.gateway else ''}"
+          f"{', dry run' if args.dry_run else ''})")
     print(f"  namespaces removed {report['namespaces_removed']:6d}")
     print(f"  artifacts removed  {report['artifacts_removed']:6d}")
     print(f"  artifacts kept     {report['artifacts_kept']:6d}")

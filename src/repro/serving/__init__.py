@@ -12,13 +12,15 @@ true operationally:
 - :mod:`repro.serving.protocol` — the typed v1 wire protocol every
   entry point (Python, CLI, HTTP) speaks;
 - :mod:`repro.serving.service` — :class:`SelectionService`, the LRU
-  warm-start facade with per-query latency/hit-rate counters;
+  warm-start facade (one per served
+  :class:`~repro.strategies.SelectionStrategy`) with per-query
+  latency/hit-rate counters;
 - :mod:`repro.serving.router` — :class:`AsyncSelectionRouter`, the
   asyncio front-end with single-flight fit coalescing, parallel cold
   fits, and a bounded cold-fit queue with adaptive backpressure;
 - :mod:`repro.serving.gateway` — :class:`SelectionGateway`, routing
-  protocol requests across named (zoo, config) namespaces with
-  per-namespace registry shards;
+  protocol requests across named namespaces (each a zoo behind a
+  spec-keyed strategy map) with per-namespace registry shards;
 - :mod:`repro.serving.http` — the dependency-free asyncio HTTP front
   door (``repro serve``): ``/v1/rank``, ``/v1/score_batch``,
   ``/v1/stats``, ``/v1/healthz``;
@@ -63,6 +65,7 @@ from repro.serving.gateway import (
     SelectionGateway,
     UnknownModelError,
     UnknownNamespaceError,
+    UnknownStrategyError,
     UnknownTargetError,
 )
 from repro.serving.http import GatewayHTTPServer
@@ -104,6 +107,7 @@ __all__ = [
     "SelectionGateway",
     "UnknownModelError",
     "UnknownNamespaceError",
+    "UnknownStrategyError",
     "UnknownTargetError",
     "GatewayHTTPServer",
     "WorkloadConfig",

@@ -10,10 +10,14 @@ An artifact is a pair ``(meta, arrays)``:
   losslessly in one ``.npz`` file by the registry.
 
 Splitting this way keeps the metadata human-inspectable while arrays
-round-trip bit-for-bit.  The LOO graph itself is *not* stored: it is
-rebuilt deterministically from the catalog at load time, which both keeps
-artifacts small and guarantees the graph can never drift from the catalog
-it claims to match.
+round-trip bit-for-bit.  The pruned LOO graph is stored too (node ids +
+kinds and edge endpoints/kinds in the meta, edge weights in the arrays):
+rebuilding it from the catalog dominated registry-warm loads (~200 ms on
+the tiny zoo), so revival now reconstructs it from the artifact instead.
+Drift is impossible because every load already validates the catalog
+fingerprint — a catalog change stales the whole artifact, graph
+included.  Artifacts written before the graph was stored (no ``graph``
+key) still load via the deterministic rebuild.
 """
 
 from __future__ import annotations
@@ -107,7 +111,40 @@ def pack_fitted(fitted: FittedTransferGraph, config: TransferGraphConfig,
         "assembler_state": _pack_value(fitted.assembler.get_state(), arrays,
                                        "assembler"),
     }
+
+    graph = getattr(fitted.assembler, "graph", None)
+    if graph is not None:
+        edges = graph.edges()
+        meta["graph"] = {
+            "nodes": [[n, graph.node_kind(n)] for n in graph.nodes()],
+            "edges": [[e.u, e.v, e.kind] for e in edges],
+        }
+        arrays[f"graph{_SEP}edge_weights"] = np.asarray(
+            [e.weight for e in edges], dtype=np.float64)
     return meta, arrays
+
+
+def _graph_from_meta(stored: dict, arrays: dict):
+    """Reconstruct the pruned LOO graph persisted by :func:`pack_fitted`.
+
+    Node features are deliberately not restored: after the fit, the
+    assembler only walks edges (the two-hop affinity feature); the graph
+    learner never runs again on a revived pipeline.
+    """
+    from repro.graph.graph import ModelDatasetGraph
+
+    graph = ModelDatasetGraph()
+    for node_id, kind in stored["nodes"]:
+        graph.add_node(node_id, kind)
+    weights = np.asarray(arrays[f"graph{_SEP}edge_weights"],
+                         dtype=np.float64)
+    if len(weights) != len(stored["edges"]):
+        raise ValueError(
+            f"graph edge list ({len(stored['edges'])}) and weight vector "
+            f"({len(weights)}) disagree")
+    for (u, v, kind), weight in zip(stored["edges"], weights):
+        graph.add_edge(u, v, float(weight), kind)
+    return graph
 
 
 def unpack_fitted(meta: dict, arrays: dict, zoo,
@@ -138,8 +175,20 @@ def unpack_fitted(meta: dict, arrays: dict, zoo,
 
     graph = None
     if config.features.graph_features:
-        # Deterministic rebuild of the LOO graph (cheap: no learner).
-        graph, _ = GraphBuilder(zoo, config.graph).build(exclude_target=target)
+        stored = meta.get("graph")
+        if stored is not None:
+            # Warm path: the pruned LOO graph ships inside the artifact,
+            # so revival skips the catalog rebuild entirely.  Derived
+            # similarity tables may still be cold in a fresh process —
+            # ensure them (a few lookups when already filled) without
+            # paying for graph construction.
+            graph = _graph_from_meta(stored, arrays)
+            GraphBuilder(zoo, config.graph).ensure_similarities()
+        else:
+            # Legacy artifact (predates the stored graph): deterministic
+            # rebuild from the catalog (no learner runs).
+            graph, _ = GraphBuilder(zoo, config.graph).build(
+                exclude_target=target)
 
     assembler = FeatureAssembler(
         zoo=zoo,

@@ -25,15 +25,21 @@ from repro.core.config import FeatureSet, TransferGraphConfig
 from repro.graph import GraphConfig
 
 __all__ = ["config_fingerprint", "catalog_fingerprint", "config_from_dict",
-           "CATALOG_FINGERPRINT_TABLES"]
+           "stable_digest", "CATALOG_FINGERPRINT_TABLES"]
 
 #: the ground-truth tables whose content invalidates fitted artifacts
 CATALOG_FINGERPRINT_TABLES = ("models", "datasets", "history")
 
 
-def _digest(payload) -> str:
+def stable_digest(payload) -> str:
+    """THE digest rule keying registry directories (strategy, config,
+    and catalog fingerprints all share it — see also
+    :meth:`repro.strategies.ScoreTableStrategy.fingerprint`)."""
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.blake2b(blob, digest_size=10).hexdigest()
+
+
+_digest = stable_digest
 
 
 def config_fingerprint(config: TransferGraphConfig) -> str:

@@ -1,21 +1,30 @@
 """Multi-tenant selection gateway: N named namespaces, one front door.
 
-A *namespace* is an independently-served (zoo, config) pair — one
-modality's zoo under one :class:`~repro.core.TransferGraphConfig` —
-with its own registry shard, warm cache, and async router.  The
-:class:`SelectionGateway` routes typed protocol requests to the
-namespace they name:
+A *namespace* is an independently-served zoo under a *strategy map* —
+one or more :class:`~repro.strategies.SelectionStrategy` instances, each
+with its own warm cache and async router, all sharing the namespace's
+registry shard.  The :class:`SelectionGateway` routes typed protocol
+requests to the namespace they name and, within it, to the strategy
+their optional ``strategy`` field selects:
 
-- registry shards are keyed by ``(namespace, config fingerprint)`` —
-  on disk, ``<root>/<namespace>/<config_fp>/<target>`` — so two
+- registry shards are keyed by ``(namespace, strategy fingerprint)`` —
+  on disk, ``<root>/<namespace>/<strategy_fp>/<target>`` — so two
   namespaces never serve each other's artifacts even under identical
-  configs;
-- unknown namespaces raise :class:`UnknownNamespaceError` (the HTTP
-  front door maps it to a typed 404 body), unknown targets/models get
-  their own typed errors instead of leaking service internals;
+  strategies;
+- an omitted ``strategy`` field serves the namespace's *default*
+  strategy, keeping pre-strategy requests byte-identical; an unknown
+  spec raises :class:`~repro.strategies.UnknownStrategyError` (the HTTP
+  front door maps it to a typed 404 body), and unknown
+  namespaces/targets/models keep their own typed errors;
 - :meth:`SelectionGateway.stats` merges every namespace's raw counter
-  snapshots into a fleet-wide summary (true percentiles over the pooled
-  latency windows, not averages of per-namespace percentiles).
+  snapshots — pooled across its strategies — into a fleet-wide summary
+  (true percentiles over the pooled latency windows, not averages of
+  per-namespace percentiles).
+
+Serving several strategies over one namespace turns the paper's
+Table-style comparison into a live workload: the same ``/v1/rank``
+request with different ``strategy`` values answers a TG variant, an LR
+baseline, and a transferability-only ranker head-to-head.
 
 The gateway is the in-process seam the HTTP front door
 (:mod:`repro.serving.http`) sits on: both speak only protocol types.
@@ -26,7 +35,6 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.core import TransferGraphConfig
 from repro.serving.protocol import (
     RankRequest,
     RankResponse,
@@ -37,9 +45,15 @@ from repro.serving.protocol import (
 from repro.serving.registry import ArtifactRegistry
 from repro.serving.router import AsyncSelectionRouter, RouterStats
 from repro.serving.service import SelectionService, ServiceStats
+from repro.strategies import (
+    UnknownStrategyError,
+    canonical_spec,
+    normalize_spec,
+    resolve_strategy,
+)
 
 __all__ = ["SelectionGateway", "UnknownNamespaceError", "UnknownTargetError",
-           "UnknownModelError"]
+           "UnknownModelError", "UnknownStrategyError"]
 
 #: namespace names become registry path segments, so they must be plain
 #: slugs — in particular '.'/'..' must not resolve outside the shard root
@@ -81,23 +95,57 @@ class UnknownModelError(ValueError):
         self.namespace = namespace
 
 
-class _Namespace:
-    """One tenant: a service + router pair under a name."""
+class _Entry:
+    """One strategy of a namespace: its service + router pair."""
 
-    def __init__(self, name: str, service: SelectionService,
+    __slots__ = ("service", "router")
+
+    def __init__(self, service: SelectionService,
                  router: AsyncSelectionRouter):
-        self.name = name
         self.service = service
         self.router = router
+
+
+class _Namespace:
+    """One tenant: a zoo behind a spec-keyed strategy map."""
+
+    def __init__(self, name: str, zoo):
+        self.name = name
+        self.zoo = zoo
+        #: canonical spec -> _Entry; insertion order is registration order
+        self.entries: dict[str, _Entry] = {}
+        self.default_spec: str | None = None
         # Frozen at registration so per-request validation costs two set
         # probes, not two sorted list rebuilds (zoos are immutable
         # between explicit invalidations).
-        self.targets = frozenset(service.zoo.target_names())
-        self.models = frozenset(service.zoo.model_ids())
+        self.targets = frozenset(zoo.target_names())
+        self.models = frozenset(zoo.model_ids())
+
+    def entry_for(self, spec: str | None) -> _Entry:
+        """The (service, router) pair a request's ``strategy`` selects.
+
+        Alias spellings route like their canonical form (``random:0`` →
+        ``random``), exactly as :func:`repro.strategies.get_strategy`
+        would accept them; custom strategies with non-lowercase specs
+        match exactly (they have no alias spellings to normalise).
+        """
+        if spec is None:
+            return self.entries[self.default_spec]
+        entry = self.entries.get(spec) \
+            or self.entries.get(canonical_spec(spec)) \
+            or self.entries.get(normalize_spec(spec))
+        if entry is None:
+            raise UnknownStrategyError(spec, list(self.entries))
+        return entry
+
+    def specs(self) -> list[str]:
+        """Served strategy specs, default first."""
+        others = sorted(s for s in self.entries if s != self.default_spec)
+        return [self.default_spec, *others]
 
 
 class SelectionGateway:
-    """Route protocol requests across named (zoo, config) namespaces.
+    """Route protocol requests across named (zoo, strategy map) namespaces.
 
     Parameters
     ----------
@@ -119,15 +167,26 @@ class SelectionGateway:
     # namespace management
     # ------------------------------------------------------------------ #
     def add_namespace(self, name: str, zoo,
-                      config: TransferGraphConfig | None = None, *,
+                      strategy=None, *,
+                      strategies: tuple = (),
                       registry: ArtifactRegistry | None = None,
                       cache_size: int = 32,
                       max_pending_fits: int = 8,
                       overflow: str = "reject",
                       retry_after_s: float = 0.5,
                       fit_workers: int = 2,
-                      predict_workers: int = 4) -> SelectionService:
-        """Register one namespace; returns its service (e.g. for warmup)."""
+                      predict_workers: int = 4,
+                      shed_start: float = 1.0) -> SelectionService:
+        """Register one namespace; returns its *default* service.
+
+        ``strategy`` is the namespace's default (anything
+        :func:`repro.strategies.resolve_strategy` accepts — strategy
+        instance, spec string, TG config, or ``None`` for TG defaults);
+        ``strategies`` adds further rankers to the namespace's map, each
+        served under its canonical spec.  Every strategy shares the
+        namespace's registry shard — artifacts stay disjoint because
+        the shard is keyed by strategy fingerprint below that.
+        """
         if not _NAMESPACE_NAME.fullmatch(name):
             raise ValueError(
                 f"namespace name {name!r} must match "
@@ -137,23 +196,41 @@ class SelectionGateway:
             raise ValueError(f"namespace {name!r} already registered")
         if registry is None and self._registry_root is not None:
             registry = ArtifactRegistry(self._registry_root / name)
-        service = SelectionService(zoo, config, registry=registry,
-                                   cache_size=cache_size)
-        router = AsyncSelectionRouter(
-            service, max_pending_fits=max_pending_fits, overflow=overflow,
-            retry_after_s=retry_after_s, fit_workers=fit_workers,
-            predict_workers=predict_workers)
-        self._namespaces[name] = _Namespace(name, service, router)
-        return service
+
+        ns = _Namespace(name, zoo)
+        resolved = [resolve_strategy(strategy)]
+        resolved += [resolve_strategy(s) for s in strategies]
+        for strat in resolved:
+            if strat.spec in ns.entries:
+                raise ValueError(
+                    f"strategy {strat.spec!r} registered twice in "
+                    f"namespace {name!r}")
+            service = SelectionService(zoo, strat, registry=registry,
+                                       cache_size=cache_size)
+            router = AsyncSelectionRouter(
+                service, max_pending_fits=max_pending_fits,
+                overflow=overflow, retry_after_s=retry_after_s,
+                fit_workers=fit_workers, predict_workers=predict_workers,
+                shed_start=shed_start)
+            ns.entries[strat.spec] = _Entry(service, router)
+        ns.default_spec = resolved[0].spec
+        self._namespaces[name] = ns
+        return ns.entries[ns.default_spec].service
 
     def namespaces(self) -> list[str]:
         return sorted(self._namespaces)
 
-    def service(self, namespace: str) -> SelectionService:
-        return self._get(namespace).service
+    def strategies(self, namespace: str) -> list[str]:
+        """Strategy specs a namespace serves, default first."""
+        return self._get(namespace).specs()
 
-    def router(self, namespace: str) -> AsyncSelectionRouter:
-        return self._get(namespace).router
+    def service(self, namespace: str,
+                strategy: str | None = None) -> SelectionService:
+        return self._get(namespace).entry_for(strategy).service
+
+    def router(self, namespace: str,
+               strategy: str | None = None) -> AsyncSelectionRouter:
+        return self._get(namespace).entry_for(strategy).router
 
     def _get(self, namespace: str) -> _Namespace:
         ns = self._namespaces.get(namespace)
@@ -182,15 +259,17 @@ class SelectionGateway:
 
     async def rank(self, request: RankRequest) -> RankResponse:
         ns = self._get(request.namespace)
+        entry = ns.entry_for(request.strategy)
         self._check_names(ns, {request.target}, set())
-        return await ns.router.handle(request)
+        return await entry.router.handle(request)
 
     async def score_batch(self, request: ScoreBatchRequest
                           ) -> ScoreBatchResponse:
         ns = self._get(request.namespace)
+        entry = ns.entry_for(request.strategy)
         self._check_names(ns, {t for _, t in request.pairs},
                           {m for m, _ in request.pairs})
-        return await ns.router.handle(request)
+        return await entry.router.handle(request)
 
     async def handle(self, request: RankRequest | ScoreBatchRequest):
         """Dispatch one protocol request to its namespace's router."""
@@ -203,11 +282,20 @@ class SelectionGateway:
 
     async def warmup(self, namespace: str | None = None
                      ) -> dict[str, dict[str, float]]:
-        """Pre-fit targets — one namespace or all; seconds per target."""
+        """Pre-fit targets — one namespace or all; seconds per target.
+
+        Every strategy in a namespace's map is warmed; per-target
+        seconds sum across strategies.
+        """
         names = [namespace] if namespace is not None else self.namespaces()
         out: dict[str, dict[str, float]] = {}
         for name in names:
-            out[name] = await self._get(name).router.warmup()
+            ns = self._get(name)
+            totals: dict[str, float] = {}
+            for entry in ns.entries.values():
+                for target, seconds in (await entry.router.warmup()).items():
+                    totals[target] = totals.get(target, 0.0) + seconds
+            out[name] = totals
         return out
 
     # ------------------------------------------------------------------ #
@@ -216,18 +304,23 @@ class SelectionGateway:
     def stats(self) -> StatsResponse:
         """Per-namespace summaries + fleet-wide aggregate.
 
-        The fleet row merges *raw* snapshots — counters sum, latency
-        windows pool — so fleet percentiles are computed over every
-        query, not averaged from per-namespace percentiles.
+        Each namespace row pools its strategies' *raw* snapshots, and
+        the fleet row pools every namespace — counters sum, latency
+        windows extend — so all percentiles are computed over every
+        query, not averaged from partial percentiles.
         """
         per_namespace: dict[str, dict[str, float]] = {}
         fleet_service, fleet_router = ServiceStats(), RouterStats()
         for name, ns in sorted(self._namespaces.items()):
-            service_snap, router_snap = ns.router.stats_snapshot()
-            per_namespace[name] = {**service_snap.summary(),
-                                   **router_snap.summary()}
-            fleet_service.merge(service_snap)
-            fleet_router.merge(router_snap)
+            ns_service, ns_router = ServiceStats(), RouterStats()
+            for entry in ns.entries.values():
+                service_snap, router_snap = entry.router.stats_snapshot()
+                ns_service.merge(service_snap)
+                ns_router.merge(router_snap)
+            per_namespace[name] = {**ns_service.summary(),
+                                   **ns_router.summary()}
+            fleet_service.merge(ns_service)
+            fleet_router.merge(ns_router)
         fleet = {**fleet_service.summary(), **fleet_router.summary(),
                  "namespaces": float(len(self._namespaces))}
         return StatsResponse(namespaces=per_namespace, fleet=fleet)
@@ -236,11 +329,12 @@ class SelectionGateway:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut every namespace's router down; idempotent."""
+        """Shut every namespace's routers down; idempotent."""
         if not self._closed:
             self._closed = True
             for ns in self._namespaces.values():
-                ns.router.close()
+                for entry in ns.entries.values():
+                    entry.router.close()
 
     async def __aenter__(self) -> "SelectionGateway":
         return self

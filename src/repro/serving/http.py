@@ -19,6 +19,7 @@ malformed JSON / failed validation    400     ``bad_request``
 unknown model in a pair               400     ``unknown_model``
 unknown namespace                     404     ``unknown_namespace``
 unknown target dataset                404     ``unknown_target``
+unknown strategy spec                 404     ``unknown_strategy``
 unknown route                         404     ``not_found``
 wrong method on a route               405     ``method_not_allowed``
 body over the byte cap                413     ``payload_too_large``
@@ -44,6 +45,7 @@ from repro.serving.gateway import (
     SelectionGateway,
     UnknownModelError,
     UnknownNamespaceError,
+    UnknownStrategyError,
     UnknownTargetError,
 )
 from repro.serving.protocol import (
@@ -97,6 +99,9 @@ def _error_for(exc: Exception) -> _HTTPError:
                                              message=str(exc)))
     if isinstance(exc, UnknownTargetError):
         return _HTTPError(404, ErrorResponse(code="unknown_target",
+                                             message=str(exc)))
+    if isinstance(exc, UnknownStrategyError):
+        return _HTTPError(404, ErrorResponse(code="unknown_strategy",
                                              message=str(exc)))
     if isinstance(exc, UnknownModelError):
         return _HTTPError(400, ErrorResponse(code="unknown_model",
@@ -315,7 +320,9 @@ class GatewayHTTPServer:
 
     async def _get_healthz(self, body: bytes):
         payload = {"status": "ok", "protocol": PROTOCOL_VERSION,
-                   "namespaces": self.gateway.namespaces()}
+                   "namespaces": self.gateway.namespaces(),
+                   "strategies": {name: self.gateway.strategies(name)
+                                  for name in self.gateway.namespaces()}}
         return 200, payload, ()
 
     # ------------------------------------------------------------------ #

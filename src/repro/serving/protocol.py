@@ -24,6 +24,15 @@ Versioning rule: the ``v1`` protocol is *additive-only* — new optional
 fields may appear in responses, but existing fields never change type or
 meaning, and requests never grow new required fields.  Breaking changes
 get a ``/v2`` prefix and a new module.
+
+The optional ``strategy`` field on :class:`RankRequest` /
+:class:`ScoreBatchRequest` (and echoed on their responses) is the
+protocol's first additive growth under that rule: omitted, requests
+route to the endpoint's default strategy and the serialised bytes are
+identical to the pre-strategy protocol; present, it names a strategy
+spec (``"tg:lr,n2v,all"``, ``"lr:all+logme"``, ``"logme"``, ...) in the
+serving namespace's strategy map.  Responses carry the field only when
+the request did, so default-strategy traffic stays byte-stable.
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ ERROR_CODES = frozenset({
     "unknown_namespace",    # no such namespace behind the gateway
     "unknown_target",       # namespace exists, target dataset does not
     "unknown_model",        # a score_batch pair names no zoo model
+    "unknown_strategy",     # namespace serves no strategy under that spec
     "queue_full",           # cold-fit queue saturated; carries retry_after_s
     "not_found",            # no such route
     "method_not_allowed",   # route exists, wrong HTTP method
@@ -99,6 +109,12 @@ def _check_float(kind: str, name: str, value) -> float:
         # strict clients would choke on an otherwise-200 body.
         raise ProtocolError(f"{kind}.{name} must be a finite number")
     return value
+
+
+def _check_optional_str(kind: str, name: str, value) -> str | None:
+    if value is None:
+        return None
+    return _check_str(kind, name, value)
 
 
 def _check_optional_top_k(kind: str, value) -> int | None:
@@ -187,26 +203,42 @@ class _Message:
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class RankRequest(_Message):
-    """Rank every model of a namespace's zoo for one target dataset."""
+    """Rank every model of a namespace's zoo for one target dataset.
+
+    ``strategy`` (optional, additive) selects a ranker from the
+    namespace's strategy map; omitted requests serve the namespace
+    default and serialise byte-identically to the pre-strategy protocol.
+    """
 
     kind: ClassVar[str] = "rank"
 
     target: str
     namespace: str = DEFAULT_NAMESPACE
     top_k: int | None = None
+    strategy: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "target", self.target)
         _check_str(self.kind, "namespace", self.namespace)
         _check_optional_top_k(self.kind, self.top_k)
+        _check_optional_str(self.kind, "strategy", self.strategy)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "target": self.target,
+               "namespace": self.namespace, "top_k": self.top_k}
+        if self.strategy is not None:  # omitted stays byte-stable
+            out["strategy"] = self.strategy
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "RankRequest":
         payload = _check_payload(cls.kind, payload,
-                                 {"target", "namespace", "top_k"}, {"target"})
+                                 {"target", "namespace", "top_k", "strategy"},
+                                 {"target"})
         return cls(target=payload["target"],
                    namespace=payload.get("namespace", DEFAULT_NAMESPACE),
-                   top_k=payload.get("top_k"))
+                   top_k=payload.get("top_k"),
+                   strategy=payload.get("strategy"))
 
 
 @dataclass(frozen=True)
@@ -217,11 +249,13 @@ class ScoreBatchRequest(_Message):
 
     pairs: tuple[tuple[str, str], ...]
     namespace: str = DEFAULT_NAMESPACE
+    strategy: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "pairs",
                            _check_pairs(self.kind, "pairs", self.pairs))
         _check_str(self.kind, "namespace", self.namespace)
+        _check_optional_str(self.kind, "strategy", self.strategy)
 
     @property
     def target(self) -> str:
@@ -229,15 +263,20 @@ class ScoreBatchRequest(_Message):
         return self.pairs[0][1] if self.pairs else ""
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "namespace": self.namespace,
-                "pairs": [list(p) for p in self.pairs]}
+        out = {"kind": self.kind, "namespace": self.namespace,
+               "pairs": [list(p) for p in self.pairs]}
+        if self.strategy is not None:  # omitted stays byte-stable
+            out["strategy"] = self.strategy
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "ScoreBatchRequest":
         payload = _check_payload(cls.kind, payload,
-                                 {"pairs", "namespace"}, {"pairs"})
+                                 {"pairs", "namespace", "strategy"},
+                                 {"pairs"})
         return cls(pairs=payload["pairs"],  # __post_init__ validates
-                   namespace=payload.get("namespace", DEFAULT_NAMESPACE))
+                   namespace=payload.get("namespace", DEFAULT_NAMESPACE),
+                   strategy=payload.get("strategy"))
 
 
 # ---------------------------------------------------------------------- #
@@ -252,10 +291,12 @@ class RankResponse(_Message):
     namespace: str
     target: str
     ranking: tuple[tuple[str, float], ...]
+    strategy: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "namespace", self.namespace)
         _check_str(self.kind, "target", self.target)
+        _check_optional_str(self.kind, "strategy", self.strategy)
         if not isinstance(self.ranking, (list, tuple)):
             raise ProtocolError(f"{self.kind}.ranking must be a list of "
                                 f"[model_id, score] pairs")
@@ -275,20 +316,26 @@ class RankResponse(_Message):
               ranking: list[tuple[str, float]]) -> "RankResponse":
         """THE constructor every serving path funnels through."""
         return cls(namespace=request.namespace, target=request.target,
-                   ranking=tuple((m, float(s)) for m, s in ranking))
+                   ranking=tuple((m, float(s)) for m, s in ranking),
+                   strategy=request.strategy)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "namespace": self.namespace,
-                "target": self.target,
-                "ranking": [[m, s] for m, s in self.ranking]}
+        out = {"kind": self.kind, "namespace": self.namespace,
+               "target": self.target,
+               "ranking": [[m, s] for m, s in self.ranking]}
+        if self.strategy is not None:  # echoed only when requested
+            out["strategy"] = self.strategy
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "RankResponse":
         payload = _check_payload(cls.kind, payload,
-                                 {"namespace", "target", "ranking"},
+                                 {"namespace", "target", "ranking",
+                                  "strategy"},
                                  {"namespace", "target", "ranking"})
         return cls(namespace=payload["namespace"], target=payload["target"],
-                   ranking=payload["ranking"])
+                   ranking=payload["ranking"],
+                   strategy=payload.get("strategy"))
 
 
 @dataclass(frozen=True)
@@ -300,9 +347,11 @@ class ScoreBatchResponse(_Message):
     namespace: str
     pairs: tuple[tuple[str, str], ...]
     scores: tuple[float, ...]
+    strategy: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "namespace", self.namespace)
+        _check_optional_str(self.kind, "strategy", self.strategy)
         object.__setattr__(self, "pairs",
                            _check_pairs(self.kind, "pairs", self.pairs))
         if not isinstance(self.scores, (list, tuple)):
@@ -320,20 +369,25 @@ class ScoreBatchResponse(_Message):
               scores) -> "ScoreBatchResponse":
         """THE constructor every serving path funnels through."""
         return cls(namespace=request.namespace, pairs=request.pairs,
-                   scores=tuple(float(s) for s in scores))
+                   scores=tuple(float(s) for s in scores),
+                   strategy=request.strategy)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "namespace": self.namespace,
-                "pairs": [list(p) for p in self.pairs],
-                "scores": list(self.scores)}
+        out = {"kind": self.kind, "namespace": self.namespace,
+               "pairs": [list(p) for p in self.pairs],
+               "scores": list(self.scores)}
+        if self.strategy is not None:  # echoed only when requested
+            out["strategy"] = self.strategy
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "ScoreBatchResponse":
         payload = _check_payload(cls.kind, payload,
-                                 {"namespace", "pairs", "scores"},
+                                 {"namespace", "pairs", "scores", "strategy"},
                                  {"namespace", "pairs", "scores"})
         return cls(namespace=payload["namespace"], pairs=payload["pairs"],
-                   scores=payload["scores"])
+                   scores=payload["scores"],
+                   strategy=payload.get("strategy"))
 
 
 @dataclass(frozen=True)

@@ -1,14 +1,24 @@
-"""Versioned on-disk registry of fitted TransferGraph artifacts.
+"""Versioned on-disk registry of fitted selection artifacts.
 
-Layout (one namespace directory per config fingerprint)::
+Layout (one namespace directory per strategy fingerprint)::
 
-    <root>/<config_fp>/<target>/meta.json    fingerprints, states, names
-    <root>/<config_fp>/<target>/arrays.npz   embeddings + predictor arrays
+    <root>/<strategy_fp>/<target>/meta.json    fingerprints, states, names
+    <root>/<strategy_fp>/<target>/arrays.npz   embeddings + model arrays
+
+Artifacts are keyed by *strategy*: anything accepted by
+:func:`repro.strategies.resolve_strategy` — a
+:class:`~repro.strategies.SelectionStrategy`, a spec string, or (the
+pre-redesign signature, still the common test idiom) a bare
+:class:`~repro.core.TransferGraphConfig`, whose fingerprint is unchanged
+so existing TG artifacts keep loading.  The strategy also owns the
+artifact *format*: ``save`` packs through ``strategy.pack`` and ``load``
+revives through ``strategy.unpack``, so a TG pipeline and a LogME score
+table live behind the same registry API.
 
 ``arrays.npz`` is written before ``meta.json``, so a directory with a
 ``meta.json`` is always a complete artifact; a crash mid-save leaves at
 worst an ignorable partial directory.  Every load validates the stored
-fingerprints against the live config and catalog — a stale artifact
+fingerprints against the live strategy and catalog — a stale artifact
 raises :class:`~repro.serving.artifacts.StaleArtifactError` instead of
 being silently served.
 """
@@ -21,15 +31,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import TransferGraphConfig
-from repro.core.framework import FittedTransferGraph
 from repro.serving.artifacts import (
     ArtifactError,
     ArtifactNotFoundError,
-    pack_fitted,
-    unpack_fitted,
 )
-from repro.serving.fingerprint import catalog_fingerprint, config_fingerprint
+from repro.serving.fingerprint import catalog_fingerprint
+from repro.strategies import resolve_strategy
 
 __all__ = ["ArtifactRegistry"]
 
@@ -38,49 +45,54 @@ _ARRAYS = "arrays.npz"
 
 
 class ArtifactRegistry:
-    """Persists fitted artifacts keyed by (config fingerprint, target)."""
+    """Persists fitted artifacts keyed by (strategy fingerprint, target)."""
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
 
     # ------------------------------------------------------------------ #
-    def path_for(self, target: str, config: TransferGraphConfig) -> Path:
-        return self.root / config_fingerprint(config) / target
+    def _path(self, strategy, target: str) -> Path:
+        """THE layout rule (``strategy`` already resolved):
+        ``<root>/<strategy fingerprint>/<target>``."""
+        return self.root / strategy.fingerprint() / target
 
-    def contains(self, target: str, config: TransferGraphConfig) -> bool:
-        return (self.path_for(target, config) / _META).exists()
+    def path_for(self, target: str, strategy) -> Path:
+        return self._path(resolve_strategy(strategy), target)
 
-    def targets(self, config: TransferGraphConfig) -> list[str]:
-        """Targets with a complete artifact under this config."""
-        namespace = self.root / config_fingerprint(config)
+    def contains(self, target: str, strategy) -> bool:
+        return (self.path_for(target, strategy) / _META).exists()
+
+    def targets(self, strategy) -> list[str]:
+        """Targets with a complete artifact under this strategy."""
+        namespace = self.root / resolve_strategy(strategy).fingerprint()
         if not namespace.is_dir():
             return []
         return sorted(p.name for p in namespace.iterdir()
                       if (p / _META).exists())
 
     # ------------------------------------------------------------------ #
-    def save(self, fitted: FittedTransferGraph, config: TransferGraphConfig,
-             zoo) -> Path:
+    def save(self, fitted, strategy, zoo) -> Path:
         """Write one artifact; returns its directory."""
-        meta, arrays = pack_fitted(fitted, config, zoo)
-        out = self.path_for(fitted.target, config)
+        strategy = resolve_strategy(strategy)
+        meta, arrays = strategy.pack(fitted, zoo)
+        out = self._path(strategy, fitted.target)
         out.mkdir(parents=True, exist_ok=True)
         np.savez_compressed(out / _ARRAYS, **arrays)
         (out / _META).write_text(json.dumps(meta, indent=1, sort_keys=True))
         return out
 
-    def load(self, target: str, config: TransferGraphConfig,
-             zoo) -> FittedTransferGraph:
+    def load(self, target: str, strategy, zoo):
         """Revive one artifact, validating fingerprints.
 
         Raises :class:`ArtifactNotFoundError` when absent and
         :class:`StaleArtifactError` when present but out of date.
         """
-        path = self.path_for(target, config)
+        strategy = resolve_strategy(strategy)
+        path = self._path(strategy, target)
         if not (path / _META).exists():
             raise ArtifactNotFoundError(
-                f"no artifact for target {target!r} under config "
-                f"{config_fingerprint(config)}")
+                f"no artifact for target {target!r} under strategy "
+                f"{strategy.fingerprint()}")
         try:
             meta = json.loads((path / _META).read_text())
             with np.load(path / _ARRAYS) as npz:
@@ -93,7 +105,7 @@ class ArtifactRegistry:
                 f"corrupt artifact for target {target!r} at {path}: {exc}"
             ) from exc
         try:
-            return unpack_fitted(meta, arrays, zoo, config)
+            return strategy.unpack(meta, arrays, zoo)
         except ArtifactError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -101,15 +113,32 @@ class ArtifactRegistry:
                 f"malformed artifact for target {target!r} at {path}: {exc}"
             ) from exc
 
-    def gc(self, live_configs: list[TransferGraphConfig], zoo=None,
-           dry_run: bool = False) -> dict[str, int]:
-        """Sweep artifacts that no live configuration/catalog can serve.
+    def gc(self, live_strategies: list, zoo=None,
+           dry_run: bool = False, layout: str = "flat") -> dict[str, int]:
+        """Sweep artifacts that no live strategy/catalog can serve.
 
-        Removal rules, applied per namespace directory:
+        ``layout`` selects the directory shape being swept:
 
-        - a namespace whose fingerprint matches no config in
-          ``live_configs`` is removed whole (nothing can ever load it);
-        - inside live namespaces, partial artifact directories (no
+        - ``"flat"`` (the single-service default): fingerprint
+          directories live directly under ``root``;
+        - ``"namespaces"`` (the gateway's shard layout,
+          ``<root>/<namespace>/<strategy_fp>/<target>``): every
+          namespace directory is swept as its own flat registry and the
+          reports are summed.  Namespace directories themselves are
+          never removed — their names are operator-chosen slugs, not
+          fingerprints, so "no live strategy matches" does not apply.
+          Only pass ``zoo`` here when *every* shard serves that zoo:
+          the catalog-staleness rule compares each artifact against it,
+          so a shard serving a different zoo (heterogeneous
+          ``--namespace`` modalities/scales) would have its perfectly
+          live artifacts swept as stale.  ``zoo=None`` limits the sweep
+          to dead fingerprints and crash partials.
+
+        Removal rules, applied per fingerprint directory:
+
+        - a fingerprint matching no strategy in ``live_strategies``
+          (strategies, specs, or configs) is removed whole;
+        - inside live fingerprints, partial artifact directories (no
           ``meta.json`` — a crash mid-save) are removed;
         - when ``zoo`` is given, artifacts whose stored catalog
           fingerprint differs from the live catalog are removed too —
@@ -118,13 +147,25 @@ class ArtifactRegistry:
         ``dry_run=True`` reports what *would* be reclaimed without
         touching disk.  Returns counts plus reclaimed bytes.
         """
-        live_fps = {config_fingerprint(c) for c in live_configs}
-        live_catalog = catalog_fingerprint(zoo.catalog) if zoo is not None \
-            else None
+        if layout not in ("flat", "namespaces"):
+            raise ValueError(
+                f"layout must be 'flat' or 'namespaces', got {layout!r}")
         report = {"namespaces_removed": 0, "artifacts_removed": 0,
                   "artifacts_kept": 0, "bytes_reclaimed": 0}
         if not self.root.is_dir():
             return report
+        if layout == "namespaces":
+            for shard in sorted(p for p in self.root.iterdir() if p.is_dir()):
+                sub = ArtifactRegistry(shard).gc(live_strategies, zoo,
+                                                 dry_run=dry_run)
+                for key in report:
+                    report[key] += sub[key]
+            return report
+
+        live_fps = {resolve_strategy(s).fingerprint()
+                    for s in live_strategies}
+        live_catalog = catalog_fingerprint(zoo.catalog) if zoo is not None \
+            else None
 
         def dir_bytes(path: Path) -> int:
             return sum(f.stat().st_size
@@ -159,9 +200,9 @@ class ArtifactRegistry:
                     report["artifacts_kept"] += 1
         return report
 
-    def delete(self, target: str, config: TransferGraphConfig) -> bool:
+    def delete(self, target: str, strategy) -> bool:
         """Remove one artifact; returns whether anything was deleted."""
-        path = self.path_for(target, config)
+        path = self.path_for(target, strategy)
         if not path.is_dir():
             return False
         for name in (_META, _ARRAYS):

@@ -22,6 +22,12 @@ loop and fixes exactly that:
   ``retry_after_s`` hint derived from the stats-window p95 fit latency
   (``overflow="reject"``, the default) or waits for capacity
   (``overflow="wait"``);
+- **probabilistic early shedding** — with ``shed_start < 1``, reject
+  mode starts shedding *before* the hard cliff: once queue depth
+  crosses ``shed_start × max_pending_fits``, requests are shed with
+  probability rising linearly from 0 to 1 at the cliff, so saturation
+  degrades smoothly instead of flipping between all-accept and
+  all-reject;
 - **router stats** — coalesced-request count, rejections, peak queue
   depth, and per-stage latencies (queue wait / fit / predict), merged
   with the service's counters by :meth:`AsyncSelectionRouter.stats`.
@@ -43,6 +49,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import random
 import threading
 import time
 from collections import deque
@@ -68,8 +75,9 @@ ROUTER_LATENCY_WINDOW = 10_000
 #: most-recent fit samples feeding the adaptive retry hint's p95
 _HINT_SAMPLE_WINDOW = 1_024
 
-_COUNTER_FIELDS = ("requests", "coalesced", "rejections", "cold_fits",
-                   "queue_waits", "fits_timed", "predicts_timed")
+_COUNTER_FIELDS = ("requests", "coalesced", "rejections", "early_sheds",
+                   "cold_fits", "queue_waits", "fits_timed",
+                   "predicts_timed")
 
 #: total-appended counter paired with each latency deque, so ``since``
 #: stays correct after the bounded deque wraps (same idea as
@@ -95,6 +103,9 @@ class RouterStats:
     coalesced: int = 0
     #: requests shed because the cold-fit queue was full
     rejections: int = 0
+    #: rejections that were probabilistic early sheds (queue not yet at
+    #: the hard limit); always counted inside ``rejections`` too
+    early_sheds: int = 0
     #: cold fits the router admitted (== originators, not waiters)
     cold_fits: int = 0
     #: highest number of simultaneously pending cold fits observed
@@ -165,6 +176,7 @@ class RouterStats:
             "router_requests": self.requests,
             "coalesced": self.coalesced,
             "rejections": self.rejections,
+            "early_sheds": self.early_sheds,
             "cold_fits": self.cold_fits,
             "peak_pending_fits": self.peak_pending_fits,
             "queue_wait_p95_ms": self._percentile(self.queue_wait_ms, 95),
@@ -204,6 +216,16 @@ class AsyncSelectionRouter:
         Floor for the retry hint; the adaptive hint is the stats-window
         p95 fit latency times the queue-drain rounds ahead of the shed
         request (pending fits / fit workers).
+    shed_start:
+        Fraction of ``max_pending_fits`` at which probabilistic early
+        shedding begins (reject mode only).  Below it nothing is shed;
+        from there the shed probability rises linearly, reaching 1 at
+        the hard limit.  The default ``1.0`` disables early shedding
+        (the pre-existing hard-cliff behaviour).
+    shed_rng:
+        Zero-arg callable returning uniforms in [0, 1) for the shedding
+        draw; defaults to :func:`random.random`.  Tests inject a
+        deterministic sequence here.
     fit_workers:
         Threads fitting cold pipelines.  Distinct cold targets fit in
         parallel: derived similarity/transferability recording into the
@@ -218,7 +240,9 @@ class AsyncSelectionRouter:
                  overflow: str = "reject",
                  retry_after_s: float = 0.5,
                  fit_workers: int = 2,
-                 predict_workers: int = 4):
+                 predict_workers: int = 4,
+                 shed_start: float = 1.0,
+                 shed_rng=None):
         if max_pending_fits < 1:
             raise ValueError("max_pending_fits must be >= 1")
         if overflow not in ("reject", "wait"):
@@ -226,10 +250,14 @@ class AsyncSelectionRouter:
                              f"got {overflow!r}")
         if fit_workers < 1 or predict_workers < 1:
             raise ValueError("worker counts must be >= 1")
+        if not (0.0 <= shed_start <= 1.0):
+            raise ValueError("shed_start must be in [0, 1]")
         self.service = service
         self.max_pending_fits = max_pending_fits
         self.overflow = overflow
         self.retry_after_s = retry_after_s
+        self.shed_start = shed_start
+        self._shed_rng = shed_rng if shed_rng is not None else random.random
         self.fit_workers = fit_workers
         self._fit_pool = ThreadPoolExecutor(
             max_workers=fit_workers, thread_name_prefix="router-fit")
@@ -296,6 +324,20 @@ class AsyncSelectionRouter:
         drain_rounds = math.ceil((self._pending_fits or 1) / self.fit_workers)
         return max(self.retry_after_s, (p95_ms / 1e3) * drain_rounds)
 
+    def _shed_probability(self) -> float:
+        """Early-shed probability at the current queue depth.
+
+        Zero up to ``shed_start × max_pending_fits``, then a linear ramp
+        to 1 at the hard limit (where the cliff takes over anyway).
+        """
+        if self.shed_start >= 1.0:
+            return 0.0
+        start = self.shed_start * self.max_pending_fits
+        depth = self._pending_fits
+        if depth <= start:
+            return 0.0
+        return (depth - start) / (self.max_pending_fits - start)
+
     async def _admit_cold_fit(self, target: str, overflow: str) -> None:
         """Take one cold-fit queue slot or shed the request."""
         if self._pending_fits >= self.max_pending_fits:
@@ -310,6 +352,18 @@ class AsyncSelectionRouter:
             async with self._capacity:
                 await self._capacity.wait_for(
                     lambda: self._pending_fits < self.max_pending_fits)
+        elif overflow == "reject":
+            probability = self._shed_probability()
+            if probability > 0.0 and self._shed_rng() < probability:
+                hint = self._retry_after_hint()
+                with self._stats_lock:
+                    self._stats.rejections += 1
+                    self._stats.early_sheds += 1
+                raise QueueFullError(
+                    f"cold-fit queue deepening ({self._pending_fits} of "
+                    f"{self.max_pending_fits} pending); target {target!r} "
+                    f"shed early (p={probability:.2f}) — retry in "
+                    f"{hint:.2f}s", retry_after_s=hint)
         self._pending_fits += 1
         with self._stats_lock:
             self._stats.cold_fits += 1
@@ -485,6 +539,7 @@ class AsyncSelectionRouter:
         HTTP front door above it) is byte-identical to one served
         in-process.
         """
+        self.service.check_strategy(getattr(request, "strategy", None))
         if isinstance(request, RankRequest):
             return RankResponse.build(
                 request, await self.rank(request.target, top_k=request.top_k))

@@ -1,10 +1,14 @@
 """Warm-start selection serving: cached fitted pipelines behind one facade.
 
-:class:`SelectionService` answers ranking and scoring queries without
-refitting anything on the hot path:
+:class:`SelectionService` serves exactly one
+:class:`~repro.strategies.SelectionStrategy` — any ranker behind the
+unified fit/rank/pack API: a TransferGraph variant, an LR baseline, a
+transferability-only scorer, ... — and answers ranking and scoring
+queries without refitting anything on the hot path:
 
-- an in-memory LRU keyed by (target, config fingerprint) holds revived
-  :class:`~repro.core.FittedTransferGraph` pipelines;
+- an in-memory LRU keyed by (target, strategy fingerprint) holds
+  revived fitted pipelines (:class:`~repro.core.FittedTransferGraph`,
+  :class:`~repro.strategies.FittedScoreTable`, ...);
 - on a cache miss the service tries the on-disk
   :class:`~repro.serving.ArtifactRegistry` (stale artifacts are refit,
   never served);
@@ -30,9 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import FittedTransferGraph, TransferGraph, TransferGraphConfig
 from repro.serving.artifacts import ArtifactError
-from repro.serving.fingerprint import config_fingerprint
 from repro.serving.protocol import (
     RankRequest,
     RankResponse,
@@ -40,6 +42,12 @@ from repro.serving.protocol import (
     ScoreBatchResponse,
 )
 from repro.serving.registry import ArtifactRegistry
+from repro.strategies import (
+    UnknownStrategyError,
+    canonical_spec,
+    normalize_spec,
+    resolve_strategy,
+)
 
 __all__ = ["SelectionService", "ServiceStats", "LATENCY_WINDOW"]
 
@@ -122,21 +130,29 @@ class ServiceStats:
 
 
 class SelectionService:
-    """Serve ``rank`` / ``score_batch`` queries from warm fitted artifacts."""
+    """Serve ``rank`` / ``score_batch`` queries from warm fitted artifacts.
 
-    def __init__(self, zoo, config: TransferGraphConfig | None = None,
+    ``strategy`` is anything :func:`repro.strategies.resolve_strategy`
+    accepts: a :class:`~repro.strategies.SelectionStrategy`, a spec
+    string (``"logme"``, ``"tg:lr,n2v,all"``), a bare
+    :class:`~repro.core.TransferGraphConfig` (the pre-redesign
+    signature), or ``None`` for TG defaults.
+    """
+
+    def __init__(self, zoo, strategy=None,
                  registry: ArtifactRegistry | None = None,
                  cache_size: int = 32):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.zoo = zoo
-        self.config = config or TransferGraphConfig()
-        self.strategy = TransferGraph(self.config)
+        self.strategy = resolve_strategy(strategy)
+        #: the underlying TransferGraphConfig for TG-family strategies,
+        #: ``None`` for strategies without one (e.g. transferability)
+        self.config = getattr(self.strategy, "config", None)
         self.registry = registry
         self.cache_size = cache_size
-        self._config_fp = config_fingerprint(self.config)
-        self._cache: OrderedDict[tuple[str, str], FittedTransferGraph] = \
-            OrderedDict()
+        self._config_fp = self.strategy.fingerprint()
+        self._cache: OrderedDict[tuple[str, str], object] = OrderedDict()
         self._stats = ServiceStats()
         #: guards cache order/content and stat counters; never held across
         #: a fit or registry I/O
@@ -144,8 +160,23 @@ class SelectionService:
 
     @property
     def config_fp(self) -> str:
-        """Fingerprint of this service's config (the cache-key suffix)."""
+        """Fingerprint of this service's strategy (the cache-key suffix)."""
         return self._config_fp
+
+    def check_strategy(self, spec: str | None) -> None:
+        """Validate a request's optional ``strategy`` field.
+
+        A single-strategy service answers only its own spec (or an
+        omitted field); multi-strategy routing is the gateway's job.
+        Alias spellings of the served spec pass (``random:0`` for
+        ``random``), matching what ``get_strategy`` accepts; custom
+        non-lowercase specs match exactly.
+        """
+        if spec is None or spec == self.strategy.spec \
+                or canonical_spec(spec) == self.strategy.spec:
+            return
+        if normalize_spec(spec) != self.strategy.spec:
+            raise UnknownStrategyError(spec, [self.strategy.spec])
 
     # ------------------------------------------------------------------ #
     def _check_target(self, target: str) -> None:
@@ -153,7 +184,7 @@ class SelectionService:
             raise KeyError(f"unknown dataset {target!r}; known: "
                            f"{self.zoo.dataset_names()}")
 
-    def cache_get(self, target: str) -> FittedTransferGraph | None:
+    def cache_get(self, target: str):
         """In-memory lookup with hit/miss accounting; ``None`` on a miss.
 
         Thread-safe.  Raises :class:`KeyError` for unknown targets (a hit
@@ -170,17 +201,17 @@ class SelectionService:
         self._check_target(target)
         return None
 
-    def load_or_fit(self, target: str) -> FittedTransferGraph:
+    def load_or_fit(self, target: str):
         """Registry revive → fresh fit, then insert into the LRU.
 
         The caller is responsible for single-flight per cache key (the
         serial facade trivially is; the async router coalesces); stats
         and cache mutations are lock-guarded, the heavy work is not.
         """
-        fitted: FittedTransferGraph | None = None
+        fitted = None
         if self.registry is not None:
             try:
-                fitted = self.registry.load(target, self.config, self.zoo)
+                fitted = self.registry.load(target, self.strategy, self.zoo)
                 with self._lock:
                     self._stats.registry_hits += 1
             except ArtifactError:
@@ -190,7 +221,7 @@ class SelectionService:
             with self._lock:
                 self._stats.fits += 1
             if self.registry is not None:
-                self.registry.save(fitted, self.config, self.zoo)
+                self.registry.save(fitted, self.strategy, self.zoo)
 
         key = (target, self._config_fp)
         with self._lock:
@@ -200,7 +231,7 @@ class SelectionService:
                 self._stats.evictions += 1
         return fitted
 
-    def _fitted(self, target: str) -> FittedTransferGraph:
+    def _fitted(self, target: str):
         """Fitted pipeline for ``target``: memory → registry → fresh fit."""
         cached = self.cache_get(target)
         if cached is not None:
@@ -262,6 +293,7 @@ class SelectionService:
         same ``build`` constructors, so a response served over the wire
         is byte-identical to one built here.
         """
+        self.check_strategy(getattr(request, "strategy", None))
         if isinstance(request, RankRequest):
             return RankResponse.build(
                 request, self.rank(request.target, top_k=request.top_k))
@@ -295,7 +327,7 @@ class SelectionService:
         with self._lock:
             self._cache.pop((target, self._config_fp), None)
         if self.registry is not None:
-            self.registry.delete(target, self.config)
+            self.registry.delete(target, self.strategy)
         with self._lock:
             self._stats.invalidations += 1
 

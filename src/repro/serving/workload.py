@@ -120,8 +120,9 @@ def _stats_snapshots(handler):
     """(service, router) snapshot pairs for a router or a gateway."""
     if hasattr(handler, "stats_snapshot"):      # AsyncSelectionRouter
         return [handler.stats_snapshot()]
-    return [handler.router(name).stats_snapshot()  # SelectionGateway
-            for name in handler.namespaces()]
+    return [handler.router(name, spec).stats_snapshot()  # SelectionGateway
+            for name in handler.namespaces()
+            for spec in handler.strategies(name)]
 
 
 def _merged_summary(handler, before) -> dict[str, float]:

@@ -1,0 +1,105 @@
+"""TransferGraph-family strategies: the paper's TG variants and Amazon LR.
+
+Both families share the Stage 2–4 machinery of
+:class:`repro.core.TransferGraph` — Amazon LR is exactly TG's Stage 3
+with graph features switched off, which is how the paper positions it —
+so one strategy class covers ``tg:*`` and ``lr:*`` specs, parameterised
+by the :class:`~repro.core.TransferGraphConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FeatureSet, TransferGraphConfig
+from repro.core.framework import TransferGraph
+from repro.strategies.base import SelectionStrategy
+
+__all__ = ["TransferGraphStrategy", "spec_for_config",
+           "LEARNER_ALIASES", "LR_VARIANTS"]
+
+#: spec token -> graph-learner registry name (and identity mappings)
+LEARNER_ALIASES = {
+    "n2v": "node2vec",
+    "n2v+": "node2vec+",
+    "sage": "graphsage",
+    "node2vec": "node2vec",
+    "node2vec+": "node2vec+",
+    "graphsage": "graphsage",
+    "gat": "gat",
+}
+
+#: graph-learner registry name -> canonical spec token
+_LEARNER_TOKENS = {"node2vec": "n2v", "node2vec+": "n2v+",
+                   "graphsage": "sage", "gat": "gat"}
+
+#: lr variant -> (FeatureSet constructor, paper name)
+LR_VARIANTS = {
+    "basic": (FeatureSet.basic, "LR"),
+    "all": (FeatureSet.all_no_graph, "LR{all}"),
+    "all+logme": (FeatureSet.all_logme, "LR{all,LogME}"),
+}
+
+
+def _lr_variant_of(features: FeatureSet) -> str | None:
+    """The ``lr:`` variant a graph-less feature set corresponds to."""
+    for variant, (constructor, _) in LR_VARIANTS.items():
+        if features == constructor():
+            return variant
+    return None
+
+
+def spec_for_config(config: TransferGraphConfig) -> str:
+    """Canonical strategy spec of a TG configuration.
+
+    Graph-less configs under the ``lr`` predictor map to the baseline
+    family (``lr:basic`` / ``lr:all`` / ``lr:all+logme``); everything
+    else is a ``tg:`` spec mirroring the paper notation.
+    """
+    if not config.features.graph_features and config.predictor == "lr":
+        variant = _lr_variant_of(config.features)
+        if variant is not None:
+            return f"lr:{variant}"
+    learner = _LEARNER_TOKENS.get(config.graph_learner, config.graph_learner)
+    suffix = "all" if (config.features.metadata
+                       or config.features.dataset_similarity) else "graph"
+    return f"tg:{config.predictor},{learner},{suffix}"
+
+
+class TransferGraphStrategy(SelectionStrategy):
+    """A TG variant (or LR baseline) behind the strategy protocol."""
+
+    requires_history = True
+
+    def __init__(self, config: TransferGraphConfig | None = None, *,
+                 spec: str | None = None, name: str | None = None):
+        self.config = config or TransferGraphConfig()
+        self._tg = TransferGraph(self.config)
+        self.spec = spec or spec_for_config(self.config)
+        self.name = name or self._default_name()
+
+    def _default_name(self) -> str:
+        if self.spec.startswith("lr:"):
+            variant = self.spec.partition(":")[2]
+            if variant in LR_VARIANTS:
+                return LR_VARIANTS[variant][1]
+        return self.config.strategy_name()
+
+    # ------------------------------------------------------------------ #
+    def fit(self, zoo, target: str):
+        return self._tg.fit(zoo, target)
+
+    def fingerprint(self) -> str:
+        from repro.serving.fingerprint import config_fingerprint
+
+        return config_fingerprint(self.config)
+
+    def pack(self, fitted, zoo) -> tuple[dict, dict[str, np.ndarray]]:
+        from repro.serving.artifacts import pack_fitted
+
+        return pack_fitted(fitted, self.config, zoo)
+
+    def unpack(self, meta: dict, arrays: dict, zoo):
+        from repro.serving.artifacts import unpack_fitted
+
+        return unpack_fitted(meta, arrays, zoo, self.config)

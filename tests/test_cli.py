@@ -185,6 +185,7 @@ class TestServeEndToEnd:
             [_sys.executable, "-m", "repro", "--scale", "tiny", "--seed",
              "7", "serve", "--port", "0", "--predictor", "lr",
              "--namespace", "img=image:tiny",
+             "--strategy", "lr:basic", "--strategy", "logme",
              "--registry-dir", str(tmp_path)],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
         try:
@@ -204,18 +205,156 @@ class TestServeEndToEnd:
                 health = json.loads(r.read())
             assert health["status"] == "ok"
             assert health["namespaces"] == ["img"]
+            # default first, remaining specs sorted
+            assert health["strategies"]["img"] == ["tg:lr,n2v,all",
+                                                   "logme", "lr:basic"]
 
-            request = urllib.request.Request(
-                f"{url}/v1/rank",
-                data=json.dumps({"namespace": "img", "target": "caltech101",
-                                 "top_k": 3}).encode(),
-                method="POST")
-            with urllib.request.urlopen(request, timeout=60) as r:
-                assert r.status == 200
-                ranking = json.loads(r.read())
-            assert ranking["kind"] == "rank_response"
-            assert ranking["target"] == "caltech101"
-            assert len(ranking["ranking"]) == 3
+            def rank(strategy=None):
+                payload = {"namespace": "img", "target": "caltech101",
+                           "top_k": 3}
+                if strategy is not None:
+                    payload["strategy"] = strategy
+                request = urllib.request.Request(
+                    f"{url}/v1/rank", data=json.dumps(payload).encode(),
+                    method="POST")
+                with urllib.request.urlopen(request, timeout=60) as r:
+                    assert r.status == 200
+                    return json.loads(r.read())
+
+            # Acceptance: three strategy families through one gateway —
+            # the TG default (omitted field), an LR baseline, and a
+            # transferability-only ranker.
+            for strategy in (None, "lr:basic", "logme"):
+                ranking = rank(strategy)
+                assert ranking["kind"] == "rank_response"
+                assert ranking["target"] == "caltech101"
+                assert len(ranking["ranking"]) == 3
+                assert ranking.get("strategy") == strategy
         finally:
             process.terminate()
             process.wait(timeout=10)
+
+
+class TestStrategyFlags:
+    def test_rank_accepts_strategy_spec(self):
+        args = build_parser().parse_args(
+            ["--scale", "tiny", "rank", "dtd", "--strategy", "logme"])
+        assert args.strategy == "logme"
+
+    def test_rank_rejects_unknown_strategy_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank", "dtd", "--strategy", "nope"])
+
+    def test_serve_collects_repeatable_strategies(self):
+        args = build_parser().parse_args(
+            ["serve", "--strategy", "logme", "--strategy", "lr:all+logme",
+             "--shed-start", "0.75"])
+        assert args.strategies == ["logme", "lr:all+logme"]
+        assert args.shed_start == 0.75
+
+    def test_serve_defaults_have_no_extra_strategies(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.strategies is None
+        assert args.shed_start == 1.0
+
+    def test_registry_gc_gateway_flag(self):
+        args = build_parser().parse_args(["registry-gc", "--gateway"])
+        assert args.gateway is True
+
+    def test_serve_sim_shed_start_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--shed-start", "1.5"])
+
+
+class TestStrategyCommands:
+    """Transferability strategies fit without Stage 2/3, so these runs
+    stay cheap even from a cold registry."""
+
+    ARGS = ["--scale", "tiny", "--seed", "7"]
+
+    def test_rank_with_transferability_strategy(self, capsys, tmp_path):
+        assert main(self.ARGS + ["rank", "caltech101", "--top", "2",
+                                 "--strategy", "logme",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "top 2 models for caltech101 (LogME)" in out
+
+    def test_warmup_with_strategy_writes_score_tables(self, capsys,
+                                                      tmp_path):
+        assert main(self.ARGS + ["warmup", "--strategy", "random",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(Random)" in out
+        from repro.serving import ArtifactRegistry
+        from repro.strategies import get_strategy
+
+        registry = ArtifactRegistry(tmp_path)
+        assert len(registry.targets(get_strategy("random"))) == 3
+
+    def test_serve_sim_with_strategy(self, capsys, tmp_path):
+        assert main(self.ARGS + ["serve-sim", "--queries", "6",
+                                 "--strategy", "random",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(Random," in out
+
+    def test_registry_gc_gateway_layout(self, capsys, tmp_path):
+        # a namespace shard holding one junk fingerprint directory
+        junk = tmp_path / "img" / "deadbeefdeadbeefdead" / "sometarget"
+        junk.mkdir(parents=True)
+        (junk / "meta.json").write_text("{}")
+        assert main(self.ARGS + ["registry-gc", "--gateway",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway layout" in out
+        assert "namespaces removed      1" in out
+        assert not junk.exists()
+        assert (tmp_path / "img").is_dir()  # shard dir survives
+
+
+class TestRegistryGCStrategySafety:
+    """Regressions: the sweep must never eat servable artifacts."""
+
+    ARGS = ["--scale", "tiny", "--seed", "7"]
+
+    def test_explicit_parameterized_strategy_stays_live(self, capsys,
+                                                        tmp_path):
+        """random:5 is CLI-servable but not enumerable; naming it via
+        --strategy must keep its artifacts through a default sweep."""
+        assert main(self.ARGS + ["warmup", "--strategy", "random:5",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["registry-gc", "--strategy", "random:5",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "namespaces removed      0" in out
+        assert "artifacts kept          3" in out
+
+    def test_gateway_sweep_never_judges_catalog_staleness(self, capsys,
+                                                          tmp_path):
+        """Shards may serve different zoos (heterogeneous --namespace),
+        so --gateway must keep artifacts whose catalog fingerprint does
+        not match the CLI's own zoo."""
+        import json
+
+        from repro.serving import ArtifactRegistry, SelectionService
+        from repro.strategies import get_strategy
+        from repro.zoo import ZooConfig, get_or_build_zoo
+
+        zoo = get_or_build_zoo(ZooConfig.tiny(modality="image", seed=7))
+        shard = ArtifactRegistry(tmp_path / "other")
+        strategy = get_strategy("random")
+        service = SelectionService(zoo, strategy, registry=shard)
+        target = zoo.target_names()[0]
+        service.warmup([target])
+        # Simulate a shard fitted against a different zoo's catalog.
+        meta_path = shard.path_for(target, strategy) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["catalog_fingerprint"] = "f" * 20
+        meta_path.write_text(json.dumps(meta))
+
+        assert main(self.ARGS + ["registry-gc", "--gateway",
+                                 "--registry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts kept          1" in out
+        assert meta_path.exists()

@@ -122,3 +122,87 @@ class TestRegistryGC:
         report = registry.gc([live_config])
         assert report == {"namespaces_removed": 0, "artifacts_removed": 0,
                           "artifacts_kept": 0, "bytes_reclaimed": 0}
+
+
+class TestGatewayLayoutGC:
+    """layout='namespaces' sweeps <root>/<namespace>/<fp>/<target>."""
+
+    def _populate_shard(self, root, ns, zoo, config, n_targets=1):
+        return _populate(ArtifactRegistry(root / ns), zoo, config, n_targets)
+
+    def test_sweeps_inside_every_namespace_shard(self, tiny_image_zoo,
+                                                 tmp_path, live_config,
+                                                 dead_config):
+        root = tmp_path / "shards"
+        live_targets = self._populate_shard(root, "image", tiny_image_zoo,
+                                            live_config, 2)
+        self._populate_shard(root, "image", tiny_image_zoo, dead_config, 1)
+        self._populate_shard(root, "text", tiny_image_zoo, dead_config, 1)
+
+        report = ArtifactRegistry(root).gc([live_config], tiny_image_zoo,
+                                           layout="namespaces")
+        assert report["namespaces_removed"] == 2   # dead fp in both shards
+        assert report["artifacts_removed"] == 2
+        assert report["artifacts_kept"] == 2
+        assert report["bytes_reclaimed"] > 0
+
+        image = ArtifactRegistry(root / "image")
+        assert image.targets(live_config) == sorted(live_targets)
+        assert image.targets(dead_config) == []
+        image.load(live_targets[0], live_config, tiny_image_zoo)
+
+    def test_namespace_directories_survive_even_when_emptied(
+            self, tiny_image_zoo, tmp_path, dead_config):
+        """Shard dirs are operator-named slugs, never fingerprint-matched."""
+        root = tmp_path / "shards"
+        self._populate_shard(root, "only-dead", tiny_image_zoo, dead_config)
+        report = ArtifactRegistry(root).gc([], tiny_image_zoo,
+                                           layout="namespaces")
+        assert report["namespaces_removed"] == 1
+        assert (root / "only-dead").is_dir()
+
+    def test_flat_gc_would_wrongly_kill_shards_hence_the_layout_flag(
+            self, tiny_image_zoo, tmp_path, live_config):
+        """The motivating bug: a flat sweep sees namespace slugs as dead
+        fingerprint dirs.  The namespaces layout keeps them."""
+        root = tmp_path / "shards"
+        self._populate_shard(root, "image", tiny_image_zoo, live_config)
+
+        dry_flat = ArtifactRegistry(root).gc([live_config], tiny_image_zoo,
+                                             dry_run=True)
+        assert dry_flat["namespaces_removed"] == 1  # would destroy the shard
+
+        sharded = ArtifactRegistry(root).gc([live_config], tiny_image_zoo,
+                                            layout="namespaces")
+        assert sharded["namespaces_removed"] == 0
+        assert sharded["artifacts_kept"] == 1
+
+    def test_dry_run_touches_nothing(self, tiny_image_zoo, tmp_path,
+                                     dead_config):
+        root = tmp_path / "shards"
+        self._populate_shard(root, "image", tiny_image_zoo, dead_config)
+        report = ArtifactRegistry(root).gc([], tiny_image_zoo, dry_run=True,
+                                           layout="namespaces")
+        assert report["namespaces_removed"] == 1
+        assert ArtifactRegistry(root / "image").targets(dead_config) != []
+
+    def test_rejects_unknown_layout(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactRegistry(tmp_path).gc([], layout="nested")
+
+    def test_live_set_accepts_strategies_and_specs(self, tiny_image_zoo,
+                                                   tmp_path):
+        """gc's live set speaks the strategy API, not just configs."""
+        from repro.strategies import get_strategy
+
+        registry = ArtifactRegistry(tmp_path)
+        logme = get_strategy("logme")
+        target = tiny_image_zoo.target_names()[0]
+        registry.save(logme.fit(tiny_image_zoo, target), logme,
+                      tiny_image_zoo)
+        report = registry.gc(["logme"], tiny_image_zoo)
+        assert report == {"namespaces_removed": 0, "artifacts_removed": 0,
+                          "artifacts_kept": 1, "bytes_reclaimed": 0}
+        swept = registry.gc(["leep"], tiny_image_zoo)
+        assert swept["namespaces_removed"] == 1
+        assert registry.targets(logme) == []

@@ -223,3 +223,82 @@ class TestFingerprints:
             catalog.record_history(model_id, target, row["accuracy"],
                                    epochs=row["epochs"])
         assert catalog_fingerprint(catalog) == before
+
+
+class TestStoredGraph:
+    """TG artifacts ship the pruned LOO graph: revival must not rebuild."""
+
+    def test_meta_contains_graph_and_load_skips_rebuild(self, tiny_image_zoo,
+                                                        tmp_path,
+                                                        monkeypatch,
+                                                        lr_config):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["graph"]["nodes"]
+        assert len(meta["graph"]["edges"]) > 0
+
+        from repro.graph.builder import GraphBuilder
+
+        def forbidden_build(self, exclude_target=None):
+            raise AssertionError("registry-warm load rebuilt the LOO graph")
+
+        monkeypatch.setattr(GraphBuilder, "build", forbidden_build)
+        revived = registry.load(target, lr_config, zoo)
+        ids = zoo.model_ids()
+        assert np.array_equal(fitted.predict(ids), revived.predict(ids))
+
+    def test_revived_graph_matches_the_fitted_one(self, tiny_image_zoo,
+                                                  tmp_path, lr_config):
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[1]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        registry.save(fitted, lr_config, zoo)
+        revived = registry.load(target, lr_config, zoo)
+
+        original, reconstructed = fitted.assembler.graph, \
+            revived.assembler.graph
+        assert reconstructed.nodes() == original.nodes()
+        assert reconstructed.num_edges == original.num_edges
+        assert sorted((e.u, e.v, e.kind, e.weight)
+                      for e in reconstructed.edges()) == \
+            sorted((e.u, e.v, e.kind, e.weight) for e in original.edges())
+
+    def test_legacy_artifact_without_graph_still_loads(self, tiny_image_zoo,
+                                                       tmp_path, lr_config):
+        """Artifacts written before the graph was stored fall back to
+        the deterministic catalog rebuild."""
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        meta = json.loads((path / "meta.json").read_text())
+        del meta["graph"]
+        (path / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+
+        revived = registry.load(target, lr_config, zoo)
+        ids = zoo.model_ids()
+        assert np.array_equal(fitted.predict(ids), revived.predict(ids))
+
+    def test_corrupt_graph_payload_degrades_to_artifact_error(
+            self, tiny_image_zoo, tmp_path, lr_config):
+        from repro.serving import ArtifactError
+
+        zoo = tiny_image_zoo
+        target = zoo.target_names()[0]
+        fitted = TransferGraph(lr_config).fit(zoo, target)
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.save(fitted, lr_config, zoo)
+
+        meta = json.loads((path / "meta.json").read_text())
+        meta["graph"]["edges"] = meta["graph"]["edges"][:1]  # length lies
+        (path / "meta.json").write_text(json.dumps(meta, sort_keys=True))
+        with pytest.raises(ArtifactError):
+            registry.load(target, lr_config, zoo)

@@ -15,6 +15,7 @@ import pytest
 from repro.serving import (
     ErrorResponse,
     GatewayHTTPServer,
+    RankRequest,
     RankResponse,
     ScoreBatchResponse,
     StatsResponse,
@@ -83,7 +84,9 @@ class TestEndpoints:
         assert status == 200
         assert headers["content-type"] == "application/json"
         assert payload == {"namespaces": ["alpha", "beta"],
-                           "protocol": "v1", "status": "ok"}
+                           "protocol": "v1", "status": "ok",
+                           "strategies": {"alpha": ["tg:lr,n2v,all"],
+                                          "beta": ["tg:lr,n2v,all"]}}
 
     def test_rank_round_trip(self):
         async def scenario():
@@ -373,3 +376,87 @@ class TestBackpressure:
             assert error.retry_after_s >= 0.25
             # integral header ceiling of the machine-readable hint
             assert int(headers["retry-after"]) >= 1
+
+
+class TestStrategyRouting:
+    """The additive strategy field, end to end over the wire."""
+
+    def test_explicit_strategy_served_byte_identical(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",), strategies=("random",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                request = RankRequest(target="t0", namespace="alpha",
+                                      strategy="random", top_k=2)
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/rank", body=request.to_json())
+                await server.close()
+                expected = gateway.service("alpha", "random") \
+                    .handle(request).to_json()
+                return status, body, expected
+            finally:
+                gateway.close()
+
+        status, body, expected = run(scenario())
+        assert status == 200
+        assert body.decode() == expected          # wire == in-process
+        response = RankResponse.from_json(body)
+        assert response.strategy == "random"
+
+    def test_healthz_lists_the_strategy_map(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",), strategies=("random",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                _, _, body = await http_request(host, port, "GET",
+                                                "/v1/healthz")
+                await server.close()
+                return json.loads(body)
+            finally:
+                gateway.close()
+
+        payload = run(scenario())
+        assert payload["strategies"] == {
+            "alpha": ["tg:lr,n2v,all", "random"]}
+
+    def test_unknown_strategy_is_a_typed_404(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/rank",
+                    body='{"namespace": "alpha", "target": "t0", '
+                         '"strategy": "nope"}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 404
+        error = ErrorResponse.from_json(body)
+        assert error.code == "unknown_strategy"
+        assert "nope" in error.message
+
+    def test_invalid_strategy_type_is_a_400(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/rank",
+                    body='{"namespace": "alpha", "target": "t0", '
+                         '"strategy": 7}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 400
+        assert ErrorResponse.from_json(body).code == "bad_request"

@@ -162,3 +162,62 @@ class TestValidation:
         with pytest.raises(ProtocolError) as exc_info:
             RankRequest(target={"blob": secret})
         assert secret not in str(exc_info.value)
+
+
+# ---------------------------------------------------------------------- #
+# the additive strategy field (protocol v1 growth rule)
+# ---------------------------------------------------------------------- #
+class TestStrategyField:
+    @settings(max_examples=40, deadline=None)
+    @given(target=_name, namespace=_name,
+           strategy=st.none() | _name)
+    def test_rank_request_round_trips_with_strategy(self, target, namespace,
+                                                    strategy):
+        request = RankRequest(target=target, namespace=namespace,
+                              strategy=strategy)
+        revived = RankRequest.from_json(request.to_json())
+        assert revived == request
+        assert revived.strategy == strategy
+
+    def test_omitted_strategy_keeps_pre_strategy_bytes(self):
+        """Additive-only rule: no-strategy messages serialise exactly as
+        the pre-strategy protocol did."""
+        request = RankRequest(target="dtd", namespace="image", top_k=3)
+        assert request.to_json() == (
+            '{"kind":"rank","namespace":"image","target":"dtd","top_k":3}')
+        batch = ScoreBatchRequest(pairs=(("m0", "dtd"),), namespace="image")
+        assert batch.to_json() == (
+            '{"kind":"score_batch","namespace":"image",'
+            '"pairs":[["m0","dtd"]]}')
+        response = RankResponse(namespace="image", target="dtd",
+                                ranking=(("m0", 1.0),))
+        assert '"strategy"' not in response.to_json()
+
+    def test_present_strategy_appears_on_the_wire(self):
+        request = RankRequest(target="dtd", strategy="logme")
+        assert '"strategy":"logme"' in request.to_json()
+        response = RankResponse.build(request, [("m0", 1.0)])
+        assert response.strategy == "logme"
+        assert '"strategy":"logme"' in response.to_json()
+        batch = ScoreBatchRequest(pairs=(("m0", "dtd"),), strategy="logme")
+        scored = ScoreBatchResponse.build(batch, [0.5])
+        assert scored.strategy == "logme"
+        assert ScoreBatchResponse.from_json(scored.to_json()) == scored
+
+    def test_build_echoes_the_request_strategy_verbatim(self):
+        request = RankRequest(target="dtd", strategy="LogME")
+        assert RankResponse.build(request, []).strategy == "LogME"
+        plain = RankRequest(target="dtd")
+        assert RankResponse.build(plain, []).strategy is None
+
+    def test_strategy_must_be_null_or_nonempty_string(self):
+        for bad in ("", 7, ["logme"]):
+            with pytest.raises(ProtocolError):
+                RankRequest(target="dtd", strategy=bad)
+            with pytest.raises(ProtocolError):
+                ScoreBatchRequest(pairs=(("m", "d"),), strategy=bad)
+
+    def test_unknown_strategy_error_code_registered(self):
+        error = ErrorResponse(code="unknown_strategy",
+                              message="unknown strategy 'x'")
+        assert ErrorResponse.from_json(error.to_json()) == error

@@ -421,3 +421,106 @@ class TestCancellation:
         assert isinstance(patient, list)         # unharmed
         assert originator == patient
         assert stats["fits"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# probabilistic early shedding
+# ---------------------------------------------------------------------- #
+class TestEarlyShedding:
+    """shed_start < 1 trades the hard admission cliff for a linear ramp."""
+
+    def test_default_never_sheds_below_the_cliff(self):
+        """shed_start=1.0 (the default) must reproduce the pre-existing
+        hard-cliff behaviour exactly, even with an always-shed RNG."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=4,
+                                      shed_rng=lambda: 0.0)
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank(f"t{i}") for i in range(3)),
+                return_exceptions=True)
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        assert all(isinstance(r, list) for r in results)
+        assert stats["early_sheds"] == 0
+        assert stats["rejections"] == 0
+
+    def test_sheds_probabilistically_above_the_start_depth(self):
+        """With shed_start=0 every admitted fit raises the draw floor;
+        an always-shed RNG rejects everything after the first fit."""
+        service = stub_service(targets=("t0", "t1", "t2", "t3"),
+                               fit_seconds=0.1)
+        router = AsyncSelectionRouter(service, max_pending_fits=4,
+                                      shed_start=0.0,
+                                      shed_rng=lambda: 0.0)
+
+        async def scenario():
+            first = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.02)  # t0 now occupies one slot
+            shed = await asyncio.gather(router.rank("t1"), router.rank("t2"),
+                                        return_exceptions=True)
+            return await first, shed
+
+        served, shed = run(scenario())
+        stats = router.stats()
+        router.close()
+        assert isinstance(served, list)
+        assert all(isinstance(r, QueueFullError) for r in shed)
+        assert all(r.retry_after_s > 0 for r in shed)
+        assert stats["early_sheds"] == 2
+        assert stats["rejections"] == 2   # early sheds count as rejections
+        assert stats["fits"] == 1
+
+    def test_lucky_draws_are_admitted(self):
+        """An RNG that never crosses the ramp admits everything: the
+        ramp is probabilistic, not a second cliff."""
+        service = stub_service(fit_seconds=0.05)
+        router = AsyncSelectionRouter(service, max_pending_fits=8,
+                                      shed_start=0.0,
+                                      shed_rng=lambda: 1.0)
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank(f"t{i}") for i in range(4)),
+                return_exceptions=True)
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        assert all(isinstance(r, list) for r in results)
+        assert stats["early_sheds"] == 0
+
+    def test_wait_overflow_ignores_early_shedding(self):
+        """Warmup and overflow='wait' paths park instead of shedding."""
+        service = stub_service(fit_seconds=0.02)
+        router = AsyncSelectionRouter(service, max_pending_fits=2,
+                                      overflow="wait", shed_start=0.0,
+                                      shed_rng=lambda: 0.0)
+        timings = run(router.warmup())
+        stats = router.stats()
+        router.close()
+        assert len(timings) == 4
+        assert stats["early_sheds"] == 0
+        assert stats["fits"] == 4
+
+    def test_shed_probability_ramps_linearly(self):
+        service = stub_service()
+        router = AsyncSelectionRouter(service, max_pending_fits=8,
+                                      shed_start=0.5)
+        try:
+            for depth, expected in ((0, 0.0), (4, 0.0), (5, 0.25),
+                                    (6, 0.5), (7, 0.75)):
+                router._pending_fits = depth
+                assert router._shed_probability() == pytest.approx(expected)
+        finally:
+            router._pending_fits = 0
+            router.close()
+
+    def test_rejects_bad_shed_start(self):
+        service = stub_service()
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                AsyncSelectionRouter(service, shed_start=bad)
