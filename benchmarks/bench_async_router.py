@@ -14,8 +14,6 @@ target costs one genuine fit in each mode and the comparison is fair.
 
 from __future__ import annotations
 
-import time
-
 from benchmarks.conftest import print_header
 from benchmarks.helpers import BENCH_EMBEDDING_DIM
 from repro.core import FeatureSet, TransferGraphConfig

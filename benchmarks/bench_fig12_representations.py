@@ -5,8 +5,6 @@ GraphSAGE and Node2Vec features.  Paper: "only slight differences ... on
 most of the datasets"; Task2Vec shows no advantage for GraphSAGE.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_header
 from benchmarks.helpers import tg_strategy
 from repro.core import evaluate_strategy

@@ -4,12 +4,10 @@ Paper (stanfordcars): Random 0.52 < LogME (SOTA feature-based) 0.70 < TG 0.76.
 Expected shape here: Random < LogME ≤ TG, on stanfordcars and on average.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_header
 from benchmarks.helpers import tg_strategy
 from repro.baselines import FeatureBasedStrategy, RandomSelection
-from repro.core import evaluate_strategy, top_k_accuracy
+from repro.core import top_k_accuracy
 
 
 def _run(image_zoo):

@@ -6,8 +6,6 @@ models tie; on others (stanfordcars, caltech101) choosing well matters.
 We print mean/std/min/max per target, sorted by std as in the figure.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_header
 from repro.utils import summary_stats
 

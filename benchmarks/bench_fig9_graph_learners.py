@@ -5,8 +5,6 @@ Expected shape: the Node2Vec family ≥ the GNNs on this small graph
 (the paper attributes the GNN gap to graph size).
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_header
 from benchmarks.helpers import format_row, tg_strategy
 from repro.core import evaluate_strategy

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.baselines import AmazonLR, FeatureBasedStrategy, RandomSelection
+from repro.baselines import AmazonLR, FeatureBasedStrategy
 from repro.core import FeatureSet, TransferGraph, TransferGraphConfig
 
 #: embedding dimensionality used throughout the benchmarks (the paper uses

@@ -9,7 +9,6 @@ assembly — rather than through the TransferGraph facade, as a tour of the
 public API.
 """
 
-import numpy as np
 
 from repro.core import FeatureSet, TransferGraph, TransferGraphConfig
 from repro.graph import GraphConfig, build_graph

@@ -6,6 +6,8 @@ Commands
 ``rank``        rank zoo models for a target dataset (``--strategy`` picks
                 any registered ranker; default TransferGraph)
 ``evaluate``    run the leave-one-out comparison of selection strategies
+                (``--served`` runs it through an in-process gateway's
+                ``/v1/compare`` engine and writes ``BENCH_compare.json``)
 ``stats``       print catalog + graph statistics (Table II style)
 ``warmup``      pre-fit every target's pipeline into the artifact registry
 ``serve``       HTTP front door: a multi-namespace selection gateway on
@@ -89,6 +91,23 @@ def _strategy_spec(value: str) -> str:
     except UnknownStrategyError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value
+
+
+def _fit_budget_spec(value: str) -> tuple[str, int]:
+    """argparse type for ``--fit-budget``: ``SPEC=N`` -> (spec, bound)."""
+    spec, sep, bound = value.partition("=")
+    if not sep or not spec or not bound:
+        raise argparse.ArgumentTypeError(
+            f"fit budget {value!r} must look like SPEC=N")
+    spec = _strategy_spec(spec)
+    try:
+        n = int(bound)
+    except ValueError:
+        n = 0
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"fit budget {value!r}: bound must be an integer >= 1")
+    return spec, n
 
 
 _SCALES = ("tiny", "small", "default")
@@ -181,6 +200,30 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate",
                               help="LOO comparison of selection strategies")
     evaluate.add_argument("--predictor", choices=predictors, default="xgb")
+    evaluate.add_argument("--graph-learner", default="node2vec",
+                          choices=learners)
+    evaluate.add_argument("--served", action="store_true",
+                          help="compare through an in-process serving "
+                               "gateway (the /v1/compare engine) instead "
+                               "of the offline LOO harness, and write a "
+                               "machine-readable benchmark report")
+    evaluate.add_argument("--strategy", action="append", dest="strategies",
+                          type=_strategy_spec, metavar="SPEC",
+                          help="add this strategy to the served comparison "
+                               "map (repeatable; --served only); the "
+                               "TransferGraph from --predictor/"
+                               "--graph-learner is always compared")
+    evaluate.add_argument("--reference", type=_strategy_spec, default=None,
+                          metavar="SPEC",
+                          help="strategy correlations/overlap are computed "
+                               "against (--served only; default: the "
+                               "TransferGraph from --predictor)")
+    evaluate.add_argument("--top-k", type=_positive_int, default=3,
+                          dest="top_k",
+                          help="overlap depth for the served comparison")
+    evaluate.add_argument("--output", type=Path, default=None,
+                          help="served-report path (--served only; "
+                               "default: ./BENCH_compare.json)")
 
     sub.add_parser("stats", help="catalog and graph statistics")
 
@@ -208,6 +251,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shed-start", type=_fraction, default=1.0,
                        help="queue-depth fraction where probabilistic early "
                             "shedding begins (1.0 = hard cliff only)")
+    serve.add_argument("--fit-budget", action="append", dest="fit_budgets",
+                       type=_fit_budget_spec, metavar="SPEC=N",
+                       help="per-strategy cold-fit queue bound (repeatable); "
+                            "strategies without an explicit bound get the "
+                            "weighted default (--max-pending-fits scaled by "
+                            "the strategy's fit cost)")
+    serve.add_argument("--weighted-fit-budgets", action="store_true",
+                       help="scale every strategy's cold-fit queue bound by "
+                            "its fit cost (heavy TG fits queue shallow, ~ms "
+                            "transferability fits queue deep) so a TG fit "
+                            "storm cannot starve cheap strategies")
     serve.add_argument("--registry-dir", type=Path, default=None,
                        help="gateway registry root, sharded per namespace "
                             "(default: <zoo cache>/serving_namespaces)")
@@ -365,6 +419,8 @@ def _cmd_rank(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    if args.served:
+        return _cmd_evaluate_served(args)
     from repro.baselines import AmazonLR, FeatureBasedStrategy, RandomSelection
     from repro.core import evaluate_strategy
 
@@ -373,13 +429,72 @@ def _cmd_evaluate(args) -> int:
         RandomSelection(seed=args.seed),
         FeatureBasedStrategy("logme"),
         AmazonLR("all+logme"),
-        _tg_strategy(args.predictor),
+        _tg_strategy(args.predictor, args.graph_learner),
     ]
     print(f"{'strategy':<22}{'avg Pearson':>13}{'avg top-5 acc':>15}")
     for strategy in strategies:
         ev = evaluate_strategy(strategy, zoo)
         print(f"{strategy.name:<22}{ev.average_correlation():>+13.3f}"
               f"{ev.average_top_k_accuracy(5):>15.3f}")
+    return 0
+
+
+def _cmd_evaluate_served(args) -> int:
+    """``evaluate --served``: the /v1/compare engine, offline.
+
+    Spins a memory-only gateway in-process (one namespace, the requested
+    strategy map with weighted fit budgets), warms it, replays every
+    target through the same ``compare`` entry point the HTTP front door
+    serves, and writes the machine-readable ``BENCH_compare.json``
+    report the CI benchmark gate consumes.
+    """
+    from repro.serving import SelectionGateway, run_served_evaluation, \
+        write_report
+    from repro.strategies import TransferGraphStrategy
+
+    zoo = _load_zoo(args)
+    default_strategy = TransferGraphStrategy(
+        _tg_config(args.predictor, args.graph_learner))
+    extras: list = []
+    for spec in [*(args.strategies or []),
+                 *([args.reference] if args.reference else [])]:
+        strat = _cli_strategy(spec)
+        if strat.spec != default_strategy.spec and \
+                all(strat.spec != s.spec for s in extras):
+            extras.append(strat)
+
+    namespace = args.modality
+    gateway = SelectionGateway()  # memory-only: the report must measure
+    gateway.add_namespace(       # this run's fits, not a previous run's
+        namespace, zoo, default_strategy, strategies=tuple(extras),
+        fit_budgets="weighted",
+        cache_size=max(32, len(zoo.target_names())))
+    print(f"served comparison: namespace {namespace!r}, strategies "
+          f"{', '.join(gateway.strategies(namespace))} over "
+          f"{len(zoo.target_names())} targets", flush=True)
+    try:
+        report = run_served_evaluation(
+            gateway, namespace, reference=args.reference, top_k=args.top_k)
+    finally:
+        gateway.close()
+
+    reference = report["reference"]
+    k = report["top_k"]
+    print(f"reference {reference}, top-{k} overlap, "
+          f"{report['wall_s']:.2f} s wall")
+    print(f"{'strategy':<22}{'pearson':>9}{'spearman':>10}"
+          f"{'overlap':>9}{'warm p95':>11}{'budget':>8}{'shed':>6}")
+    for spec, row in report["strategies"].items():
+        def cell(value, width=9):
+            return f"{value:>+{width}.3f}" if value is not None \
+                else " " * (width - 2) + "--"
+        print(f"{spec:<22}{cell(row['mean_pearson'])}"
+              f"{cell(row['mean_spearman'], 10)}"
+              f"{cell(row['mean_top_k_overlap'])}"
+              f"{row['warm_rank_p95_ms']:>9.2f}ms"
+              f"{row['fit_budget']:>8d}{row['targets_shed']:>6d}")
+    path = write_report(args.output or Path("BENCH_compare.json"), report)
+    print(f"wrote {path}")
     return 0
 
 
@@ -434,6 +549,11 @@ def _cmd_serve(args) -> int:
         if strat.spec != default_strategy.spec and \
                 all(strat.spec != s.spec for s in extra_strategies):
             extra_strategies.append(strat)
+    fit_budgets = None
+    if args.fit_budgets:
+        fit_budgets = dict(args.fit_budgets)
+    elif args.weighted_fit_budgets:
+        fit_budgets = "weighted"
     for name, modality, scale in specs:
         scale = scale or args.scale  # spec omitted :SCALE -> --scale
         zoo = get_or_build_zoo(presets[scale](modality=modality,
@@ -443,13 +563,18 @@ def _cmd_serve(args) -> int:
             strategies=extra_strategies,
             cache_size=args.cache_size,
             max_pending_fits=args.max_pending_fits,
+            fit_budgets=fit_budgets,
             fit_workers=args.fit_workers,
             shed_start=args.shed_start)
+        budgets = ", ".join(
+            f"{spec}={gateway.router(name, spec).max_pending_fits}"
+            for spec in gateway.strategies(name))
         print(f"namespace {name!r}: {modality}/{scale} zoo, "
               f"{len(zoo.model_ids())} models, "
               f"{len(zoo.target_names())} targets, "
               f"strategies: {', '.join(gateway.strategies(name))} "
-              f"(registry shard {root / name})", flush=True)
+              f"(fit budgets {budgets}; registry shard {root / name})",
+              flush=True)
 
     async def run() -> None:
         if args.warmup:  # before binding: no traffic races the warmup
@@ -470,6 +595,9 @@ def _cmd_serve(args) -> int:
                   f"'{{\"namespace\": \"{example}\", \"target\": "
                   f"\"{target}\", \"strategy\": "
                   f"\"{extra_strategies[0].spec}\"}}'", flush=True)
+        print(f"  curl -X POST http://{host}:{port}/v1/compare -d "
+              f"'{{\"namespace\": \"{example}\", \"target\": "
+              f"\"{target}\"}}'", flush=True)
         try:
             await server.serve_forever()
         finally:

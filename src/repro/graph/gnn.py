@@ -120,12 +120,13 @@ def train_link_prediction(encoder, graph: ModelDatasetGraph,
     features = graph.feature_matrix()
     x = Tensor(features)
 
-    if use_mask:
+    if use_mask:  # GAT attends over the masked adjacency support
         support = graph.adjacency_matrix(weighted=False) + np.eye(graph.num_nodes)
-        encode = lambda: encoder.encode(x, support)          # GAT
-    else:
-        mean_adj = Tensor(_mean_adjacency(graph))
-        encode = lambda: encoder.encode(x, mean_adj)         # GraphSAGE
+    else:  # GraphSAGE aggregates over the mean adjacency
+        support = Tensor(_mean_adjacency(graph))
+
+    def encode():
+        return encoder.encode(x, support)
 
     pairs = list(links.positive) + list(links.negative) \
         + _sample_extra_negatives(graph, links, rng)

@@ -15,7 +15,7 @@ graphs are small, a few hundred nodes, cf. Table II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

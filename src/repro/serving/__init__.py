@@ -23,7 +23,11 @@ true operationally:
   spec-keyed strategy map) with per-namespace registry shards;
 - :mod:`repro.serving.http` — the dependency-free asyncio HTTP front
   door (``repro serve``): ``/v1/rank``, ``/v1/score_batch``,
-  ``/v1/stats``, ``/v1/healthz``;
+  ``/v1/compare``, ``/v1/stats``, ``/v1/healthz``;
+- :mod:`repro.serving.compare` — the served evaluation engine behind
+  ``/v1/compare`` and ``repro evaluate --served``: per-strategy rank
+  correlations, top-k overlap, and the ``BENCH_compare.json`` report
+  the CI benchmark gate consumes;
 - :mod:`repro.serving.workload` — synthetic protocol-request streams
   and serial or concurrent replay for ``repro serve-sim``.
 """
@@ -42,9 +46,12 @@ from repro.serving.artifacts import (
     unpack_fitted,
 )
 from repro.serving.protocol import (
+    DEFAULT_COMPARE_TOP_K,
     DEFAULT_NAMESPACE,
     ERROR_CODES,
     PROTOCOL_VERSION,
+    CompareRequest,
+    CompareResponse,
     ErrorResponse,
     ProtocolError,
     RankRequest,
@@ -52,7 +59,15 @@ from repro.serving.protocol import (
     ScoreBatchRequest,
     ScoreBatchResponse,
     StatsResponse,
+    StrategyComparison,
     message_from_json,
+)
+from repro.serving.compare import (
+    build_comparisons,
+    ranking_metrics,
+    run_served_evaluation,
+    served_evaluation,
+    write_report,
 )
 from repro.serving.registry import ArtifactRegistry
 from repro.serving.router import (
@@ -87,9 +102,12 @@ __all__ = [
     "StaleArtifactError",
     "pack_fitted",
     "unpack_fitted",
+    "DEFAULT_COMPARE_TOP_K",
     "DEFAULT_NAMESPACE",
     "ERROR_CODES",
     "PROTOCOL_VERSION",
+    "CompareRequest",
+    "CompareResponse",
     "ErrorResponse",
     "ProtocolError",
     "RankRequest",
@@ -97,7 +115,13 @@ __all__ = [
     "ScoreBatchRequest",
     "ScoreBatchResponse",
     "StatsResponse",
+    "StrategyComparison",
     "message_from_json",
+    "build_comparisons",
+    "ranking_metrics",
+    "run_served_evaluation",
+    "served_evaluation",
+    "write_report",
     "ArtifactRegistry",
     "AsyncSelectionRouter",
     "QueueFullError",

@@ -32,10 +32,15 @@ The gateway is the in-process seam the HTTP front door
 
 from __future__ import annotations
 
+import asyncio
 import re
 from pathlib import Path
 
+from repro.serving.compare import build_comparisons
 from repro.serving.protocol import (
+    DEFAULT_COMPARE_TOP_K,
+    CompareRequest,
+    CompareResponse,
     RankRequest,
     RankResponse,
     ScoreBatchRequest,
@@ -43,7 +48,11 @@ from repro.serving.protocol import (
     StatsResponse,
 )
 from repro.serving.registry import ArtifactRegistry
-from repro.serving.router import AsyncSelectionRouter, RouterStats
+from repro.serving.router import (
+    AsyncSelectionRouter,
+    QueueFullError,
+    RouterStats,
+)
 from repro.serving.service import SelectionService, ServiceStats
 from repro.strategies import (
     UnknownStrategyError,
@@ -121,8 +130,8 @@ class _Namespace:
         self.targets = frozenset(zoo.target_names())
         self.models = frozenset(zoo.model_ids())
 
-    def entry_for(self, spec: str | None) -> _Entry:
-        """The (service, router) pair a request's ``strategy`` selects.
+    def resolve_spec(self, spec: str | None) -> str:
+        """The strategy-map key a request's ``strategy`` field selects.
 
         Alias spellings route like their canonical form (``random:0`` →
         ``random``), exactly as :func:`repro.strategies.get_strategy`
@@ -130,18 +139,65 @@ class _Namespace:
         match exactly (they have no alias spellings to normalise).
         """
         if spec is None:
-            return self.entries[self.default_spec]
-        entry = self.entries.get(spec) \
-            or self.entries.get(canonical_spec(spec)) \
-            or self.entries.get(normalize_spec(spec))
-        if entry is None:
-            raise UnknownStrategyError(spec, list(self.entries))
-        return entry
+            return self.default_spec
+        if spec in self.entries:
+            return spec
+        for candidate in (canonical_spec(spec), normalize_spec(spec)):
+            if candidate in self.entries:
+                return candidate
+        raise UnknownStrategyError(spec, list(self.entries))
+
+    def entry_for(self, spec: str | None) -> _Entry:
+        """The (service, router) pair a request's ``strategy`` selects."""
+        return self.entries[self.resolve_spec(spec)]
 
     def specs(self) -> list[str]:
         """Served strategy specs, default first."""
         others = sorted(s for s in self.entries if s != self.default_spec)
         return [self.default_spec, *others]
+
+
+def _weighted_budget(strategy, max_pending_fits: int) -> int:
+    """The cold-fit queue bound a strategy's ``fit_weight`` implies."""
+    weight = float(getattr(strategy, "fit_weight", 1.0))
+    if weight <= 0:
+        raise ValueError(f"strategy {strategy.spec!r} has non-positive "
+                         f"fit_weight {weight}")
+    return max(1, round(max_pending_fits / weight))
+
+
+def _strategy_budgets(resolved, max_pending_fits: int,
+                      fit_budgets) -> dict[str, int]:
+    """Per-strategy cold-fit queue bounds for one namespace's routers."""
+    if fit_budgets is None:
+        return {strat.spec: max_pending_fits for strat in resolved}
+    explicit: dict[str, int] = {}
+    if fit_budgets != "weighted":
+        by_spec = {strat.spec: strat for strat in resolved}
+        for spec, bound in dict(fit_budgets).items():
+            resolved_spec = spec if spec in by_spec \
+                else canonical_spec(spec) if canonical_spec(spec) in by_spec \
+                else normalize_spec(spec)
+            if resolved_spec not in by_spec:
+                raise ValueError(
+                    f"fit budget names unknown strategy {spec!r}; "
+                    f"namespace serves {sorted(by_spec)}")
+            if isinstance(bound, bool) or not isinstance(bound, int) \
+                    or bound < 1:
+                raise ValueError(
+                    f"fit budget for {spec!r} must be an integer >= 1, "
+                    f"got {bound!r}")
+            if resolved_spec in explicit:
+                # two alias spellings of one strategy must not silently
+                # last-win (same rule add_namespace applies to the map)
+                raise ValueError(
+                    f"fit budget for {spec!r} duplicates the budget "
+                    f"already set for {resolved_spec!r}")
+            explicit[resolved_spec] = bound
+    return {strat.spec: explicit.get(strat.spec,
+                                     _weighted_budget(strat,
+                                                      max_pending_fits))
+            for strat in resolved}
 
 
 class SelectionGateway:
@@ -172,6 +228,7 @@ class SelectionGateway:
                       registry: ArtifactRegistry | None = None,
                       cache_size: int = 32,
                       max_pending_fits: int = 8,
+                      fit_budgets=None,
                       overflow: str = "reject",
                       retry_after_s: float = 0.5,
                       fit_workers: int = 2,
@@ -186,6 +243,22 @@ class SelectionGateway:
         served under its canonical spec.  Every strategy shares the
         namespace's registry shard — artifacts stay disjoint because
         the shard is keyed by strategy fingerprint below that.
+
+        ``fit_budgets`` sets *per-strategy* cold-fit queue bounds so a
+        storm of heavy fits (a TG variant during a compare fan-out)
+        cannot starve the ~ms strategies behind the same namespace:
+
+        - ``None`` (default) — every strategy's router gets
+          ``max_pending_fits``, the pre-budget behaviour;
+        - ``"weighted"`` — each router gets ``max(1, round(
+          max_pending_fits / strategy.fit_weight))`` slots, so heavy
+          strategies (``fit_weight > 1``) queue shallow and cheap ones
+          (``fit_weight < 1``) queue deep;
+        - a ``{spec: bound}`` mapping — explicit bounds for the named
+          strategies (alias spellings accepted), weighted defaults for
+          the rest; a spec naming no registered strategy is a
+          :class:`ValueError` (an ignored typo would silently serve the
+          wrong budget).
         """
         if not _NAMESPACE_NAME.fullmatch(name):
             raise ValueError(
@@ -200,6 +273,7 @@ class SelectionGateway:
         ns = _Namespace(name, zoo)
         resolved = [resolve_strategy(strategy)]
         resolved += [resolve_strategy(s) for s in strategies]
+        budgets = _strategy_budgets(resolved, max_pending_fits, fit_budgets)
         for strat in resolved:
             if strat.spec in ns.entries:
                 raise ValueError(
@@ -208,7 +282,7 @@ class SelectionGateway:
             service = SelectionService(zoo, strat, registry=registry,
                                        cache_size=cache_size)
             router = AsyncSelectionRouter(
-                service, max_pending_fits=max_pending_fits,
+                service, max_pending_fits=budgets[strat.spec],
                 overflow=overflow, retry_after_s=retry_after_s,
                 fit_workers=fit_workers, predict_workers=predict_workers,
                 shed_start=shed_start)
@@ -271,12 +345,61 @@ class SelectionGateway:
                           {m for m, _ in request.pairs})
         return await entry.router.handle(request)
 
-    async def handle(self, request: RankRequest | ScoreBatchRequest):
-        """Dispatch one protocol request to its namespace's router."""
+    async def compare(self, request: CompareRequest) -> CompareResponse:
+        """Fan one target across a namespace's strategy map, concurrently.
+
+        Every fanned-out strategy answers through its *own* router, so
+        the per-strategy single-flight coalescing, queue bounds, and
+        shedding semantics hold exactly as they would for independent
+        ``/v1/rank`` traffic.  A strategy shed by its router's
+        backpressure is marked ``"shed"`` in the response (with its
+        ``retry_after_s`` hint) instead of failing the whole comparison;
+        any other failure propagates — a broken strategy is a server
+        bug, not a partial answer.
+        """
+        ns = self._get(request.namespace)
+        self._check_names(ns, {request.target}, set())
+        reference = ns.resolve_spec(request.reference)
+        if request.strategies is None:
+            specs = ns.specs()
+        else:
+            specs = []
+            for spec in request.strategies:
+                resolved = ns.resolve_spec(spec)
+                if resolved not in specs:
+                    specs.append(resolved)
+            if reference not in specs:  # correlations need its ranking
+                specs.insert(0, reference)
+        top_k = min(request.top_k or DEFAULT_COMPARE_TOP_K, len(ns.models))
+
+        async def fan_out(spec: str):
+            try:
+                return await ns.entries[spec].router.rank(request.target)
+            except QueueFullError as exc:
+                return exc
+
+        answers = await asyncio.gather(*(fan_out(spec) for spec in specs))
+        rankings: dict[str, list] = {}
+        sheds: dict[str, float] = {}
+        for spec, answer in zip(specs, answers):
+            if isinstance(answer, QueueFullError):
+                sheds[spec] = float(answer.retry_after_s)
+            else:
+                rankings[spec] = answer
+        latencies = {spec: ns.entries[spec].router.latency_summary()
+                     for spec in specs}
+        results = build_comparisons(rankings, sheds, reference=reference,
+                                    top_k=top_k, latencies=latencies)
+        return CompareResponse.build(request, reference, top_k, results)
+
+    async def handle(self, request):
+        """Dispatch one protocol request to its namespace's router(s)."""
         if isinstance(request, RankRequest):
             return await self.rank(request)
         if isinstance(request, ScoreBatchRequest):
             return await self.score_batch(request)
+        if isinstance(request, CompareRequest):
+            return await self.compare(request)
         raise TypeError(
             f"unsupported request type {type(request).__name__}")
 

@@ -6,8 +6,13 @@ footprint while still being curl-able:
 
 - ``POST /v1/rank``         body: :class:`~repro.serving.protocol.RankRequest`
 - ``POST /v1/score_batch``  body: :class:`~repro.serving.protocol.ScoreBatchRequest`
+- ``POST /v1/compare``      body: :class:`~repro.serving.protocol.CompareRequest`
 - ``GET  /v1/stats``        :class:`~repro.serving.protocol.StatsResponse`
 - ``GET  /v1/healthz``      liveness + served namespaces
+
+A ``/v1/compare`` never answers 429: a strategy shed during the fan-out
+is marked ``"shed"`` inside the 200 response (with its ``retry_after_s``
+hint) while the rest of the strategy map still answers.
 
 Every response body is a protocol message; every failure is a typed
 :class:`~repro.serving.protocol.ErrorResponse`:
@@ -50,6 +55,7 @@ from repro.serving.gateway import (
 )
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
+    CompareRequest,
     ErrorResponse,
     ProtocolError,
     RankRequest,
@@ -278,6 +284,7 @@ class GatewayHTTPServer:
         routes = {
             "/v1/rank": ("POST", self._post_rank),
             "/v1/score_batch": ("POST", self._post_score_batch),
+            "/v1/compare": ("POST", self._post_compare),
             "/v1/stats": ("GET", self._get_stats),
             "/v1/healthz": ("GET", self._get_healthz),
         }
@@ -302,6 +309,10 @@ class GatewayHTTPServer:
         request = ScoreBatchRequest.from_json(body)
         return 200, await self._dispatch(
             self.gateway.score_batch(request)), ()
+
+    async def _post_compare(self, body: bytes):
+        request = CompareRequest.from_json(body)
+        return 200, await self._dispatch(self.gateway.compare(request)), ()
 
     @staticmethod
     async def _dispatch(coro):

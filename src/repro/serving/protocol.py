@@ -33,6 +33,15 @@ identical to the pre-strategy protocol; present, it names a strategy
 spec (``"tg:lr,n2v,all"``, ``"lr:all+logme"``, ``"logme"``, ...) in the
 serving namespace's strategy map.  Responses carry the field only when
 the request did, so default-strategy traffic stays byte-stable.
+
+The second additive growth is the :class:`CompareRequest` /
+:class:`CompareResponse` pair behind ``POST /v1/compare``: one target
+fanned concurrently across a namespace's whole strategy map, answered
+with per-strategy rankings, rank correlations and top-k overlap against
+a reference strategy, and live per-strategy latency percentiles.  A
+strategy shed by its router's backpressure is *marked* shed in the
+response (with its ``retry_after_s`` hint) instead of failing the whole
+comparison — partial answers are the point of a fleet-wide probe.
 """
 
 from __future__ import annotations
@@ -45,12 +54,16 @@ from typing import ClassVar
 __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_NAMESPACE",
+    "DEFAULT_COMPARE_TOP_K",
     "ERROR_CODES",
     "ProtocolError",
     "RankRequest",
     "RankResponse",
     "ScoreBatchRequest",
     "ScoreBatchResponse",
+    "CompareRequest",
+    "CompareResponse",
+    "StrategyComparison",
     "StatsResponse",
     "ErrorResponse",
     "MESSAGE_TYPES",
@@ -61,6 +74,11 @@ PROTOCOL_VERSION = "v1"
 
 #: namespace used by single-tenant entry points (one service, no gateway)
 DEFAULT_NAMESPACE = "default"
+
+#: overlap depth a compare uses when the request leaves ``top_k`` null —
+#: the paper's top-k transfer-accuracy tables report small k, and 3 keeps
+#: the metric meaningful even on tiny evaluation zoos
+DEFAULT_COMPARE_TOP_K = 3
 
 #: machine-readable error discriminants a client may rely on
 ERROR_CODES = frozenset({
@@ -279,6 +297,67 @@ class ScoreBatchRequest(_Message):
                    strategy=payload.get("strategy"))
 
 
+@dataclass(frozen=True)
+class CompareRequest(_Message):
+    """Fan one target across a namespace's strategy map and compare.
+
+    ``strategies`` (optional) restricts the fan-out to those specs; a
+    null field means *the namespace's whole strategy map* — every
+    registered ranker answers.  An explicitly empty list is a protocol
+    error: a comparison over nothing is a client bug, not an empty
+    answer.  ``reference`` names the strategy correlations and top-k
+    overlap are computed against (null = the namespace default); it
+    joins the fan-out set implicitly when a subset omits it.  ``top_k``
+    is the overlap depth (null = server default,
+    :data:`DEFAULT_COMPARE_TOP_K`, clamped to the zoo's model count).
+    """
+
+    kind: ClassVar[str] = "compare"
+
+    target: str
+    namespace: str = DEFAULT_NAMESPACE
+    strategies: tuple[str, ...] | None = None
+    reference: str | None = None
+    top_k: int | None = None
+
+    def __post_init__(self):
+        _check_str(self.kind, "target", self.target)
+        _check_str(self.kind, "namespace", self.namespace)
+        _check_optional_str(self.kind, "reference", self.reference)
+        _check_optional_top_k(self.kind, self.top_k)
+        if self.strategies is not None:
+            if not isinstance(self.strategies, (list, tuple)) \
+                    or not self.strategies:
+                raise ProtocolError(
+                    f"{self.kind}.strategies must be null or a non-empty "
+                    f"list of strategy specs")
+            specs = tuple(
+                _check_str(self.kind, f"strategies[{i}]", spec)
+                for i, spec in enumerate(self.strategies))
+            object.__setattr__(self, "strategies", specs)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "target": self.target,
+               "namespace": self.namespace, "top_k": self.top_k}
+        if self.strategies is not None:  # null = whole strategy map
+            out["strategies"] = list(self.strategies)
+        if self.reference is not None:  # null = namespace default
+            out["reference"] = self.reference
+        return out
+
+    @classmethod
+    def from_dict(cls, payload) -> "CompareRequest":
+        payload = _check_payload(cls.kind, payload,
+                                 {"target", "namespace", "strategies",
+                                  "reference", "top_k"},
+                                 {"target"})
+        return cls(target=payload["target"],
+                   namespace=payload.get("namespace", DEFAULT_NAMESPACE),
+                   strategies=payload.get("strategies"),
+                   reference=payload.get("reference"),
+                   top_k=payload.get("top_k"))
+
+
 # ---------------------------------------------------------------------- #
 # responses
 # ---------------------------------------------------------------------- #
@@ -390,6 +469,195 @@ class ScoreBatchResponse(_Message):
                    strategy=payload.get("strategy"))
 
 
+#: allowed ``StrategyComparison.status`` values
+_COMPARISON_STATUSES = ("ok", "shed")
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """One strategy's slice of a :class:`CompareResponse`.
+
+    Not a wire message itself (no ``kind``): it nests inside
+    ``CompareResponse.results`` keyed by the strategy's canonical spec.
+
+    - ``status == "ok"`` carries the full best-first ``ranking`` plus —
+      when the reference strategy answered — ``pearson`` / ``spearman``
+      rank correlations against the reference's scores and the
+      ``top_k_overlap`` fraction of the reference's top-k set it shares;
+    - ``status == "shed"`` means this strategy's router shed the fan-out
+      under backpressure: no ranking, a ``retry_after_s`` hint instead
+      (the rest of the comparison still answers — partial failure never
+      fails the whole compare);
+    - ``latency`` is the strategy's *live* serving summary (rolling
+      stats-window percentiles from its router), present either way.
+    """
+
+    status: str
+    ranking: tuple[tuple[str, float], ...] = ()
+    pearson: float | None = None
+    spearman: float | None = None
+    top_k_overlap: float | None = None
+    latency: dict[str, float] = field(default_factory=dict)
+    retry_after_s: float | None = None
+
+    _kind: ClassVar[str] = "compare_response.results"
+
+    def __post_init__(self):
+        kind = self._kind
+        if self.status not in _COMPARISON_STATUSES:
+            raise ProtocolError(
+                f"{kind}.status must be one of {list(_COMPARISON_STATUSES)}")
+        if not isinstance(self.ranking, (list, tuple)):
+            raise ProtocolError(
+                f"{kind}.ranking must be a list of [model_id, score] pairs")
+        ranking = []
+        for i, entry in enumerate(self.ranking):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ProtocolError(
+                    f"{kind}.ranking[{i}] must be a [model_id, score] pair")
+            ranking.append(
+                (_check_str(kind, f"ranking[{i}][0]", entry[0]),
+                 _check_float(kind, f"ranking[{i}][1]", entry[1])))
+        object.__setattr__(self, "ranking", tuple(ranking))
+        object.__setattr__(self, "latency",
+                           _check_summary(kind, "latency", self.latency))
+        for name in ("pearson", "spearman"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name,
+                                   _check_float(kind, name, value))
+        if self.top_k_overlap is not None:
+            overlap = _check_float(kind, "top_k_overlap", self.top_k_overlap)
+            if not (0.0 <= overlap <= 1.0):
+                raise ProtocolError(f"{kind}.top_k_overlap must be in [0, 1]")
+            object.__setattr__(self, "top_k_overlap", overlap)
+        if self.status == "ok":
+            if not self.ranking:
+                raise ProtocolError(
+                    f"{kind}.ranking is required for an 'ok' comparison")
+            if self.retry_after_s is not None:
+                raise ProtocolError(
+                    f"{kind}.retry_after_s is only valid for a 'shed' "
+                    f"comparison")
+        else:  # shed
+            if self.ranking:
+                raise ProtocolError(
+                    f"{kind}.ranking must be empty for a 'shed' comparison")
+            if self.pearson is not None or self.spearman is not None \
+                    or self.top_k_overlap is not None:
+                raise ProtocolError(
+                    f"{kind} correlations must be null for a 'shed' "
+                    f"comparison")
+            if self.retry_after_s is None:
+                raise ProtocolError(
+                    f"{kind}.retry_after_s is required for a 'shed' "
+                    f"comparison")
+            retry = _check_float(kind, "retry_after_s", self.retry_after_s)
+            if retry < 0:
+                raise ProtocolError(f"{kind}.retry_after_s must be >= 0")
+            object.__setattr__(self, "retry_after_s", retry)
+
+    def to_dict(self) -> dict:
+        out: dict = {"status": self.status, "latency": dict(self.latency)}
+        if self.status == "ok":
+            out["ranking"] = [[m, s] for m, s in self.ranking]
+            # correlations are omitted (not null) when the reference shed
+            for name in ("pearson", "spearman", "top_k_overlap"):
+                value = getattr(self, name)
+                if value is not None:
+                    out[name] = value
+        else:
+            out["retry_after_s"] = self.retry_after_s
+        return out
+
+    @classmethod
+    def from_dict(cls, payload) -> "StrategyComparison":
+        payload = _check_payload(
+            cls._kind, payload,
+            {"status", "ranking", "pearson", "spearman", "top_k_overlap",
+             "latency", "retry_after_s"},
+            {"status"})
+        return cls(status=payload["status"],
+                   ranking=payload.get("ranking", ()),
+                   pearson=payload.get("pearson"),
+                   spearman=payload.get("spearman"),
+                   top_k_overlap=payload.get("top_k_overlap"),
+                   latency=payload.get("latency", {}),
+                   retry_after_s=payload.get("retry_after_s"))
+
+
+@dataclass(frozen=True)
+class CompareResponse(_Message):
+    """Every strategy's answer for one target, side by side.
+
+    ``results`` maps each fanned-out strategy's canonical spec to its
+    :class:`StrategyComparison`; ``reference`` names the spec the
+    correlations were computed against (always itself a key of
+    ``results``) and ``top_k`` is the resolved overlap depth.
+    """
+
+    kind: ClassVar[str] = "compare_response"
+
+    namespace: str
+    target: str
+    reference: str
+    top_k: int
+    results: dict[str, StrategyComparison] = field(default_factory=dict)
+
+    def __post_init__(self):
+        _check_str(self.kind, "namespace", self.namespace)
+        _check_str(self.kind, "target", self.target)
+        _check_str(self.kind, "reference", self.reference)
+        if isinstance(self.top_k, bool) or not isinstance(self.top_k, int) \
+                or self.top_k < 1:
+            raise ProtocolError(f"{self.kind}.top_k must be a positive "
+                                f"integer")
+        if not isinstance(self.results, dict) or not self.results:
+            raise ProtocolError(
+                f"{self.kind}.results must be a non-empty object of "
+                f"strategy spec -> comparison")
+        results = {}
+        for spec, comparison in self.results.items():
+            _check_str(self.kind, "results key", spec)
+            if isinstance(comparison, dict):
+                comparison = StrategyComparison.from_dict(comparison)
+            elif not isinstance(comparison, StrategyComparison):
+                raise ProtocolError(
+                    f"{self.kind}.results[{spec}] must be a comparison "
+                    f"object, got {_type_name(comparison)}")
+            results[spec] = comparison
+        object.__setattr__(self, "results", results)
+        if self.reference not in self.results:
+            raise ProtocolError(
+                f"{self.kind}.reference must name one of the compared "
+                f"strategies")
+
+    @classmethod
+    def build(cls, request: CompareRequest, reference: str, top_k: int,
+              results: dict[str, StrategyComparison]) -> "CompareResponse":
+        """THE constructor every serving path funnels through."""
+        return cls(namespace=request.namespace, target=request.target,
+                   reference=reference, top_k=top_k, results=results)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "namespace": self.namespace,
+                "target": self.target, "reference": self.reference,
+                "top_k": self.top_k,
+                "results": {spec: comparison.to_dict()
+                            for spec, comparison in self.results.items()}}
+
+    @classmethod
+    def from_dict(cls, payload) -> "CompareResponse":
+        payload = _check_payload(cls.kind, payload,
+                                 {"namespace", "target", "reference",
+                                  "top_k", "results"},
+                                 {"namespace", "target", "reference",
+                                  "top_k", "results"})
+        return cls(namespace=payload["namespace"], target=payload["target"],
+                   reference=payload["reference"], top_k=payload["top_k"],
+                   results=payload["results"])
+
+
 @dataclass(frozen=True)
 class StatsResponse(_Message):
     """Per-namespace serving summaries plus fleet-wide aggregates."""
@@ -463,9 +731,9 @@ class ErrorResponse(_Message):
 
 #: wire-kind -> message class, for kind-dispatched decoding
 MESSAGE_TYPES: dict[str, type] = {
-    cls.kind: cls for cls in (RankRequest, ScoreBatchRequest, RankResponse,
-                              ScoreBatchResponse, StatsResponse,
-                              ErrorResponse)
+    cls.kind: cls for cls in (RankRequest, ScoreBatchRequest, CompareRequest,
+                              RankResponse, ScoreBatchResponse,
+                              CompareResponse, StatsResponse, ErrorResponse)
 }
 
 

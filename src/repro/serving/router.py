@@ -166,10 +166,36 @@ class RouterStats:
         return self
 
     @staticmethod
-    def _percentile(values: deque, q: float) -> float:
+    def _percentile(values, q: float) -> float:
         if not values:
             return 0.0
         return float(np.percentile(np.asarray(values), q))
+
+    @staticmethod
+    def _percentiles(values: deque, qs: tuple) -> tuple:
+        """Several percentiles of one window in a single pass."""
+        if not values:
+            return tuple(0.0 for _ in qs)
+        return tuple(float(v) for v in np.percentile(np.asarray(values), qs))
+
+    def latency_summary(self) -> dict[str, float]:
+        """The per-stage latency slice of :meth:`summary` alone.
+
+        Compare responses embed this per strategy (merged with the
+        service's per-query window), so it stays a flat name->float map
+        and batches each stage's percentiles into one
+        ``np.percentile`` call.
+        """
+        fit_p50, fit_p95 = self._percentiles(self.fit_ms, (50, 95))
+        predict_p50, predict_p95 = self._percentiles(self.predict_ms,
+                                                     (50, 95))
+        return {
+            "queue_wait_p95_ms": self._percentile(self.queue_wait_ms, 95),
+            "fit_p50_ms": fit_p50,
+            "fit_p95_ms": fit_p95,
+            "predict_p50_ms": predict_p50,
+            "predict_p95_ms": predict_p95,
+        }
 
     def summary(self) -> dict[str, float]:
         return {
@@ -179,11 +205,7 @@ class RouterStats:
             "early_sheds": self.early_sheds,
             "cold_fits": self.cold_fits,
             "peak_pending_fits": self.peak_pending_fits,
-            "queue_wait_p95_ms": self._percentile(self.queue_wait_ms, 95),
-            "fit_p50_ms": self._percentile(self.fit_ms, 50),
-            "fit_p95_ms": self._percentile(self.fit_ms, 95),
-            "predict_p50_ms": self._percentile(self.predict_ms, 50),
-            "predict_p95_ms": self._percentile(self.predict_ms, 95),
+            **self.latency_summary(),
         }
 
 
@@ -582,6 +604,17 @@ class AsyncSelectionRouter:
     def stats_snapshot(self) -> tuple[ServiceStats, RouterStats]:
         """Paired (service, router) snapshots, e.g. to diff a replay."""
         return self.service.stats_snapshot(), self.router_stats()
+
+    def latency_summary(self) -> dict[str, float]:
+        """Live latency percentiles: the service's per-query window
+        merged with the router's per-stage windows.  This is what a
+        ``/v1/compare`` response reports per strategy — summarised under
+        the stats locks directly, not from full snapshot copies (the
+        windows hold up to 10k/100k samples; a fan-out would otherwise
+        copy all of them once per strategy per request)."""
+        with self._stats_lock:
+            router_part = self._stats.latency_summary()
+        return {**self.service.latency_summary(), **router_part}
 
     def close(self) -> None:
         """Shut the executors down; idempotent."""

@@ -113,6 +113,22 @@ class ServiceStats:
         self.latencies_ms.extend(other.latencies_ms)
         return self
 
+    def latency_summary(self) -> dict[str, float]:
+        """The per-query latency slice of :meth:`summary` alone.
+
+        Compare responses embed this per strategy (the protocol's
+        ``StrategyComparison.latency``), so it stays a flat name->float
+        map of rolling stats-window percentiles — and it is computed in
+        *one* pass over the window (a single ``np.percentile`` call),
+        because ``/v1/compare`` recomputes it per strategy per request.
+        """
+        if not self.latencies_ms:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+        window = np.asarray(self.latencies_ms)
+        p50, p95 = np.percentile(window, (50, 95))
+        return {"p50_ms": float(p50), "p95_ms": float(p95),
+                "max_ms": float(window.max())}
+
     def summary(self) -> dict[str, float]:
         return {
             "queries": self.queries,
@@ -123,9 +139,7 @@ class ServiceStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate(),
-            "p50_ms": self.latency_percentile(50),
-            "p95_ms": self.latency_percentile(95),
-            "max_ms": max(self.latencies_ms, default=0.0),
+            **self.latency_summary(),
         }
 
 
@@ -334,6 +348,16 @@ class SelectionService:
     def stats(self) -> dict[str, float]:
         """Counter + latency summary since construction (or last reset)."""
         return self.stats_snapshot().summary()
+
+    def latency_summary(self) -> dict[str, float]:
+        """Live per-query latency percentiles, without a window copy.
+
+        The compare fan-out calls this per strategy per request, so it
+        summarises under the stats lock instead of snapshotting the
+        whole rolling window first.
+        """
+        with self._lock:
+            return self._stats.latency_summary()
 
     def stats_snapshot(self) -> ServiceStats:
         """A copy of the raw counters, e.g. to diff around a workload."""

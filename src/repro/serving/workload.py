@@ -2,9 +2,11 @@
 
 Real selection traffic is skewed: a few popular target datasets receive
 most queries.  The generator draws targets from a Zipf-like popularity
-distribution over the zoo's targets and mixes two query shapes — full
-rankings (:class:`~repro.serving.protocol.RankRequest`) and batched pair
-scoring (:class:`~repro.serving.protocol.ScoreBatchRequest`) — then
+distribution over the zoo's targets and mixes three query shapes — full
+rankings (:class:`~repro.serving.protocol.RankRequest`), batched pair
+scoring (:class:`~repro.serving.protocol.ScoreBatchRequest`), and — for
+gateway replays — strategy-map fan-outs
+(:class:`~repro.serving.protocol.CompareRequest`) — then
 :func:`replay` runs the sequence against a service and reports the
 latency/hit-rate summary.  Workloads are lists of *protocol* messages,
 so the same stream replays unchanged against the serial facade, the
@@ -31,6 +33,7 @@ import numpy as np
 
 from repro.serving.protocol import (
     DEFAULT_NAMESPACE,
+    CompareRequest,
     RankRequest,
     ScoreBatchRequest,
 )
@@ -51,6 +54,11 @@ class WorkloadConfig:
     num_queries: int = 200
     #: fraction of queries that are batched pair-scoring calls
     batch_fraction: float = 0.25
+    #: fraction of queries that fan the target across the whole strategy
+    #: map (:class:`~repro.serving.protocol.CompareRequest`); compare
+    #: traffic only replays against a gateway — routers and the serial
+    #: service serve one strategy and reject the request type
+    compare_fraction: float = 0.0
     #: (model, target) pairs per score_batch query
     batch_size: int = 8
     #: Zipf exponent of target popularity (0 = uniform)
@@ -63,6 +71,11 @@ class WorkloadConfig:
             raise ValueError("num_queries must be >= 1")
         if not (0.0 <= self.batch_fraction <= 1.0):
             raise ValueError("batch_fraction must be in [0, 1]")
+        if not (0.0 <= self.compare_fraction <= 1.0):
+            raise ValueError("compare_fraction must be in [0, 1]")
+        if self.batch_fraction + self.compare_fraction > 1.0:
+            raise ValueError("batch_fraction + compare_fraction must "
+                             "not exceed 1")
         if self.zipf_alpha < 0:
             raise ValueError("zipf_alpha must be >= 0")
 
@@ -81,16 +94,21 @@ def generate_workload(zoo, config: WorkloadConfig | None = None,
     weights = 1.0 / (1.0 + order.astype(np.float64)) ** config.zipf_alpha
     weights /= weights.sum()
 
-    requests: list[RankRequest | ScoreBatchRequest] = []
+    requests: list[RankRequest | ScoreBatchRequest | CompareRequest] = []
     for _ in range(config.num_queries):
         target = targets[rng.choice(len(targets), p=weights)]
-        if rng.random() < config.batch_fraction:
+        draw = rng.random()
+        if draw < config.batch_fraction:
             chosen = rng.choice(len(models), size=min(config.batch_size,
                                                       len(models)),
                                 replace=False)
             pairs = tuple((models[i], target) for i in chosen)
             requests.append(ScoreBatchRequest(pairs=pairs,
                                               namespace=namespace))
+        elif draw < config.batch_fraction + config.compare_fraction:
+            requests.append(CompareRequest(target=target,
+                                           namespace=namespace,
+                                           top_k=config.top_k))
         else:
             requests.append(RankRequest(target=target, top_k=config.top_k,
                                         namespace=namespace))

@@ -85,6 +85,16 @@ class TransferGraphStrategy(SelectionStrategy):
                 return LR_VARIANTS[variant][1]
         return self.config.strategy_name()
 
+    @property
+    def fit_weight(self) -> float:
+        """Cold-fit cost hint for weighted router budgets.
+
+        Graph-feature configs pay for walk generation + SGNS training
+        (~seconds); the graph-less ``lr:`` baselines fit a linear model
+        over tabular features (~the weight-1.0 reference cost).
+        """
+        return 4.0 if self.config.features.graph_features else 1.0
+
     # ------------------------------------------------------------------ #
     def fit(self, zoo, target: str):
         return self._tg.fit(zoo, target)

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.store import ZooCatalog
 from repro.utils import RngRegistry
-from repro.zoo.architectures import ModelSpec, sample_model_specs
+from repro.zoo.architectures import sample_model_specs
 from repro.zoo.finetune import (
     FinetuneConfig,
     full_finetune,

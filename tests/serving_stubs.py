@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core import TransferGraphConfig
 from repro.serving import SelectionService
+from repro.strategies import SelectionStrategy
 
 
 class StubZoo:
@@ -32,15 +33,55 @@ class StubZoo:
 
 
 class StubFitted:
-    def __init__(self, target):
+    def __init__(self, target, scores=None):
         self.target = target
+        #: model_id -> score; None keeps the legacy reverse-index scores
+        self.scores = scores
 
     def rank(self, model_ids):
-        return [(m, float(len(model_ids) - i))
-                for i, m in enumerate(model_ids)]
+        if self.scores is None:
+            return [(m, float(len(model_ids) - i))
+                    for i, m in enumerate(model_ids)]
+        return sorted(((m, float(self.scores[m])) for m in model_ids),
+                      key=lambda kv: (-kv[1], kv[0]))
 
     def predict(self, model_ids):
-        return np.arange(len(model_ids), dtype=float)
+        if self.scores is None:
+            return np.arange(len(model_ids), dtype=float)
+        return np.asarray([self.scores[m] for m in model_ids], dtype=float)
+
+
+class StubStrategy(SelectionStrategy):
+    """A SelectionStrategy double with fixed per-model scores.
+
+    ``scores`` maps model_id -> score served for every target (so
+    cross-strategy correlations are exactly computable in tests);
+    ``fit_seconds`` makes the fit a controllable sleep and
+    ``fit_weight`` feeds the gateway's weighted budget math.
+    """
+
+    requires_history = False
+
+    def __init__(self, spec, scores, *, fit_seconds=0.0, fit_weight=1.0):
+        self.spec = spec
+        self.name = spec
+        self.scores = dict(scores)
+        self.fit_seconds = fit_seconds
+        self.fit_weight = fit_weight
+
+    def fit(self, zoo, target):
+        if self.fit_seconds:
+            time.sleep(self.fit_seconds)
+        return StubFitted(target, self.scores)
+
+    def fingerprint(self):
+        return f"stub-{self.spec}"
+
+    def rank(self, zoo, target):
+        return self.fit(zoo, target).rank(zoo.model_ids())
+
+    def scores_for_target(self, zoo, target):
+        return dict(self.scores)
 
 
 def install_stub_fit(service: SelectionService, fit_seconds=0.0,
@@ -74,12 +115,13 @@ def stub_service(targets=("t0", "t1", "t2", "t3"), fit_seconds=0.0,
 
 
 def stub_gateway(names=("alpha", "beta"), targets=("t0", "t1", "t2", "t3"),
-                 fit_seconds=0.0, **namespace_kwargs):
+                 fit_seconds=0.0, strategies=(), **namespace_kwargs):
     """A SelectionGateway whose namespaces serve stub zoos.
 
     Each namespace gets its own StubZoo and sleep-fit service; extra
     kwargs (max_pending_fits, fit_workers, ...) apply to every
-    namespace's router.
+    namespace's router.  ``strategies`` adds extra rankers (e.g.
+    :class:`StubStrategy` instances) to every namespace's map.
     """
     from repro.serving import SelectionGateway
 
@@ -87,6 +129,17 @@ def stub_gateway(names=("alpha", "beta"), targets=("t0", "t1", "t2", "t3"),
     for name in names:
         service = gateway.add_namespace(name, StubZoo(targets),
                                         TransferGraphConfig(),
+                                        strategies=strategies,
                                         **namespace_kwargs)
         install_stub_fit(service, fit_seconds=fit_seconds)
     return gateway
+
+
+#: three-strategy score tables over StubZoo's m0/m1/m2 roster with known
+#: pairwise relationships: ``agree`` ranks exactly like the default stub
+#: fit (m0 > m1 > m2), ``flip`` ranks the reverse, ``tied`` is constant
+STUB_SCORES = {
+    "agree": {"m0": 3.0, "m1": 2.0, "m2": 1.0},
+    "flip": {"m0": 1.0, "m1": 2.0, "m2": 3.0},
+    "tied": {"m0": 1.0, "m1": 1.0, "m2": 1.0},
+}

@@ -1,8 +1,6 @@
 """Behavioural tests distinguishing the Amazon-LR feature variants."""
 
 import numpy as np
-import pytest
-
 from repro.baselines import AmazonLR
 from repro.core import evaluate_strategy
 

@@ -1,8 +1,6 @@
 """Additional behavioural tests for gradient boosting and forests."""
 
 import numpy as np
-import pytest
-
 from repro.predictors import (
     GradientBoostingRegressor,
     LinearRegression,

@@ -358,3 +358,79 @@ class TestRegistryGCStrategySafety:
         out = capsys.readouterr().out
         assert "artifacts kept          1" in out
         assert meta_path.exists()
+
+
+class TestServedEvaluateFlags:
+    def test_evaluate_served_arguments(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--served", "--strategy", "logme",
+             "--strategy", "random", "--reference", "logme",
+             "--top-k", "5", "--output", "out.json"])
+        assert args.served is True
+        assert args.strategies == ["logme", "random"]
+        assert args.reference == "logme"
+        assert args.top_k == 5
+        assert str(args.output) == "out.json"
+
+    def test_evaluate_defaults_stay_offline(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.served is False
+        assert args.strategies is None
+        assert args.reference is None
+        assert args.top_k == 3
+        assert args.output is None
+
+    def test_evaluate_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--strategy", "nope"])
+
+    def test_serve_fit_budget_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--fit-budget", "logme=16",
+             "--fit-budget", "tg:lr,n2v,all=2"])
+        assert args.fit_budgets == [("logme", 16), ("tg:lr,n2v,all", 2)]
+        assert args.weighted_fit_budgets is False
+
+    def test_serve_weighted_fit_budgets_flag(self):
+        args = build_parser().parse_args(["serve", "--weighted-fit-budgets"])
+        assert args.weighted_fit_budgets is True
+        assert args.fit_budgets is None
+
+    def test_serve_rejects_malformed_fit_budgets(self):
+        for bad in ("logme", "logme=", "=3", "logme=zero", "logme=0",
+                    "nope=3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--fit-budget", bad])
+
+
+class TestServedEvaluateCommand:
+    """`evaluate --served` end to end on the tiny preset."""
+
+    def test_writes_the_benchmark_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_compare.json"
+        assert main(["--scale", "tiny", "--seed", "7", "evaluate",
+                     "--served", "--predictor", "lr",
+                     "--strategy", "logme", "--strategy", "random",
+                     "--top-k", "3", "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "served comparison" in printed
+        assert "reference tg:lr,n2v,all" in printed
+        assert str(out) in printed
+
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "compare_served"
+        assert report["reference"] == "tg:lr,n2v,all"
+        assert set(report["strategies"]) == {"tg:lr,n2v,all", "logme",
+                                             "random"}
+        for row in report["strategies"].values():
+            assert row["targets_shed"] == 0
+            assert row["targets_ok"] == len(report["targets"])
+        # the reference correlates perfectly with itself; weighted
+        # budgets give the heavy TG strategy the shallow queue
+        reference = report["strategies"]["tg:lr,n2v,all"]
+        assert reference["mean_pearson"] == 1.0
+        assert reference["mean_top_k_overlap"] == 1.0
+        assert reference["fit_budget"] < report["strategies"]["logme"][
+            "fit_budget"]

@@ -1,7 +1,6 @@
 """The examples must at least import cleanly and expose a main()."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,8 +1,6 @@
 """Unit tests for the GNN encoder internals (masking, aggregation)."""
 
 import numpy as np
-import pytest
-
 from repro.graph import (
     GATEncoder,
     GraphSAGEEncoder,

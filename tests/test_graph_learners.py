@@ -10,7 +10,6 @@ from repro.graph import (
     LinkExamples,
     ModelDatasetGraph,
     Node2Vec,
-    Node2VecPlus,
     SkipGramConfig,
     WalkConfig,
     generate_walks,

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.graph import (
-    Edge,
-    GraphBuilder,
     GraphConfig,
     ModelDatasetGraph,
     build_graph,

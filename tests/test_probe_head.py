@@ -1,8 +1,6 @@
 """Tests for the probe-head fitting used by Task2Vec (Eq. 6)."""
 
 import numpy as np
-import pytest
-
 from repro.nn import Tensor, no_grad
 from repro.probe.task2vec import fit_probe_head
 

@@ -1,8 +1,6 @@
 """Integration tests: schedulers driving real training loops."""
 
 import numpy as np
-import pytest
-
 from repro.nn import (
     CyclicalLR,
     LinearDecayLR,

@@ -10,8 +10,6 @@ from __future__ import annotations
 import asyncio
 import json
 
-import pytest
-
 from repro.serving import (
     ErrorResponse,
     GatewayHTTPServer,
@@ -460,3 +458,127 @@ class TestStrategyRouting:
         status, body = run(scenario())
         assert status == 400
         assert ErrorResponse.from_json(body).code == "bad_request"
+
+
+class TestCompareEndpoint:
+    """POST /v1/compare: the strategy-map fan-out over the wire."""
+
+    def test_compare_round_trip(self):
+        from repro.serving import CompareResponse
+
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",), strategies=("random",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/compare",
+                    body='{"namespace": "alpha", "target": "t0"}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 200
+        response = CompareResponse.from_json(body)
+        assert response.namespace == "alpha"
+        assert response.target == "t0"
+        assert response.reference == "tg:lr,n2v,all"
+        assert set(response.results) == {"tg:lr,n2v,all", "random"}
+        reference = response.results[response.reference]
+        assert reference.status == "ok"
+        assert reference.pearson == 1.0
+        assert reference.top_k_overlap == 1.0
+        assert "p95_ms" in reference.latency
+        # the wire bytes survive a decode/encode cycle unchanged
+        assert response.to_json() == body.decode()
+
+    def test_compare_unknown_strategy_is_a_typed_404(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/compare",
+                    body='{"namespace": "alpha", "target": "t0", '
+                         '"strategies": ["nope"]}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 404
+        error = ErrorResponse.from_json(body)
+        assert error.code == "unknown_strategy"
+        assert "nope" in error.message
+
+    def test_compare_empty_strategy_map_is_a_typed_400(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/compare",
+                    body='{"namespace": "alpha", "target": "t0", '
+                         '"strategies": []}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 400
+        error = ErrorResponse.from_json(body)
+        assert error.code == "bad_request"
+        assert "non-empty" in error.message
+
+    def test_compare_unknown_namespace_is_a_typed_404(self):
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",))
+            try:
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/compare",
+                    body='{"namespace": "ghost", "target": "t0"}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 404
+        assert ErrorResponse.from_json(body).code == "unknown_namespace"
+
+    def test_compare_marks_shed_strategy_instead_of_429(self):
+        from repro.serving import CompareResponse, QueueFullError
+
+        async def scenario():
+            gateway = stub_gateway(names=("alpha",), strategies=("random",))
+            try:
+                router = gateway.router("alpha", "random")
+
+                async def shed_rank(target, top_k=None):
+                    raise QueueFullError("queue full", retry_after_s=3.0)
+
+                router.rank = shed_rank
+                server = await serve(gateway)
+                host, port = server.address
+                status, _, body = await http_request(
+                    host, port, "POST", "/v1/compare",
+                    body='{"namespace": "alpha", "target": "t0"}')
+                await server.close()
+                return status, body
+            finally:
+                gateway.close()
+
+        status, body = run(scenario())
+        assert status == 200  # partial failure is still an answer
+        response = CompareResponse.from_json(body)
+        assert response.results["random"].status == "shed"
+        assert response.results["random"].retry_after_s == 3.0
+        assert response.results["tg:lr,n2v,all"].status == "ok"

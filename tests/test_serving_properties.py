@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

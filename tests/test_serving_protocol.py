@@ -10,6 +10,8 @@ from hypothesis import strategies as st
 
 from repro.serving import (
     ERROR_CODES,
+    CompareRequest,
+    CompareResponse,
     ErrorResponse,
     ProtocolError,
     RankRequest,
@@ -17,6 +19,7 @@ from repro.serving import (
     ScoreBatchRequest,
     ScoreBatchResponse,
     StatsResponse,
+    StrategyComparison,
     message_from_json,
 )
 
@@ -81,8 +84,30 @@ class TestRoundTrips:
         for message in (RankRequest(target=target, namespace=namespace),
                         ScoreBatchRequest(pairs=((target, target),),
                                           namespace=namespace),
+                        CompareRequest(target=target, namespace=namespace),
                         ErrorResponse(code="internal", message="x")):
             assert message_from_json(message.to_json()) == message
+
+    @settings(max_examples=40, deadline=None)
+    @given(namespace=_name, target=_name, reference=_name,
+           ranking=st.lists(st.tuples(_name, _score), min_size=1,
+                            max_size=8, unique_by=lambda kv: kv[0]),
+           retry=st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_compare_response_round_trip(self, namespace, target,
+                                         reference, ranking, retry):
+        """The compare pair is byte-stable like every other v1 message."""
+        ok = StrategyComparison(status="ok", ranking=tuple(ranking),
+                                pearson=0.5, spearman=-0.5,
+                                top_k_overlap=1.0,
+                                latency={"p50_ms": 1.0})
+        shed = StrategyComparison(status="shed", retry_after_s=retry)
+        response = CompareResponse(namespace=namespace, target=target,
+                                   reference=reference, top_k=3,
+                                   results={reference: ok,
+                                            reference + "!": shed})
+        revived = CompareResponse.from_json(response.to_json())
+        assert revived == response
+        assert revived.to_json() == response.to_json()
 
 
 # ---------------------------------------------------------------------- #

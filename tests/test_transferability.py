@@ -11,11 +11,7 @@ from hypothesis import strategies as st
 
 from repro.transferability import (
     ESTIMATORS,
-    HScore,
     LEEP,
-    LogME,
-    NCE,
-    PARC,
     TransRate,
     coding_rate,
     get_estimator,
