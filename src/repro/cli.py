@@ -12,10 +12,14 @@ Commands
 ``warmup``      pre-fit every target's pipeline into the artifact registry
 ``serve``       HTTP front door: a multi-namespace selection gateway on
                 ``/v1/rank``, ``/v1/score_batch``, ``/v1/stats``,
-                ``/v1/healthz``; repeatable ``--strategy`` adds rankers
-                to every namespace's strategy map
+                ``/v1/healthz``, ``/v1/metrics``; repeatable
+                ``--strategy`` adds rankers to every namespace's
+                strategy map; ``--log-json`` switches the per-request
+                event log from human lines to JSON
 ``serve-sim``   replay a synthetic query workload against the service
-                (``--concurrency N`` routes it through the async router)
+                (``--concurrency N`` routes it through the async
+                router; ``--trace-out FILE`` writes per-request span
+                traces as JSON lines)
 ``registry-gc`` sweep artifacts no live strategy/catalog can serve
                 (``--gateway`` sweeps the namespace-sharded layout)
 
@@ -54,6 +58,32 @@ def default_gateway_registry_dir() -> Path:
     from repro.zoo.cache import default_cache_dir
 
     return default_cache_dir() / "serving_namespaces"
+
+
+class _TraceFileSink:
+    """``--trace-out`` sink: one finished-trace record per JSON line."""
+
+    def __init__(self, path: Path):
+        import threading
+
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def __call__(self, record: dict) -> None:
+        import json
+
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self.count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
 
 
 def _positive_int(value: str) -> int:
@@ -224,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--output", type=Path, default=None,
                           help="served-report path (--served only; "
                                "default: ./BENCH_compare.json)")
+    evaluate.add_argument("--trace-out", type=Path, default=None,
+                          metavar="FILE",
+                          help="write each served request's trace (with "
+                               "fit-stage spans) as JSON lines "
+                               "(--served only)")
 
     sub.add_parser("stats", help="catalog and graph statistics")
 
@@ -274,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warmup", action="store_true",
                        help="pre-fit every namespace's targets before "
                             "accepting traffic")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one JSON event per request on stderr "
+                            "instead of the human log line")
+    serve.add_argument("--slow-ms", type=float, default=1000.0,
+                       help="slow-request threshold in ms; slower "
+                            "requests log their full span tree")
 
     sim = sub.add_parser(
         "serve-sim", help="replay a synthetic workload; report latency")
@@ -297,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--shed-start", type=_fraction, default=1.0,
                      help="queue-depth fraction where probabilistic early "
                           "shedding begins (1.0 = hard cliff only)")
+    sim.add_argument("--log-json", action="store_true",
+                     help="emit one JSON event per replayed request on "
+                          "stdout (same record shape as live serving)")
+    sim.add_argument("--slow-ms", type=float, default=1000.0,
+                     help="slow-request threshold in ms; slower requests "
+                          "log their full span tree")
+    sim.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                     help="write every replayed request's trace (with "
+                          "spans) as JSON lines to FILE")
 
     gc = sub.add_parser(
         "registry-gc",
@@ -448,6 +498,7 @@ def _cmd_evaluate_served(args) -> int:
     serves, and writes the machine-readable ``BENCH_compare.json``
     report the CI benchmark gate consumes.
     """
+    from repro.obs import Observability
     from repro.serving import SelectionGateway, run_served_evaluation, \
         write_report
     from repro.strategies import TransferGraphStrategy
@@ -463,9 +514,16 @@ def _cmd_evaluate_served(args) -> int:
                 all(strat.spec != s.spec for s in extras):
             extras.append(strat)
 
+    sink = None
+    obs = None
+    if args.trace_out:
+        sink = _TraceFileSink(args.trace_out)
+        obs = Observability()
+        obs.add_trace_sink(sink)
+
     namespace = args.modality
-    gateway = SelectionGateway()  # memory-only: the report must measure
-    gateway.add_namespace(       # this run's fits, not a previous run's
+    gateway = SelectionGateway(obs=obs)  # memory-only: the report must
+    gateway.add_namespace(   # measure this run's fits, not a previous run's
         namespace, zoo, default_strategy, strategies=tuple(extras),
         fit_budgets="weighted",
         cache_size=max(32, len(zoo.target_names())))
@@ -477,6 +535,9 @@ def _cmd_evaluate_served(args) -> int:
             gateway, namespace, reference=args.reference, top_k=args.top_k)
     finally:
         gateway.close()
+        if sink is not None:
+            sink.close()
+            print(f"wrote {sink.count} traces to {sink.path}")
 
     reference = report["reference"]
     k = report["top_k"]
@@ -530,6 +591,7 @@ def _cmd_warmup(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.obs import EventLog, Observability
     from repro.serving import GatewayHTTPServer, SelectionGateway
     from repro.zoo import get_or_build_zoo
 
@@ -540,7 +602,11 @@ def _cmd_serve(args) -> int:
               file=sys.stderr)
         return 2
     root = args.registry_dir or default_gateway_registry_dir()
-    gateway = SelectionGateway(registry_root=root)
+    # One request event per line on stderr (human by default, --log-json
+    # for machines); the same plane backs /v1/metrics.
+    obs = Observability(event_log=EventLog(json_lines=args.log_json,
+                                           slow_ms=args.slow_ms))
+    gateway = SelectionGateway(registry_root=root, obs=obs)
     presets = _scale_presets()
     default_strategy = _cli_default_strategy(args)
     extra_strategies: list = []
@@ -587,6 +653,7 @@ def _cmd_serve(args) -> int:
         print(f"serving on http://{host}:{port} (protocol v1, "
               f"namespaces: {', '.join(gateway.namespaces())})", flush=True)
         print(f"  curl http://{host}:{port}/v1/healthz", flush=True)
+        print(f"  curl http://{host}:{port}/v1/metrics", flush=True)
         print(f"  curl -X POST http://{host}:{port}/v1/rank -d "
               f"'{{\"namespace\": \"{example}\", \"target\": \"{target}\", "
               f"\"top_k\": 5}}'", flush=True)
@@ -613,6 +680,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_serve_sim(args) -> int:
+    from repro.obs import EventLog, Observability
     from repro.serving import (
         AsyncSelectionRouter,
         WorkloadConfig,
@@ -627,26 +695,42 @@ def _cmd_serve_sim(args) -> int:
         num_queries=args.queries, batch_fraction=args.batch_fraction,
         top_k=args.top, seed=args.seed))
 
-    if args.concurrency == 1:
-        print(f"replaying {len(workload)} queries "
-              f"({service.strategy.name}, "
-              f"registry={'on' if service.registry else 'off'})")
-        summary = replay(service, workload)
-    else:
-        total = len(workload) if args.partition \
-            else len(workload) * args.concurrency
-        print(f"replaying {total} queries over {args.concurrency} "
-              f"async clients ({service.strategy.name}, "
-              f"registry={'on' if service.registry else 'off'})")
-        router = AsyncSelectionRouter(
-            service, max_pending_fits=args.max_pending_fits,
-            shed_start=args.shed_start)
-        try:
-            summary = replay_concurrent(router, workload,
-                                        clients=args.concurrency,
-                                        partition=args.partition)
-        finally:
-            router.close()
+    # The replay summary goes through the same event formatter as live
+    # serving; --log-json additionally streams one event per request.
+    event_log = EventLog(stream=sys.stdout, json_lines=args.log_json,
+                         slow_ms=args.slow_ms)
+    obs = sink = None
+    if args.log_json or args.trace_out:
+        obs = Observability(event_log=event_log if args.log_json else None)
+        if args.trace_out:
+            sink = _TraceFileSink(args.trace_out)
+            obs.add_trace_sink(sink)
+
+    try:
+        if args.concurrency == 1:
+            print(f"replaying {len(workload)} queries "
+                  f"({service.strategy.name}, "
+                  f"registry={'on' if service.registry else 'off'})")
+            summary = replay(service, workload, obs=obs)
+        else:
+            total = len(workload) if args.partition \
+                else len(workload) * args.concurrency
+            print(f"replaying {total} queries over {args.concurrency} "
+                  f"async clients ({service.strategy.name}, "
+                  f"registry={'on' if service.registry else 'off'})")
+            router = AsyncSelectionRouter(
+                service, max_pending_fits=args.max_pending_fits,
+                shed_start=args.shed_start)
+            try:
+                summary = replay_concurrent(router, workload,
+                                            clients=args.concurrency,
+                                            partition=args.partition,
+                                            obs=obs)
+            finally:
+                router.close()
+    finally:
+        if sink is not None:
+            sink.close()
 
     print(f"  p50 latency      {summary['p50_ms']:10.2f} ms")
     print(f"  p95 latency      {summary['p95_ms']:10.2f} ms")
@@ -662,6 +746,11 @@ def _cmd_serve_sim(args) -> int:
         print(f"  peak fit queue   {summary['peak_pending_fits']:10.0f}")
         print(f"  fit p95          {summary['fit_p95_ms']:10.2f} ms")
         print(f"  predict p95      {summary['predict_p95_ms']:10.2f} ms")
+    if sink is not None:
+        print(f"  traces written   {sink.count:10d}  ({sink.path})")
+    event_log.emit_summary("serve-sim", **{
+        k: round(v, 3) if isinstance(v, float) else v
+        for k, v in summary.items()})
     return 0
 
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.config import TransferGraphConfig
 from repro.core.features import FeatureAssembler
 from repro.graph import GraphBuilder, get_graph_learner
+from repro.obs import span
 from repro.predictors import get_predictor
 from repro.utils.rng import derive_seed
 
@@ -86,14 +87,16 @@ class TransferGraph:
         """Run Stages 2–3 for one leave-one-out target."""
         config = self.config
         builder = GraphBuilder(zoo, config.graph)
-        graph, links = builder.build(exclude_target=target)
+        with span("fit.graph_build"):
+            graph, links = builder.build(exclude_target=target)
 
         embeddings: dict[str, np.ndarray] = {}
         if config.features.graph_features:
             learner = get_graph_learner(
                 config.graph_learner, dim=config.embedding_dim,
                 seed=derive_seed(config.seed, "graph_learner", target))
-            embeddings = learner.embed(graph, links)
+            with span("fit.embed"):
+                embeddings = learner.embed(graph, links)
 
         assembler = FeatureAssembler(
             zoo=zoo,
@@ -103,11 +106,13 @@ class TransferGraph:
             similarity_method=config.graph.similarity_method,
             graph=graph if config.features.graph_features else None,
         )
-        pairs, labels = self._training_pairs(zoo, target)
-        x_train, names = assembler.assemble(pairs, fit=True)
+        with span("fit.features"):
+            pairs, labels = self._training_pairs(zoo, target)
+            x_train, names = assembler.assemble(pairs, fit=True)
 
         predictor = get_predictor(config.predictor)
-        predictor.fit(x_train, labels)
+        with span("fit.train"):
+            predictor.fit(x_train, labels)
 
         return FittedTransferGraph(
             target=target,

@@ -15,6 +15,7 @@ from repro.graph.builder import LinkExamples
 from repro.graph.graph import ModelDatasetGraph
 from repro.graph.skipgram import SkipGramConfig, train_skipgram
 from repro.graph.walks import WalkConfig, generate_walks
+from repro.obs import span
 from repro.utils.rng import derive_seed
 
 __all__ = ["GraphLearner", "Node2Vec", "Node2VecPlus"]
@@ -70,8 +71,11 @@ class Node2Vec(GraphLearner):
               links: LinkExamples | None = None) -> dict[str, np.ndarray]:
         walk_rng = np.random.default_rng(derive_seed(self.seed, self.name, "walks"))
         sg_rng = np.random.default_rng(derive_seed(self.seed, self.name, "sgns"))
-        walks = generate_walks(graph, self.walk_config, walk_rng)
-        return train_skipgram(walks, graph.nodes(), self.skipgram_config, sg_rng)
+        with span("fit.walks"):
+            walks = generate_walks(graph, self.walk_config, walk_rng)
+        with span("fit.sgns"):
+            return train_skipgram(walks, graph.nodes(),
+                                  self.skipgram_config, sg_rng)
 
 
 class Node2VecPlus(Node2Vec):

@@ -30,6 +30,12 @@ true operationally:
   the CI benchmark gate consumes;
 - :mod:`repro.serving.workload` — synthetic protocol-request streams
   and serial or concurrent replay for ``repro serve-sim``.
+
+Cross-cutting observability (metrics at ``/v1/metrics``, per-request
+traces with fit-stage spans, structured events) lives in
+:mod:`repro.obs`; the gateway owns an
+:class:`~repro.obs.Observability` plane and every layer below it
+reports through ambient trace context.
 """
 
 from repro.serving.fingerprint import (

@@ -36,6 +36,7 @@ import asyncio
 import re
 from pathlib import Path
 
+from repro.obs import Observability
 from repro.serving.compare import build_comparisons
 from repro.serving.protocol import (
     DEFAULT_COMPARE_TOP_K,
@@ -211,11 +212,19 @@ class SelectionGateway:
         namespace's own fingerprint-keyed registry tree lives below
         that).  ``None`` means namespaces run memory-only unless they
         bring their own registry.
+    obs:
+        The :class:`~repro.obs.Observability` plane every request is
+        traced into (and whose metrics ``GET /v1/metrics`` renders).
+        Defaults to a fresh plane with no event log; pass a
+        :class:`~repro.obs.NullObservability` to disable collection
+        entirely (the overhead benchmark's control arm).
     """
 
-    def __init__(self, registry_root: str | Path | None = None):
+    def __init__(self, registry_root: str | Path | None = None, *,
+                 obs: Observability | None = None):
         self._registry_root = (
             Path(registry_root) if registry_root is not None else None)
+        self.obs = obs if obs is not None else Observability()
         self._namespaces: dict[str, _Namespace] = {}
         self._closed = False
 
@@ -287,6 +296,9 @@ class SelectionGateway:
                 fit_workers=fit_workers, predict_workers=predict_workers,
                 shed_start=shed_start)
             ns.entries[strat.spec] = _Entry(service, router)
+            self.obs.watch_queue_depth(
+                name, strat.spec,
+                lambda r=router: r.pending_fits)
         ns.default_spec = resolved[0].spec
         self._namespaces[name] = ns
         return ns.entries[ns.default_spec].service
@@ -331,21 +343,31 @@ class SelectionGateway:
         if unknown_models:
             raise UnknownModelError(sorted(unknown_models)[0], ns.name)
 
-    async def rank(self, request: RankRequest) -> RankResponse:
+    async def rank(self, request: RankRequest, *,
+                   request_id: str | None = None) -> RankResponse:
         ns = self._get(request.namespace)
-        entry = ns.entry_for(request.strategy)
+        spec = ns.resolve_spec(request.strategy)
         self._check_names(ns, {request.target}, set())
-        return await entry.router.handle(request)
+        # request_id kwarg: transport-level id (X-Request-Id header);
+        # the body field wins so the response echo matches the request
+        with self.obs.request("rank", namespace=ns.name, strategy=spec,
+                              request_id=request.request_id or request_id):
+            return await ns.entries[spec].router.handle(request)
 
-    async def score_batch(self, request: ScoreBatchRequest
+    async def score_batch(self, request: ScoreBatchRequest, *,
+                          request_id: str | None = None
                           ) -> ScoreBatchResponse:
         ns = self._get(request.namespace)
-        entry = ns.entry_for(request.strategy)
+        spec = ns.resolve_spec(request.strategy)
         self._check_names(ns, {t for _, t in request.pairs},
                           {m for m, _ in request.pairs})
-        return await entry.router.handle(request)
+        with self.obs.request("score_batch", namespace=ns.name,
+                              strategy=spec,
+                              request_id=request.request_id or request_id):
+            return await ns.entries[spec].router.handle(request)
 
-    async def compare(self, request: CompareRequest) -> CompareResponse:
+    async def compare(self, request: CompareRequest, *,
+                      request_id: str | None = None) -> CompareResponse:
         """Fan one target across a namespace's strategy map, concurrently.
 
         Every fanned-out strategy answers through its *own* router, so
@@ -378,7 +400,13 @@ class SelectionGateway:
             except QueueFullError as exc:
                 return exc
 
-        answers = await asyncio.gather(*(fan_out(spec) for spec in specs))
+        # one trace covers the whole fan-out: gather's subtasks copy the
+        # context at creation, so every strategy's fit/predict spans
+        # attach to this compare request (outcome = most severe fanned)
+        with self.obs.request("compare", namespace=ns.name, strategy="map",
+                              request_id=request.request_id or request_id):
+            answers = await asyncio.gather(
+                *(fan_out(spec) for spec in specs))
         rankings: dict[str, list] = {}
         sheds: dict[str, float] = {}
         for spec, answer in zip(specs, answers):
@@ -430,7 +458,9 @@ class SelectionGateway:
         Each namespace row pools its strategies' *raw* snapshots, and
         the fleet row pools every namespace — counters sum, latency
         windows extend — so all percentiles are computed over every
-        query, not averaged from partial percentiles.
+        query, not averaged from partial percentiles.  The additive
+        ``strategies`` block breaks each namespace down by spec with its
+        *measured* fit cost (``fit_ms_p50``/``fit_ms_p95``).
         """
         per_namespace: dict[str, dict[str, float]] = {}
         fleet_service, fleet_router = ServiceStats(), RouterStats()
@@ -446,7 +476,19 @@ class SelectionGateway:
             fleet_router.merge(ns_router)
         fleet = {**fleet_service.summary(), **fleet_router.summary(),
                  "namespaces": float(len(self._namespaces))}
-        return StatsResponse(namespaces=per_namespace, fleet=fleet)
+        return StatsResponse(namespaces=per_namespace, fleet=fleet,
+                             strategies=self.fit_costs())
+
+    def fit_costs(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Measured per-strategy fit cost: namespace -> spec -> summary.
+
+        Embedded in ``/v1/stats`` (the ``strategies`` block) and the
+        healthz listing, pairing every declared ``fit_weight`` with the
+        fit latency its router actually observed.
+        """
+        return {name: {spec: ns.entries[spec].router.fit_cost_summary()
+                       for spec in ns.specs()}
+                for name, ns in sorted(self._namespaces.items())}
 
     # ------------------------------------------------------------------ #
     # lifecycle

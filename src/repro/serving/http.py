@@ -8,7 +8,15 @@ footprint while still being curl-able:
 - ``POST /v1/score_batch``  body: :class:`~repro.serving.protocol.ScoreBatchRequest`
 - ``POST /v1/compare``      body: :class:`~repro.serving.protocol.CompareRequest`
 - ``GET  /v1/stats``        :class:`~repro.serving.protocol.StatsResponse`
-- ``GET  /v1/healthz``      liveness + served namespaces
+- ``GET  /v1/healthz``      liveness + served namespaces + measured fit cost
+- ``GET  /v1/metrics``      Prometheus text exposition of the obs plane
+
+Request correlation: every POST is traced under a ``request_id`` — the
+body's optional ``request_id`` field if present, else an
+``X-Request-Id`` header, else a server-minted id.  The id used is
+echoed in the ``X-Request-Id`` response header; the response *body*
+carries ``request_id`` only when the request body did (the protocol's
+additive byte-stability rule).
 
 A ``/v1/compare`` never answers 429: a strategy shed during the fan-out
 is marked ``"shed"`` inside the 200 response (with its ``retry_after_s``
@@ -46,6 +54,7 @@ import asyncio
 import json
 import math
 
+from repro.obs import EXPOSITION_CONTENT_TYPE
 from repro.serving.gateway import (
     SelectionGateway,
     UnknownModelError,
@@ -188,16 +197,18 @@ class GatewayHTTPServer:
                 writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
                 await writer.drain()
             body = await self._read_body(reader, headers)
-            return method, path, body
+            return method, path, headers, body
 
+        path = "-"  # for the response counter when parsing fails early
         try:
             try:
                 # The timeout bounds the *read* phase only: a connection
                 # that never sends a full request (port scanner,
                 # slowloris) must not pin a task and fd forever.
-                method, path, body = await asyncio.wait_for(
+                method, path, headers, body = await asyncio.wait_for(
                     read_request(), timeout=self.read_timeout_s)
-                status, payload, extra = await self._route(method, path, body)
+                status, payload, extra = await self._route(
+                    method, path, headers, body)
             except _HTTPError as exc:
                 status, payload, extra = exc.status, exc.error, exc.headers
             except (ConnectionError, asyncio.IncompleteReadError,
@@ -210,6 +221,7 @@ class GatewayHTTPServer:
                 mapped = _error_for(exc)
                 status, payload, extra = (mapped.status, mapped.error,
                                           mapped.headers)
+            self.gateway.obs.record_http_response(path, status)
             await self._write_response(writer, status, payload, extra)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away while we wrote the response
@@ -280,13 +292,15 @@ class GatewayHTTPServer:
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(self, method: str, path: str, headers: dict[str, str],
+                     body: bytes):
         routes = {
             "/v1/rank": ("POST", self._post_rank),
             "/v1/score_batch": ("POST", self._post_score_batch),
             "/v1/compare": ("POST", self._post_compare),
             "/v1/stats": ("GET", self._get_stats),
             "/v1/healthz": ("GET", self._get_healthz),
+            "/v1/metrics": ("GET", self._get_metrics),
         }
         entry = routes.get(path)
         if entry is None:
@@ -299,20 +313,33 @@ class GatewayHTTPServer:
                 ErrorResponse(code="method_not_allowed",
                               message=f"{path} expects {expected_method}"),
                 headers=(("Allow", expected_method),))
-        return await handler(body)
+        return await handler(headers, body)
 
-    async def _post_rank(self, body: bytes):
+    def _request_id(self, request, headers: dict[str, str]) -> str:
+        """Body field > X-Request-Id header > server-minted id."""
+        return (request.request_id or headers.get("x-request-id")
+                or self.gateway.obs.new_request_id())
+
+    async def _post_rank(self, headers: dict[str, str], body: bytes):
         request = RankRequest.from_json(body)  # ProtocolError here -> 400
-        return 200, await self._dispatch(self.gateway.rank(request)), ()
+        rid = self._request_id(request, headers)
+        response = await self._dispatch(
+            self.gateway.rank(request, request_id=rid))
+        return 200, response, (("X-Request-Id", rid),)
 
-    async def _post_score_batch(self, body: bytes):
+    async def _post_score_batch(self, headers: dict[str, str], body: bytes):
         request = ScoreBatchRequest.from_json(body)
-        return 200, await self._dispatch(
-            self.gateway.score_batch(request)), ()
+        rid = self._request_id(request, headers)
+        response = await self._dispatch(
+            self.gateway.score_batch(request, request_id=rid))
+        return 200, response, (("X-Request-Id", rid),)
 
-    async def _post_compare(self, body: bytes):
+    async def _post_compare(self, headers: dict[str, str], body: bytes):
         request = CompareRequest.from_json(body)
-        return 200, await self._dispatch(self.gateway.compare(request)), ()
+        rid = self._request_id(request, headers)
+        response = await self._dispatch(
+            self.gateway.compare(request, request_id=rid))
+        return 200, response, (("X-Request-Id", rid),)
 
     @staticmethod
     async def _dispatch(coro):
@@ -326,15 +353,20 @@ class GatewayHTTPServer:
                 code="internal",
                 message="internal server error")) from exc
 
-    async def _get_stats(self, body: bytes):
+    async def _get_stats(self, headers: dict[str, str], body: bytes):
         return 200, self.gateway.stats(), ()
 
-    async def _get_healthz(self, body: bytes):
+    async def _get_healthz(self, headers: dict[str, str], body: bytes):
         payload = {"status": "ok", "protocol": PROTOCOL_VERSION,
                    "namespaces": self.gateway.namespaces(),
                    "strategies": {name: self.gateway.strategies(name)
-                                  for name in self.gateway.namespaces()}}
+                                  for name in self.gateway.namespaces()},
+                   "fit_ms": self.gateway.fit_costs()}
         return 200, payload, ()
+
+    async def _get_metrics(self, headers: dict[str, str], body: bytes):
+        # str payloads are written verbatim as Prometheus exposition text
+        return 200, self.gateway.obs.render_metrics(), ()
 
     # ------------------------------------------------------------------ #
     # response writing
@@ -343,13 +375,18 @@ class GatewayHTTPServer:
     async def _write_response(writer: asyncio.StreamWriter, status: int,
                               payload, extra: tuple[tuple[str, str], ...]
                               ) -> None:
-        if hasattr(payload, "to_json"):
-            body = payload.to_json().encode()
+        if isinstance(payload, str):  # /v1/metrics exposition text
+            body = payload.encode()
+            content_type = EXPOSITION_CONTENT_TYPE
         else:
-            body = json.dumps(payload, sort_keys=True,
-                              separators=(",", ":")).encode()
+            if hasattr(payload, "to_json"):
+                body = payload.to_json().encode()
+            else:
+                body = json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":")).encode()
+            content_type = "application/json"
         head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(body)}",
                 "Connection: close"]
         head.extend(f"{name}: {value}" for name, value in extra)

@@ -42,6 +42,15 @@ a reference strategy, and live per-strategy latency percentiles.  A
 strategy shed by its router's backpressure is *marked* shed in the
 response (with its ``retry_after_s`` hint) instead of failing the whole
 comparison — partial answers are the point of a fleet-wide probe.
+
+The third additive growth (this PR) is observability-facing: an
+optional ``request_id`` on every request, echoed on the response *only
+when the request carried one* (the ``strategy`` rule again — omitted
+requests stay byte-stable), correlating a wire exchange with the
+server's trace of it; and an optional ``strategies`` block on
+:class:`StatsResponse` carrying measured per-strategy fit cost
+(``fit_ms_p50``/``fit_ms_p95``), closing the declared-``fit_weight``
+vs. measured-``fit_ms`` gap.
 """
 
 from __future__ import annotations
@@ -234,29 +243,35 @@ class RankRequest(_Message):
     namespace: str = DEFAULT_NAMESPACE
     top_k: int | None = None
     strategy: str | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "target", self.target)
         _check_str(self.kind, "namespace", self.namespace)
         _check_optional_top_k(self.kind, self.top_k)
         _check_optional_str(self.kind, "strategy", self.strategy)
+        _check_optional_str(self.kind, "request_id", self.request_id)
 
     def to_dict(self) -> dict:
         out = {"kind": self.kind, "target": self.target,
                "namespace": self.namespace, "top_k": self.top_k}
         if self.strategy is not None:  # omitted stays byte-stable
             out["strategy"] = self.strategy
+        if self.request_id is not None:  # omitted stays byte-stable
+            out["request_id"] = self.request_id
         return out
 
     @classmethod
     def from_dict(cls, payload) -> "RankRequest":
         payload = _check_payload(cls.kind, payload,
-                                 {"target", "namespace", "top_k", "strategy"},
+                                 {"target", "namespace", "top_k", "strategy",
+                                  "request_id"},
                                  {"target"})
         return cls(target=payload["target"],
                    namespace=payload.get("namespace", DEFAULT_NAMESPACE),
                    top_k=payload.get("top_k"),
-                   strategy=payload.get("strategy"))
+                   strategy=payload.get("strategy"),
+                   request_id=payload.get("request_id"))
 
 
 @dataclass(frozen=True)
@@ -268,12 +283,14 @@ class ScoreBatchRequest(_Message):
     pairs: tuple[tuple[str, str], ...]
     namespace: str = DEFAULT_NAMESPACE
     strategy: str | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "pairs",
                            _check_pairs(self.kind, "pairs", self.pairs))
         _check_str(self.kind, "namespace", self.namespace)
         _check_optional_str(self.kind, "strategy", self.strategy)
+        _check_optional_str(self.kind, "request_id", self.request_id)
 
     @property
     def target(self) -> str:
@@ -285,16 +302,20 @@ class ScoreBatchRequest(_Message):
                "pairs": [list(p) for p in self.pairs]}
         if self.strategy is not None:  # omitted stays byte-stable
             out["strategy"] = self.strategy
+        if self.request_id is not None:  # omitted stays byte-stable
+            out["request_id"] = self.request_id
         return out
 
     @classmethod
     def from_dict(cls, payload) -> "ScoreBatchRequest":
         payload = _check_payload(cls.kind, payload,
-                                 {"pairs", "namespace", "strategy"},
+                                 {"pairs", "namespace", "strategy",
+                                  "request_id"},
                                  {"pairs"})
         return cls(pairs=payload["pairs"],  # __post_init__ validates
                    namespace=payload.get("namespace", DEFAULT_NAMESPACE),
-                   strategy=payload.get("strategy"))
+                   strategy=payload.get("strategy"),
+                   request_id=payload.get("request_id"))
 
 
 @dataclass(frozen=True)
@@ -319,11 +340,13 @@ class CompareRequest(_Message):
     strategies: tuple[str, ...] | None = None
     reference: str | None = None
     top_k: int | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "target", self.target)
         _check_str(self.kind, "namespace", self.namespace)
         _check_optional_str(self.kind, "reference", self.reference)
+        _check_optional_str(self.kind, "request_id", self.request_id)
         _check_optional_top_k(self.kind, self.top_k)
         if self.strategies is not None:
             if not isinstance(self.strategies, (list, tuple)) \
@@ -343,19 +366,22 @@ class CompareRequest(_Message):
             out["strategies"] = list(self.strategies)
         if self.reference is not None:  # null = namespace default
             out["reference"] = self.reference
+        if self.request_id is not None:  # omitted stays byte-stable
+            out["request_id"] = self.request_id
         return out
 
     @classmethod
     def from_dict(cls, payload) -> "CompareRequest":
         payload = _check_payload(cls.kind, payload,
                                  {"target", "namespace", "strategies",
-                                  "reference", "top_k"},
+                                  "reference", "top_k", "request_id"},
                                  {"target"})
         return cls(target=payload["target"],
                    namespace=payload.get("namespace", DEFAULT_NAMESPACE),
                    strategies=payload.get("strategies"),
                    reference=payload.get("reference"),
-                   top_k=payload.get("top_k"))
+                   top_k=payload.get("top_k"),
+                   request_id=payload.get("request_id"))
 
 
 # ---------------------------------------------------------------------- #
@@ -371,11 +397,13 @@ class RankResponse(_Message):
     target: str
     ranking: tuple[tuple[str, float], ...]
     strategy: str | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "namespace", self.namespace)
         _check_str(self.kind, "target", self.target)
         _check_optional_str(self.kind, "strategy", self.strategy)
+        _check_optional_str(self.kind, "request_id", self.request_id)
         if not isinstance(self.ranking, (list, tuple)):
             raise ProtocolError(f"{self.kind}.ranking must be a list of "
                                 f"[model_id, score] pairs")
@@ -396,7 +424,8 @@ class RankResponse(_Message):
         """THE constructor every serving path funnels through."""
         return cls(namespace=request.namespace, target=request.target,
                    ranking=tuple((m, float(s)) for m, s in ranking),
-                   strategy=request.strategy)
+                   strategy=request.strategy,
+                   request_id=request.request_id)
 
     def to_dict(self) -> dict:
         out = {"kind": self.kind, "namespace": self.namespace,
@@ -404,17 +433,20 @@ class RankResponse(_Message):
                "ranking": [[m, s] for m, s in self.ranking]}
         if self.strategy is not None:  # echoed only when requested
             out["strategy"] = self.strategy
+        if self.request_id is not None:  # echoed only when requested
+            out["request_id"] = self.request_id
         return out
 
     @classmethod
     def from_dict(cls, payload) -> "RankResponse":
         payload = _check_payload(cls.kind, payload,
                                  {"namespace", "target", "ranking",
-                                  "strategy"},
+                                  "strategy", "request_id"},
                                  {"namespace", "target", "ranking"})
         return cls(namespace=payload["namespace"], target=payload["target"],
                    ranking=payload["ranking"],
-                   strategy=payload.get("strategy"))
+                   strategy=payload.get("strategy"),
+                   request_id=payload.get("request_id"))
 
 
 @dataclass(frozen=True)
@@ -427,10 +459,12 @@ class ScoreBatchResponse(_Message):
     pairs: tuple[tuple[str, str], ...]
     scores: tuple[float, ...]
     strategy: str | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "namespace", self.namespace)
         _check_optional_str(self.kind, "strategy", self.strategy)
+        _check_optional_str(self.kind, "request_id", self.request_id)
         object.__setattr__(self, "pairs",
                            _check_pairs(self.kind, "pairs", self.pairs))
         if not isinstance(self.scores, (list, tuple)):
@@ -449,7 +483,8 @@ class ScoreBatchResponse(_Message):
         """THE constructor every serving path funnels through."""
         return cls(namespace=request.namespace, pairs=request.pairs,
                    scores=tuple(float(s) for s in scores),
-                   strategy=request.strategy)
+                   strategy=request.strategy,
+                   request_id=request.request_id)
 
     def to_dict(self) -> dict:
         out = {"kind": self.kind, "namespace": self.namespace,
@@ -457,16 +492,20 @@ class ScoreBatchResponse(_Message):
                "scores": list(self.scores)}
         if self.strategy is not None:  # echoed only when requested
             out["strategy"] = self.strategy
+        if self.request_id is not None:  # echoed only when requested
+            out["request_id"] = self.request_id
         return out
 
     @classmethod
     def from_dict(cls, payload) -> "ScoreBatchResponse":
         payload = _check_payload(cls.kind, payload,
-                                 {"namespace", "pairs", "scores", "strategy"},
+                                 {"namespace", "pairs", "scores", "strategy",
+                                  "request_id"},
                                  {"namespace", "pairs", "scores"})
         return cls(namespace=payload["namespace"], pairs=payload["pairs"],
                    scores=payload["scores"],
-                   strategy=payload.get("strategy"))
+                   strategy=payload.get("strategy"),
+                   request_id=payload.get("request_id"))
 
 
 #: allowed ``StrategyComparison.status`` values
@@ -603,11 +642,13 @@ class CompareResponse(_Message):
     reference: str
     top_k: int
     results: dict[str, StrategyComparison] = field(default_factory=dict)
+    request_id: str | None = None
 
     def __post_init__(self):
         _check_str(self.kind, "namespace", self.namespace)
         _check_str(self.kind, "target", self.target)
         _check_str(self.kind, "reference", self.reference)
+        _check_optional_str(self.kind, "request_id", self.request_id)
         if isinstance(self.top_k, bool) or not isinstance(self.top_k, int) \
                 or self.top_k < 1:
             raise ProtocolError(f"{self.kind}.top_k must be a positive "
@@ -637,35 +678,50 @@ class CompareResponse(_Message):
               results: dict[str, StrategyComparison]) -> "CompareResponse":
         """THE constructor every serving path funnels through."""
         return cls(namespace=request.namespace, target=request.target,
-                   reference=reference, top_k=top_k, results=results)
+                   reference=reference, top_k=top_k, results=results,
+                   request_id=request.request_id)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "namespace": self.namespace,
-                "target": self.target, "reference": self.reference,
-                "top_k": self.top_k,
-                "results": {spec: comparison.to_dict()
-                            for spec, comparison in self.results.items()}}
+        out = {"kind": self.kind, "namespace": self.namespace,
+               "target": self.target, "reference": self.reference,
+               "top_k": self.top_k,
+               "results": {spec: comparison.to_dict()
+                           for spec, comparison in self.results.items()}}
+        if self.request_id is not None:  # echoed only when requested
+            out["request_id"] = self.request_id
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "CompareResponse":
         payload = _check_payload(cls.kind, payload,
                                  {"namespace", "target", "reference",
-                                  "top_k", "results"},
+                                  "top_k", "results", "request_id"},
                                  {"namespace", "target", "reference",
                                   "top_k", "results"})
         return cls(namespace=payload["namespace"], target=payload["target"],
                    reference=payload["reference"], top_k=payload["top_k"],
-                   results=payload["results"])
+                   results=payload["results"],
+                   request_id=payload.get("request_id"))
 
 
 @dataclass(frozen=True)
 class StatsResponse(_Message):
-    """Per-namespace serving summaries plus fleet-wide aggregates."""
+    """Per-namespace serving summaries plus fleet-wide aggregates.
+
+    ``strategies`` (optional, additive) breaks each namespace down by
+    strategy spec with *measured* serving cost — ``fit_ms_p50`` /
+    ``fit_ms_p95`` from the router's rolling fit-latency window — the
+    numbers ROADMAP item 5's budget retuning reads.  Empty means the
+    server predates the field (or has no routers); it is omitted from
+    the wire form so pre-observability stats bodies stay byte-stable.
+    """
 
     kind: ClassVar[str] = "stats_response"
 
     namespaces: dict[str, dict[str, float]] = field(default_factory=dict)
     fleet: dict[str, float] = field(default_factory=dict)
+    strategies: dict[str, dict[str, dict[str, float]]] = field(
+        default_factory=dict)
 
     def __post_init__(self):
         if not isinstance(self.namespaces, dict):
@@ -677,12 +733,36 @@ class StatsResponse(_Message):
         object.__setattr__(self, "namespaces", namespaces)
         object.__setattr__(self, "fleet",
                            _check_summary(self.kind, "fleet", self.fleet))
+        if not isinstance(self.strategies, dict):
+            raise ProtocolError(f"{self.kind}.strategies must be an object")
+        strategies = {}
+        for name, per_spec in self.strategies.items():
+            _check_str(self.kind, "strategies key", name)
+            if not isinstance(per_spec, dict):
+                raise ProtocolError(
+                    f"{self.kind}.strategies[{name}] must be an object of "
+                    f"strategy spec -> summary")
+            strategies[name] = {
+                _check_str(self.kind, f"strategies[{name}] key", spec):
+                    _check_summary(self.kind,
+                                   f"strategies[{name}][{spec}]", summary)
+                for spec, summary in per_spec.items()}
+        object.__setattr__(self, "strategies", strategies)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "namespaces": self.namespaces,
+               "fleet": self.fleet}
+        if self.strategies:  # omitted stays byte-stable
+            out["strategies"] = self.strategies
+        return out
 
     @classmethod
     def from_dict(cls, payload) -> "StatsResponse":
-        payload = _check_payload(cls.kind, payload, {"namespaces", "fleet"},
+        payload = _check_payload(cls.kind, payload,
+                                 {"namespaces", "fleet", "strategies"},
                                  {"namespaces", "fleet"})
-        return cls(namespaces=payload["namespaces"], fleet=payload["fleet"])
+        return cls(namespaces=payload["namespaces"], fleet=payload["fleet"],
+                   strategies=payload.get("strategies", {}))
 
 
 @dataclass(frozen=True)

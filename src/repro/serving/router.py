@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import run_in_context, set_outcome, span
 from repro.serving.protocol import (
     RankRequest,
     RankResponse,
@@ -367,6 +368,7 @@ class AsyncSelectionRouter:
                 hint = self._retry_after_hint()
                 with self._stats_lock:
                     self._stats.rejections += 1
+                set_outcome("shed")
                 raise QueueFullError(
                     f"cold-fit queue full ({self._pending_fits} pending, "
                     f"limit {self.max_pending_fits}); target {target!r} "
@@ -381,6 +383,7 @@ class AsyncSelectionRouter:
                 with self._stats_lock:
                     self._stats.rejections += 1
                     self._stats.early_sheds += 1
+                set_outcome("shed")
                 raise QueueFullError(
                     f"cold-fit queue deepening ({self._pending_fits} of "
                     f"{self.max_pending_fits} pending); target {target!r} "
@@ -430,16 +433,19 @@ class AsyncSelectionRouter:
             waited = time.perf_counter()
             with self._stats_lock:
                 self._stats.coalesced += 1
+            set_outcome("coalesced")
             try:
                 # shield: cancelling one waiter must not cancel the
                 # future every other participant (and the originator's
                 # set_result) depends on.
-                fitted = await asyncio.shield(inflight)
+                with span("queue.coalesced_wait"):
+                    fitted = await asyncio.shield(inflight)
             except QueueFullError:
                 # The originator was shed while this request waited on
                 # it; that sheds the whole coalesced group.
                 with self._stats_lock:
                     self._stats.rejections += 1
+                set_outcome("shed")
                 raise
             with self._stats_lock:
                 self._stats.record_latency(
@@ -457,8 +463,10 @@ class AsyncSelectionRouter:
             await self._admit_cold_fit(target, overflow or self.overflow)
             admitted = True
             started = time.perf_counter()
+            # run_in_context: propagate the request's trace onto the fit
+            # worker so fit.* spans land on the originating request
             fitted = await loop.run_in_executor(
-                self._fit_pool, self._fit_job, target)
+                self._fit_pool, run_in_context(self._fit_job, target))
         except BaseException as exc:
             # A cancelled originator sheds the whole coalesced group
             # (waiters see the CancelledError; a retry hits the cache if
@@ -497,7 +505,9 @@ class AsyncSelectionRouter:
                 return fn()
 
         started = time.perf_counter()
-        result = await loop.run_in_executor(self._predict_pool, locked)
+        with span("predict"):
+            result = await loop.run_in_executor(
+                self._predict_pool, run_in_context(locked))
         with self._stats_lock:
             self._stats.record_latency(
                 "predict_ms", (time.perf_counter() - started) * 1e3)
@@ -615,6 +625,25 @@ class AsyncSelectionRouter:
         with self._stats_lock:
             router_part = self._stats.latency_summary()
         return {**self.service.latency_summary(), **router_part}
+
+    def fit_cost_summary(self) -> dict[str, float]:
+        """Measured cold-fit cost: rolling-window fit-latency percentiles.
+
+        This is the number the strategy's declared ``fit_weight``
+        approximates; ``/v1/stats`` and healthz expose it per strategy
+        so budget tuning can read measured cost instead of the declared
+        proxy (ROADMAP item 5).
+        """
+        with self._stats_lock:
+            p50, p95 = RouterStats._percentiles(self._stats.fit_ms, (50, 95))
+            fits = self._stats.fits_timed
+        return {"fit_ms_p50": p50, "fit_ms_p95": p95,
+                "fits_timed": float(fits)}
+
+    @property
+    def pending_fits(self) -> int:
+        """Live cold-fit queue depth (exported as a metrics gauge)."""
+        return self._pending_fits
 
     def close(self) -> None:
         """Shut the executors down; idempotent."""

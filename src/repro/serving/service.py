@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import record_cache, set_outcome, span
 from repro.serving.artifacts import ArtifactError
 from repro.serving.protocol import (
     RankRequest,
@@ -210,8 +211,11 @@ class SelectionService:
             if cached is not None:
                 self._cache.move_to_end(key)
                 self._stats.cache_hits += 1
-                return cached
-            self._stats.cache_misses += 1
+            else:
+                self._stats.cache_misses += 1
+        record_cache(hit=cached is not None)  # no-op without a trace
+        if cached is not None:
+            return cached
         self._check_target(target)
         return None
 
@@ -222,10 +226,13 @@ class SelectionService:
         serial facade trivially is; the async router coalesces); stats
         and cache mutations are lock-guarded, the heavy work is not.
         """
+        set_outcome("cold")  # cache miss path, revive or fresh fit
         fitted = None
         if self.registry is not None:
             try:
-                fitted = self.registry.load(target, self.strategy, self.zoo)
+                with span("fit.registry_load"):
+                    fitted = self.registry.load(target, self.strategy,
+                                                self.zoo)
                 with self._lock:
                     self._stats.registry_hits += 1
             except ArtifactError:
@@ -235,7 +242,8 @@ class SelectionService:
             with self._lock:
                 self._stats.fits += 1
             if self.registry is not None:
-                self.registry.save(fitted, self.strategy, self.zoo)
+                with span("fit.artifact_pack"):
+                    self.registry.save(fitted, self.strategy, self.zoo)
 
         key = (target, self._config_fp)
         with self._lock:

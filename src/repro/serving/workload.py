@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -115,18 +116,36 @@ def generate_workload(zoo, config: WorkloadConfig | None = None,
     return requests
 
 
+def _trace_request(obs, request, default_strategy: str = "-"):
+    """Per-request trace context for replays; inert when ``obs`` is None.
+
+    A gateway handler traces its own requests — the nested context then
+    reuses the outer trace, so replay-level tracing never double-counts.
+    """
+    if obs is None:
+        return nullcontext()
+    strategy = getattr(request, "strategy", None) or default_strategy
+    return obs.request(request.kind, namespace=request.namespace,
+                      strategy=strategy, request_id=request.request_id)
+
+
 def replay(service: SelectionService,
-           requests: list[RankRequest | ScoreBatchRequest]
-           ) -> dict[str, float]:
+           requests: list[RankRequest | ScoreBatchRequest], *,
+           obs=None) -> dict[str, float]:
     """Run a workload; returns the stats summary *of this replay only*.
 
     Counters are diffed against a snapshot taken at entry, so traffic
     served before the replay (e.g. a warmup) is not misattributed to it.
+    ``obs`` (an :class:`~repro.obs.Observability`) traces every replayed
+    request — how offline replays produce the same per-request records
+    as live serving.
     """
+    spec = service.strategy.spec
     before = service.stats_snapshot()
     started = time.perf_counter()
     for request in requests:
-        service.handle(request)
+        with _trace_request(obs, request, spec):
+            service.handle(request)
     elapsed = time.perf_counter() - started
     summary = service.stats_snapshot().since(before).summary()
     summary["wall_s"] = elapsed
@@ -156,7 +175,8 @@ def _merged_summary(handler, before) -> dict[str, float]:
 async def replay_async(handler,
                        requests: list[RankRequest | ScoreBatchRequest], *,
                        clients: int = 1,
-                       partition: bool = False) -> dict[str, float]:
+                       partition: bool = False,
+                       obs=None) -> dict[str, float]:
     """Replay a workload through an async handler with concurrent clients.
 
     ``handler`` is anything with an async ``handle(request)`` — a router
@@ -181,7 +201,8 @@ async def replay_async(handler,
         nonlocal retries
         for _ in range(_MAX_RETRIES):
             try:
-                await handler.handle(request)
+                with _trace_request(obs, request):
+                    await handler.handle(request)
                 return
             except QueueFullError as exc:
                 retries += 1
@@ -211,7 +232,8 @@ async def replay_async(handler,
 def replay_concurrent(handler,
                       requests: list[RankRequest | ScoreBatchRequest], *,
                       clients: int = 1,
-                      partition: bool = False) -> dict[str, float]:
+                      partition: bool = False,
+                      obs=None) -> dict[str, float]:
     """Synchronous wrapper: run :func:`replay_async` in a fresh loop."""
     return asyncio.run(replay_async(handler, requests, clients=clients,
-                                    partition=partition))
+                                    partition=partition, obs=obs))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import span
 from repro.strategies.base import (
     SCORE_TABLE_KIND,
     FittedScoreTable,
@@ -126,14 +127,16 @@ class TransferabilityStrategy(ScoreTableStrategy):
 
         catalog = zoo.catalog
         model_ids = zoo.model_ids()
-        with catalog.lock:
+        with span("fit.catalog_lookup"), catalog.lock:
             scores = {m: catalog.get_transferability(m, target,
                                                      metric=self.metric)
                       for m in model_ids}
         missing = [m for m, s in scores.items() if s is None]
         if missing:
-            batch = {m: score_model_on_dataset(zoo, m, target, self.metric)
-                     for m in missing}
+            with span("fit.estimate"):
+                batch = {m: score_model_on_dataset(zoo, m, target,
+                                                   self.metric)
+                         for m in missing}
             if self.record:
                 with catalog.lock:
                     for model_id, score in batch.items():

@@ -81,10 +81,15 @@ class TestEndpoints:
         status, headers, payload = run(scenario())
         assert status == 200
         assert headers["content-type"] == "application/json"
+        zero_cost = {"fit_ms_p50": 0.0, "fit_ms_p95": 0.0,
+                     "fits_timed": 0.0}
         assert payload == {"namespaces": ["alpha", "beta"],
                            "protocol": "v1", "status": "ok",
                            "strategies": {"alpha": ["tg:lr,n2v,all"],
-                                          "beta": ["tg:lr,n2v,all"]}}
+                                          "beta": ["tg:lr,n2v,all"]},
+                           "fit_ms": {
+                               "alpha": {"tg:lr,n2v,all": zero_cost},
+                               "beta": {"tg:lr,n2v,all": zero_cost}}}
 
     def test_rank_round_trip(self):
         async def scenario():

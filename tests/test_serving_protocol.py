@@ -246,3 +246,70 @@ class TestStrategyField:
         error = ErrorResponse(code="unknown_strategy",
                               message="unknown strategy 'x'")
         assert ErrorResponse.from_json(error.to_json()) == error
+
+
+# ---------------------------------------------------------------------- #
+# the additive request_id field (observability correlation)
+# ---------------------------------------------------------------------- #
+class TestRequestIdField:
+    @settings(max_examples=40, deadline=None)
+    @given(target=_name, namespace=_name, request_id=st.none() | _name)
+    def test_round_trips_with_request_id(self, target, namespace,
+                                         request_id):
+        for request in (RankRequest(target=target, namespace=namespace,
+                                    request_id=request_id),
+                        CompareRequest(target=target, namespace=namespace,
+                                       request_id=request_id),
+                        ScoreBatchRequest(pairs=((target, target),),
+                                          namespace=namespace,
+                                          request_id=request_id)):
+            revived = type(request).from_json(request.to_json())
+            assert revived == request
+            assert revived.request_id == request_id
+
+    def test_omitted_request_id_keeps_prior_bytes(self):
+        """Additive-only rule: messages without a request_id serialise
+        exactly as the pre-observability protocol did."""
+        request = RankRequest(target="dtd", namespace="image", top_k=3)
+        assert request.to_json() == (
+            '{"kind":"rank","namespace":"image","target":"dtd","top_k":3}')
+        for message in (request,
+                        ScoreBatchRequest(pairs=(("m0", "dtd"),)),
+                        CompareRequest(target="dtd"),
+                        RankResponse(namespace="image", target="dtd",
+                                     ranking=(("m0", 1.0),))):
+            assert '"request_id"' not in message.to_json()
+
+    def test_build_echoes_request_id_only_when_present(self):
+        tagged = RankRequest(target="dtd", request_id="req-1")
+        response = RankResponse.build(tagged, [("m0", 1.0)])
+        assert response.request_id == "req-1"
+        assert '"request_id":"req-1"' in response.to_json()
+        assert RankResponse.from_json(response.to_json()) == response
+
+        plain = RankRequest(target="dtd")
+        assert RankResponse.build(plain, []).request_id is None
+
+        batch = ScoreBatchRequest(pairs=(("m0", "dtd"),),
+                                  request_id="req-2")
+        scored = ScoreBatchResponse.build(batch, [0.5])
+        assert scored.request_id == "req-2"
+        assert ScoreBatchResponse.from_json(scored.to_json()) == scored
+
+    def test_request_id_must_be_null_or_nonempty_string(self):
+        for bad in ("", 7, ["rid"]):
+            with pytest.raises(ProtocolError):
+                RankRequest(target="dtd", request_id=bad)
+            with pytest.raises(ProtocolError):
+                CompareRequest(target="dtd", request_id=bad)
+
+    def test_stats_response_strategies_block(self):
+        """fit_ms summaries ride the stats response only when present."""
+        bare = StatsResponse(namespaces={}, fleet={"queries": 0.0})
+        assert '"strategies"' not in bare.to_json()
+        costed = StatsResponse(
+            namespaces={}, fleet={"queries": 1.0},
+            strategies={"img": {"logme": {"fit_ms_p50": 1.5,
+                                          "fit_ms_p95": 2.0,
+                                          "fits_timed": 2.0}}})
+        assert StatsResponse.from_json(costed.to_json()) == costed
