@@ -31,6 +31,7 @@ Strategy specs (see :mod:`repro.strategies`): ``tg:PRED,LEARNER,FEAT``,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -266,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         "warmup", help="pre-fit all targets into the artifact registry")
     add_strategy_args(warmup)
     add_registry_arg(warmup)
+    warmup.add_argument("--fit-executor", choices=("thread", "process"),
+                        default=None,
+                        help="where cold fits run (default: "
+                             "$REPRO_FIT_EXECUTOR, else thread); 'process' "
+                             "warms targets in parallel worker processes")
+    warmup.add_argument("--fit-workers", type=_positive_int, default=2,
+                        help="parallel warmup fits (process executor only)")
 
     serve = sub.add_parser(
         "serve", help="HTTP front door over a multi-namespace gateway")
@@ -305,7 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending-fits", type=_positive_int, default=8,
                        help="per-namespace cold-fit queue bound")
     serve.add_argument("--fit-workers", type=_positive_int, default=2,
-                       help="per-namespace parallel cold-fit threads")
+                       help="per-namespace parallel cold-fit workers")
+    serve.add_argument("--fit-executor", choices=("thread", "process"),
+                       default=None,
+                       help="where cold fits run: 'thread' shares the "
+                            "server process (GIL-bound), 'process' ships "
+                            "each fit to a worker process over the "
+                            "artifact boundary for true multi-core "
+                            "fitting (default: $REPRO_FIT_EXECUTOR, else "
+                            "thread)")
+    serve.add_argument("--fit-timeout", type=float, default=None,
+                       dest="fit_timeout", metavar="SECONDS",
+                       help="bound one cold fit (process executor only); "
+                            "an overrunning fit sheds its coalesced "
+                            "group with a typed error")
     serve.add_argument("--warmup", action="store_true",
                        help="pre-fit every namespace's targets before "
                             "accepting traffic")
@@ -338,6 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--shed-start", type=_fraction, default=1.0,
                      help="queue-depth fraction where probabilistic early "
                           "shedding begins (1.0 = hard cliff only)")
+    sim.add_argument("--fit-executor", choices=("thread", "process"),
+                     default=None,
+                     help="where the router runs cold fits (with "
+                          "--concurrency > 1; default: "
+                          "$REPRO_FIT_EXECUTOR, else thread)")
     sim.add_argument("--log-json", action="store_true",
                      help="emit one JSON event per replayed request on "
                           "stdout (same record shape as live serving)")
@@ -576,9 +602,28 @@ def _cmd_stats(args) -> int:
 def _cmd_warmup(args) -> int:
     zoo = _load_zoo(args)
     service = _service(zoo, args, cache_size=max(32, len(zoo.target_names())))
+    executor = args.fit_executor or os.environ.get("REPRO_FIT_EXECUTOR",
+                                                   "thread")
     print(f"warming {len(zoo.target_names())} targets into "
-          f"{service.registry.root} ({service.strategy.name})")
-    timings = service.warmup()
+          f"{service.registry.root} ({service.strategy.name}, "
+          f"{executor} executor)")
+    if executor == "process":
+        # Route through the async router so cold fits land on the
+        # process fit plane and distinct targets warm in parallel.
+        import asyncio
+
+        from repro.serving import AsyncSelectionRouter
+
+        router = AsyncSelectionRouter(
+            service, max_pending_fits=len(zoo.target_names()) or 1,
+            fit_workers=args.fit_workers, fit_executor="process")
+        try:
+            router.prestart_fit_plane()
+            timings = asyncio.run(router.warmup())
+        finally:
+            router.close()
+    else:
+        timings = service.warmup()
     for target, seconds in timings.items():
         print(f"  {target:<26} {seconds * 1e3:8.1f} ms")
     summary = service.stats()
@@ -631,7 +676,9 @@ def _cmd_serve(args) -> int:
             max_pending_fits=args.max_pending_fits,
             fit_budgets=fit_budgets,
             fit_workers=args.fit_workers,
-            shed_start=args.shed_start)
+            shed_start=args.shed_start,
+            fit_executor=args.fit_executor,
+            fit_timeout_s=args.fit_timeout)
         budgets = ", ".join(
             f"{spec}={gateway.router(name, spec).max_pending_fits}"
             for spec in gateway.strategies(name))
@@ -641,6 +688,10 @@ def _cmd_serve(args) -> int:
               f"strategies: {', '.join(gateway.strategies(name))} "
               f"(fit budgets {budgets}; registry shard {root / name})",
               flush=True)
+
+    workers = gateway.prestart_fit_planes()  # no-op in thread mode
+    if workers:
+        print(f"fit plane: {workers} worker processes live", flush=True)
 
     async def run() -> None:
         if args.warmup:  # before binding: no traffic races the warmup
@@ -720,7 +771,9 @@ def _cmd_serve_sim(args) -> int:
                   f"registry={'on' if service.registry else 'off'})")
             router = AsyncSelectionRouter(
                 service, max_pending_fits=args.max_pending_fits,
-                shed_start=args.shed_start)
+                shed_start=args.shed_start,
+                fit_executor=args.fit_executor)
+            router.prestart_fit_plane()
             try:
                 summary = replay_concurrent(router, workload,
                                             clients=args.concurrency,

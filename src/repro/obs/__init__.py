@@ -31,13 +31,13 @@ from .events import EventLog, format_event_human, format_event_json, \
 from .metrics import DEFAULT_LATENCY_BUCKETS_MS, EXPOSITION_CONTENT_TYPE, \
     MetricsRegistry
 from .trace import OUTCOME_SEVERITY, Span, Trace, activate, annotate, \
-    current_trace, deactivate, new_request_id, record_cache, \
+    current_trace, deactivate, graft_spans, new_request_id, record_cache, \
     run_in_context, set_outcome, span
 
 __all__ = [
     "Observability", "NullObservability", "MetricsRegistry", "EventLog",
     "Trace", "Span", "span", "annotate", "set_outcome", "record_cache",
-    "current_trace", "run_in_context", "new_request_id",
+    "current_trace", "run_in_context", "graft_spans", "new_request_id",
     "request_event", "summary_event", "format_event_human",
     "format_event_json", "OUTCOME_SEVERITY",
     "DEFAULT_LATENCY_BUCKETS_MS", "EXPOSITION_CONTENT_TYPE",

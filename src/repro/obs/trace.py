@@ -33,7 +33,7 @@ import time
 import uuid
 
 __all__ = ["Span", "Trace", "span", "current_trace", "set_outcome",
-           "annotate", "record_cache", "run_in_context",
+           "annotate", "record_cache", "run_in_context", "graft_spans",
            "new_request_id", "OUTCOME_SEVERITY"]
 
 #: cache-outcome severity; a trace keeps the most severe outcome any
@@ -233,6 +233,41 @@ def record_cache(hit: bool) -> None:
             trace.raise_outcome("warm")
         if trace.obs is not None:
             trace.obs.record_cache(trace, hit)
+
+
+def graft_spans(records: list[dict]) -> None:
+    """Attach span records from another process onto the active trace.
+
+    The process fit plane runs ``strategy.fit`` in a worker whose spans
+    cannot nest under the parent's contextvar trace; the worker ships
+    them back as :meth:`Trace.span_tree` records inside the packed
+    payload, and the parent grafts them under its current span so the
+    request's trace stays complete.  Grafted durations are re-reported
+    to the trace's observability plane (which keeps only ``fit.*``
+    stages, exactly as live spans are).  No-op without an active trace.
+    """
+    trace = _current_trace.get()
+    if trace is None or not records:
+        return
+    parent = _current_span.get() or trace.root
+
+    def build(record: dict) -> Span:
+        grafted = Span(record["name"])
+        grafted.duration_ms = float(record.get("duration_ms", 0.0))
+        grafted.children = [build(c) for c in record.get("children", [])]
+        return grafted
+
+    def report(grafted: Span) -> None:
+        if trace.obs is not None:
+            trace.obs.observe_stage(trace, grafted.name,
+                                    grafted.duration_ms or 0.0)
+        for child in grafted.children:
+            report(child)
+
+    for record in records:
+        grafted = build(record)
+        trace.add_child(parent, grafted)
+        report(grafted)
 
 
 def run_in_context(fn, /, *args):

@@ -18,6 +18,9 @@ true operationally:
 - :mod:`repro.serving.router` — :class:`AsyncSelectionRouter`, the
   asyncio front-end with single-flight fit coalescing, parallel cold
   fits, and a bounded cold-fit queue with adaptive backpressure;
+- :mod:`repro.serving.fit_plane` — the process fit plane
+  (``fit_executor="process"``): cold fits run in worker processes over
+  the strategy pack/unpack boundary for true multi-core fitting;
 - :mod:`repro.serving.gateway` — :class:`SelectionGateway`, routing
   protocol requests across named namespaces (each a zoo behind a
   spec-keyed strategy map) with per-namespace registry shards;
@@ -76,6 +79,12 @@ from repro.serving.compare import (
     write_report,
 )
 from repro.serving.registry import ArtifactRegistry
+from repro.serving.fit_plane import (
+    FitPlaneError,
+    FitTimeoutError,
+    FitWorkerCrashError,
+    ProcessFitExecutor,
+)
 from repro.serving.router import (
     AsyncSelectionRouter,
     QueueFullError,
@@ -129,6 +138,10 @@ __all__ = [
     "served_evaluation",
     "write_report",
     "ArtifactRegistry",
+    "FitPlaneError",
+    "FitTimeoutError",
+    "FitWorkerCrashError",
+    "ProcessFitExecutor",
     "AsyncSelectionRouter",
     "QueueFullError",
     "RouterStats",

@@ -189,6 +189,16 @@ def unpack_fitted(meta: dict, arrays: dict, zoo,
             # rebuild from the catalog (no learner runs).
             graph, _ = GraphBuilder(zoo, config.graph).build(
                 exclude_target=target)
+    elif config.features.dataset_similarity:
+        # Graph-less configs with the similarity feature (lr:all,
+        # lr:all+logme) read pairwise dataset similarities from the
+        # live catalog at predict time.  A fresh process — a registry
+        # revival after restart, or the parent unpacking a
+        # process-worker fit — has an empty derived table, and
+        # _similarity_feature silently degrades to 0.0; ensure the
+        # (deterministic) similarities so revived pipelines predict
+        # identically to freshly-fitted ones.
+        GraphBuilder(zoo, config.graph).ensure_similarities()
 
     assembler = FeatureAssembler(
         zoo=zoo,

@@ -242,7 +242,10 @@ class SelectionGateway:
                       retry_after_s: float = 0.5,
                       fit_workers: int = 2,
                       predict_workers: int = 4,
-                      shed_start: float = 1.0) -> SelectionService:
+                      shed_start: float = 1.0,
+                      fit_executor: str | None = None,
+                      fit_timeout_s: float | None = None
+                      ) -> SelectionService:
         """Register one namespace; returns its *default* service.
 
         ``strategy`` is the namespace's default (anything
@@ -268,6 +271,14 @@ class SelectionGateway:
           the rest; a spec naming no registered strategy is a
           :class:`ValueError` (an ignored typo would silently serve the
           wrong budget).
+
+        ``fit_executor`` selects where every router in the namespace
+        runs its cold fits: ``"thread"`` (in-process pool),
+        ``"process"`` (the :mod:`repro.serving.fit_plane` worker pool —
+        true multi-core fitting), or ``None`` to follow the
+        ``REPRO_FIT_EXECUTOR`` environment default.  ``fit_timeout_s``
+        bounds a process-mode fit before its coalesced group is shed
+        with a typed error.
         """
         if not _NAMESPACE_NAME.fullmatch(name):
             raise ValueError(
@@ -294,7 +305,8 @@ class SelectionGateway:
                 service, max_pending_fits=budgets[strat.spec],
                 overflow=overflow, retry_after_s=retry_after_s,
                 fit_workers=fit_workers, predict_workers=predict_workers,
-                shed_start=shed_start)
+                shed_start=shed_start, fit_executor=fit_executor,
+                fit_timeout_s=fit_timeout_s)
             ns.entries[strat.spec] = _Entry(service, router)
             self.obs.watch_queue_depth(
                 name, strat.spec,
@@ -493,6 +505,20 @@ class SelectionGateway:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def prestart_fit_planes(self) -> int:
+        """Spawn every process-mode router's fit workers now.
+
+        Worker processes otherwise spawn lazily on the first cold fit,
+        charging interpreter start-up to an unlucky request.  Returns
+        the number of workers confirmed live (0 when every router runs
+        the thread executor).
+        """
+        started = 0
+        for ns in self._namespaces.values():
+            for entry in ns.entries.values():
+                started += entry.router.prestart_fit_plane()
+        return started
+
     def close(self) -> None:
         """Shut every namespace's routers down; idempotent."""
         if not self._closed:

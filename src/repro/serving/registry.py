@@ -75,7 +75,18 @@ class ArtifactRegistry:
         """Write one artifact; returns its directory."""
         strategy = resolve_strategy(strategy)
         meta, arrays = strategy.pack(fitted, zoo)
-        out = self._path(strategy, fitted.target)
+        return self.save_packed(meta, arrays, strategy, fitted.target)
+
+    def save_packed(self, meta: dict, arrays: dict, strategy,
+                    target: str) -> Path:
+        """Write one *already-packed* artifact; returns its directory.
+
+        The process fit plane persists the worker's exact ``(meta,
+        arrays)`` payload through this, so a process-fitted artifact is
+        byte-identical to the thread path packing in-process.
+        """
+        strategy = resolve_strategy(strategy)
+        out = self._path(strategy, target)
         out.mkdir(parents=True, exist_ok=True)
         np.savez_compressed(out / _ARRAYS, **arrays)
         (out / _META).write_text(json.dumps(meta, indent=1, sort_keys=True))

@@ -16,6 +16,12 @@ loop and fixes exactly that:
   :attr:`repro.store.ZooCatalog.lock` — so ``fit_workers`` defaults
   above one; the fit job also runs one warm-up predict so the predict
   pool never touches a pipeline's lazy normalisation state);
+- **process fit plane** — ``fit_executor="process"`` ships each cold fit
+  to a worker *process* (:mod:`repro.serving.fit_plane`) for true
+  multi-core fitting: pure-Python fit stages (walks, SGNS) hold the GIL,
+  so the thread pool alone serves cold traffic at roughly one core.
+  The fit threads then merely block on worker futures — queueing,
+  coalescing, shedding, and stats behave identically in both modes;
 - **bounded cold-fit queue** — at most ``max_pending_fits`` cold fits
   may be admitted (in flight or waiting for a fit worker); an overflow
   either raises :class:`QueueFullError` with an adaptive
@@ -49,6 +55,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import random
 import threading
 import time
@@ -58,7 +65,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import run_in_context, set_outcome, span
+from repro.obs import graft_spans, run_in_context, set_outcome, span
 from repro.serving.protocol import (
     RankRequest,
     RankResponse,
@@ -77,7 +84,7 @@ ROUTER_LATENCY_WINDOW = 10_000
 _HINT_SAMPLE_WINDOW = 1_024
 
 _COUNTER_FIELDS = ("requests", "coalesced", "rejections", "early_sheds",
-                   "cold_fits", "queue_waits", "fits_timed",
+                   "failed_waits", "cold_fits", "queue_waits", "fits_timed",
                    "predicts_timed")
 
 #: total-appended counter paired with each latency deque, so ``since``
@@ -107,6 +114,9 @@ class RouterStats:
     #: rejections that were probabilistic early sheds (queue not yet at
     #: the hard limit); always counted inside ``rejections`` too
     early_sheds: int = 0
+    #: coalesced waiters whose originator's fit *failed* (not shed) —
+    #: their outcome merges to "error", not "coalesced"
+    failed_waits: int = 0
     #: cold fits the router admitted (== originators, not waiters)
     cold_fits: int = 0
     #: highest number of simultaneously pending cold fits observed
@@ -204,6 +214,7 @@ class RouterStats:
             "coalesced": self.coalesced,
             "rejections": self.rejections,
             "early_sheds": self.early_sheds,
+            "failed_waits": self.failed_waits,
             "cold_fits": self.cold_fits,
             "peak_pending_fits": self.peak_pending_fits,
             **self.latency_summary(),
@@ -250,12 +261,28 @@ class AsyncSelectionRouter:
         draw; defaults to :func:`random.random`.  Tests inject a
         deterministic sequence here.
     fit_workers:
-        Threads fitting cold pipelines.  Distinct cold targets fit in
+        Cold-fit parallelism: threads (``fit_executor="thread"``) or
+        worker processes (``"process"``).  Distinct cold targets fit in
         parallel: derived similarity/transferability recording into the
-        shared zoo catalog is serialised by the catalog's own lock.
+        shared zoo catalog is serialised by the catalog's own lock
+        (thread mode) or stays process-local and folds back through the
+        packed artifact (process mode).
     predict_workers:
         Threads answering warm predicts (safe to raise: per-key locks
         already serialise same-pipeline predicts).
+    fit_executor:
+        ``"thread"`` fits in the router's thread pool (the default);
+        ``"process"`` ships cold fits to a spawn-based
+        ``ProcessPoolExecutor`` (see :mod:`repro.serving.fit_plane`) for
+        true CPU parallelism — the worker returns the strategy-packed
+        artifact, the parent unpacks and writes it through to the
+        registry byte-identically to the thread path.  ``None`` reads
+        the ``REPRO_FIT_EXECUTOR`` environment variable, defaulting to
+        ``"thread"``.
+    fit_timeout_s:
+        Process mode only: a fit exceeding this many seconds raises
+        :class:`~repro.serving.fit_plane.FitTimeoutError`, shedding its
+        coalesced group.  ``None`` (default) never times out.
     """
 
     def __init__(self, service: SelectionService, *,
@@ -265,7 +292,9 @@ class AsyncSelectionRouter:
                  fit_workers: int = 2,
                  predict_workers: int = 4,
                  shed_start: float = 1.0,
-                 shed_rng=None):
+                 shed_rng=None,
+                 fit_executor: str | None = None,
+                 fit_timeout_s: float | None = None):
         if max_pending_fits < 1:
             raise ValueError("max_pending_fits must be >= 1")
         if overflow not in ("reject", "wait"):
@@ -275,6 +304,11 @@ class AsyncSelectionRouter:
             raise ValueError("worker counts must be >= 1")
         if not (0.0 <= shed_start <= 1.0):
             raise ValueError("shed_start must be in [0, 1]")
+        if fit_executor is None:
+            fit_executor = os.environ.get("REPRO_FIT_EXECUTOR", "thread")
+        if fit_executor not in ("thread", "process"):
+            raise ValueError(f"fit_executor must be 'thread' or 'process', "
+                             f"got {fit_executor!r}")
         self.service = service
         self.max_pending_fits = max_pending_fits
         self.overflow = overflow
@@ -282,6 +316,13 @@ class AsyncSelectionRouter:
         self.shed_start = shed_start
         self._shed_rng = shed_rng if shed_rng is not None else random.random
         self.fit_workers = fit_workers
+        self.fit_executor = fit_executor
+        self._fit_plane = None
+        if fit_executor == "process":
+            from repro.serving.fit_plane import ProcessFitExecutor
+
+            self._fit_plane = ProcessFitExecutor(
+                workers=fit_workers, fit_timeout_s=fit_timeout_s)
         self._fit_pool = ThreadPoolExecutor(
             max_workers=fit_workers, thread_name_prefix="router-fit")
         self._predict_pool = ThreadPoolExecutor(
@@ -294,8 +335,13 @@ class AsyncSelectionRouter:
         #: only from the event-loop thread, so no lock is needed
         self._inflight: dict[tuple[str, str], asyncio.Future] = {}
         self._pending_fits = 0
-        #: serialises predicts on one fitted pipeline (see module doc)
+        #: serialises predicts on one fitted pipeline (see module doc);
+        #: bounded by the service cache: the eviction listener below
+        #: drops a key's lock with its cache entry, so a long-running
+        #: server over millions of targets cannot leak locks
         self._predict_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._predict_locks_guard = threading.Lock()
+        service.add_eviction_listener(self._drop_predict_locks)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._capacity: asyncio.Condition | None = None
         self._closed = False
@@ -400,18 +446,37 @@ class AsyncSelectionRouter:
         async with self._capacity:
             self._capacity.notify_all()
 
+    def _remote_fit(self, strategy, zoo, target: str):
+        """Process-mode fit: block a fit thread on a worker process.
+
+        The worker ships back ``(meta, arrays, spans)``; the child's
+        fit-stage spans are grafted onto the live request trace here
+        (this thread carries the request context via
+        :func:`repro.obs.run_in_context`) and the packed payload is
+        returned for :meth:`SelectionService.load_or_fit` to unpack and
+        write through.
+        """
+        meta, arrays, spans = self._fit_plane.submit_fit(
+            strategy, zoo, target)
+        graft_spans(spans)
+        return meta, arrays
+
     def _fit_job(self, target: str):
         """Runs on a fit worker: acquire the pipeline, warm its lazy state.
 
-        The throwaway predict materialises the target's transferability
-        normalisation, which records scores into the *shared* zoo
-        catalog on first use.  Doing it here keeps fit workers the only
-        catalog writers (their derived-score recording is serialised by
-        ``ZooCatalog.lock``); the predict pool then never mutates shared
-        state.  Costs one extra predict per cold fit — microscopic next
-        to the fit itself.
+        In thread mode the throwaway predict materialises the target's
+        transferability normalisation, which records scores into the
+        *shared* zoo catalog on first use.  Doing it here keeps fit
+        workers the only catalog writers (their derived-score recording
+        is serialised by ``ZooCatalog.lock``); the predict pool then
+        never mutates shared state.  Costs one extra predict per cold
+        fit — microscopic next to the fit itself.  In process mode the
+        worker already warmed the pipeline before packing (the state
+        ships inside the artifact), so the predict is a pure read kept
+        for path uniformity.
         """
-        fitted = self.service.load_or_fit(target)
+        remote = self._remote_fit if self._fit_plane is not None else None
+        fitted = self.service.load_or_fit(target, remote_fit=remote)
         fitted.predict(self.service.zoo.model_ids())
         return fitted
 
@@ -446,6 +511,20 @@ class AsyncSelectionRouter:
                 with self._stats_lock:
                     self._stats.rejections += 1
                 set_outcome("shed")
+                raise
+            except BaseException:
+                # Any other failure of the *originator's* fit (a fit
+                # exception, a fit-plane crash/timeout, a cancelled
+                # originator) also fails every waiter — count it and
+                # merge the outcome to "error" instead of leaving the
+                # trace claiming a successful coalesced wait.  A waiter
+                # cancelled in its own right (future still pending)
+                # stays out of the counter: nothing failed group-wide.
+                if inflight.done() and not inflight.cancelled() \
+                        and inflight.exception() is not None:
+                    with self._stats_lock:
+                        self._stats.failed_waits += 1
+                    set_outcome("error")
                 raise
             with self._stats_lock:
                 self._stats.record_latency(
@@ -491,10 +570,20 @@ class AsyncSelectionRouter:
     # ------------------------------------------------------------------ #
     def _predict_lock(self, target: str) -> threading.Lock:
         key = (target, self.service.config_fp)
-        lock = self._predict_locks.get(key)
-        if lock is None:  # created on the loop thread only: no race
-            lock = self._predict_locks[key] = threading.Lock()
+        # guard: creation happens on the loop thread, but the service's
+        # eviction listener removes keys from fit-worker threads
+        with self._predict_locks_guard:
+            lock = self._predict_locks.get(key)
+            if lock is None:
+                lock = self._predict_locks[key] = threading.Lock()
         return lock
+
+    def _drop_predict_locks(self, keys) -> None:
+        """Service eviction hook: a key's predict lock dies with its
+        cache entry (an in-flight predict keeps its own reference)."""
+        with self._predict_locks_guard:
+            for key in keys:
+                self._predict_locks.pop(key, None)
 
     async def _run_predict(self, target: str, fn):
         loop = self._bind_loop()
@@ -645,12 +734,26 @@ class AsyncSelectionRouter:
         """Live cold-fit queue depth (exported as a metrics gauge)."""
         return self._pending_fits
 
+    def prestart_fit_plane(self) -> int:
+        """Spawn the process fit plane's workers now (0 in thread mode).
+
+        Process workers otherwise spawn lazily on the first cold fits,
+        which would bill each of the first ``fit_workers`` requests for
+        an interpreter start plus a zoo hydration on top of its fit.
+        Blocks until every worker is up with the zoo hydrated.
+        """
+        if self._fit_plane is None:
+            return 0
+        return self._fit_plane.prestart(zoo=self.service.zoo)
+
     def close(self) -> None:
         """Shut the executors down; idempotent."""
         if not self._closed:
             self._closed = True
             self._fit_pool.shutdown(wait=True)
             self._predict_pool.shutdown(wait=True)
+            if self._fit_plane is not None:
+                self._fit_plane.close()
 
     async def __aenter__(self) -> "AsyncSelectionRouter":
         return self

@@ -172,6 +172,25 @@ class SelectionService:
         #: guards cache order/content and stat counters; never held across
         #: a fit or registry I/O
         self._lock = threading.Lock()
+        #: callables invoked (outside the lock) with the list of cache
+        #: keys each LRU eviction / invalidation dropped — the router
+        #: hangs per-key state (predict locks) off cache entries and must
+        #: release it when the entry goes, or it leaks per target
+        self._eviction_listeners: list = []
+
+    def add_eviction_listener(self, listener) -> None:
+        """Register ``listener(keys)`` to run after cache entries drop.
+
+        Called with the ``(target, config_fp)`` keys removed by an LRU
+        eviction or :meth:`invalidate`, after the service lock is
+        released.  Listeners must be cheap and must not raise.
+        """
+        self._eviction_listeners.append(listener)
+
+    def _notify_evicted(self, keys: list[tuple[str, str]]) -> None:
+        if keys:
+            for listener in self._eviction_listeners:
+                listener(keys)
 
     @property
     def config_fp(self) -> str:
@@ -219,12 +238,21 @@ class SelectionService:
         self._check_target(target)
         return None
 
-    def load_or_fit(self, target: str):
+    def load_or_fit(self, target: str, *, remote_fit=None):
         """Registry revive → fresh fit, then insert into the LRU.
 
         The caller is responsible for single-flight per cache key (the
         serial facade trivially is; the async router coalesces); stats
         and cache mutations are lock-guarded, the heavy work is not.
+
+        ``remote_fit`` replaces the in-process ``strategy.fit`` with a
+        callable returning the *packed* artifact —
+        ``remote_fit(strategy, zoo, target) -> (meta, arrays)`` — which
+        is how the router's process fit plane delivers a fit: the
+        pipeline is revived here via ``strategy.unpack`` (against this
+        process's zoo) and the worker's exact payload is written through
+        to the registry, so thread- and process-fitted artifacts are
+        byte-identical.
         """
         set_outcome("cold")  # cache miss path, revive or fresh fit
         fitted = None
@@ -238,19 +266,32 @@ class SelectionService:
             except ArtifactError:
                 fitted = None  # absent or stale: fall through to a fit
         if fitted is None:
-            fitted = self.strategy.fit(self.zoo, target)
-            with self._lock:
-                self._stats.fits += 1
-            if self.registry is not None:
-                with span("fit.artifact_pack"):
-                    self.registry.save(fitted, self.strategy, self.zoo)
+            if remote_fit is None:
+                fitted = self.strategy.fit(self.zoo, target)
+                with self._lock:
+                    self._stats.fits += 1
+                if self.registry is not None:
+                    with span("fit.artifact_pack"):
+                        self.registry.save(fitted, self.strategy, self.zoo)
+            else:
+                meta, arrays = remote_fit(self.strategy, self.zoo, target)
+                with span("fit.artifact_unpack"):
+                    fitted = self.strategy.unpack(meta, arrays, self.zoo)
+                with self._lock:
+                    self._stats.fits += 1
+                if self.registry is not None:
+                    with span("fit.artifact_pack"):
+                        self.registry.save_packed(meta, arrays,
+                                                  self.strategy, target)
 
         key = (target, self._config_fp)
+        evicted: list[tuple[str, str]] = []
         with self._lock:
             self._cache[key] = fitted
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                evicted.append(self._cache.popitem(last=False)[0])
                 self._stats.evictions += 1
+        self._notify_evicted(evicted)
         return fitted
 
     def _fitted(self, target: str):
@@ -346,8 +387,11 @@ class SelectionService:
         Call after catalog updates (new history rows, new models) so the
         next query refits against fresh ground truth.
         """
+        key = (target, self._config_fp)
         with self._lock:
-            self._cache.pop((target, self._config_fp), None)
+            dropped = self._cache.pop(key, None) is not None
+        if dropped:
+            self._notify_evicted([key])
         if self.registry is not None:
             self.registry.delete(target, self.strategy)
         with self._lock:

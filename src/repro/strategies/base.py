@@ -13,7 +13,14 @@ needs every ranker behind one abstraction that the whole serving stack
 - ``fingerprint()`` — a content hash keying registry artifacts, so two
   strategies can never serve each other's state;
 - ``pack(fitted, zoo)`` / ``unpack(meta, arrays, zoo)`` — the portable
-  artifact form the :class:`~repro.serving.ArtifactRegistry` persists;
+  artifact form the :class:`~repro.serving.ArtifactRegistry` persists.
+  The same pair is the *process boundary*: the serving fit plane
+  (:mod:`repro.serving.fit_plane`) fits in a worker process, packs
+  there, and unpacks in the parent — so anything a fitted pipeline
+  needs at predict time must live in the packed state (or be
+  deterministically derivable from the catalog), and strategy
+  instances themselves must be picklable (module-level classes with
+  plain attributes — no closures);
 - ``spec`` — the canonical string key under which the strategy registry
   (:func:`repro.strategies.get_strategy`) and the serving gateway's
   per-namespace strategy maps address it;

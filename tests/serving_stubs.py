@@ -77,6 +77,16 @@ class StubStrategy(SelectionStrategy):
     def fingerprint(self):
         return f"stub-{self.spec}"
 
+    # pack/unpack double as the process-fit wire format, so stub
+    # strategies can ride the process fit plane in tests too
+    def pack(self, fitted, zoo):
+        meta = {"kind": "stub", "target": fitted.target,
+                "spec": self.spec, "scores": fitted.scores}
+        return meta, {}
+
+    def unpack(self, meta, arrays, zoo):
+        return StubFitted(meta["target"], meta["scores"])
+
     def rank(self, zoo, target):
         return self.fit(zoo, target).rank(zoo.model_ids())
 

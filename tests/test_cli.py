@@ -284,7 +284,7 @@ class TestStrategyCommands:
         assert main(self.ARGS + ["warmup", "--strategy", "random",
                                  "--registry-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "(Random)" in out
+        assert "(Random, thread executor)" in out
         from repro.serving import ArtifactRegistry
         from repro.strategies import get_strategy
 

@@ -524,3 +524,99 @@ class TestEarlyShedding:
         for bad in (-0.1, 1.5):
             with pytest.raises(ValueError):
                 AsyncSelectionRouter(service, shed_start=bad)
+
+
+# ---------------------------------------------------------------------- #
+# PR 7 regressions: predict-lock lifecycle, failed coalesced waits
+# ---------------------------------------------------------------------- #
+class TestPredictLockEviction:
+    def test_lock_map_bounded_by_cache_size(self):
+        """Regression: predict locks used to outlive their cache entries,
+        leaking one lock per target ever served."""
+        targets = tuple(f"t{i}" for i in range(8))
+        service = stub_service(targets=targets, cache_size=2)
+        router = AsyncSelectionRouter(service)
+        try:
+            for target in targets:
+                run(router.rank(target))
+            assert len(router._predict_locks) <= service.cache_size
+            assert set(router._predict_locks) == {
+                (t, service.config_fp) for t in service.cached_targets()}
+        finally:
+            router.close()
+
+    def test_invalidate_drops_the_lock(self):
+        service = stub_service()
+        router = AsyncSelectionRouter(service)
+        try:
+            run(router.rank("t0"))
+            key = ("t0", service.config_fp)
+            assert key in router._predict_locks
+            service.invalidate("t0")
+            assert key not in router._predict_locks
+            # invalidating a target that is not cached is a no-op for
+            # the lock map too
+            service.invalidate("t1")
+        finally:
+            router.close()
+
+    def test_relocking_after_eviction_still_serves(self):
+        service = stub_service(targets=("t0", "t1", "t2"), cache_size=1)
+        router = AsyncSelectionRouter(service)
+        try:
+            assert run(router.rank("t0"))[0][0] == "m0"
+            assert run(router.rank("t1"))[0][0] == "m0"  # evicts t0
+            assert run(router.rank("t0"))[0][0] == "m0"  # refits fine
+        finally:
+            router.close()
+
+
+class TestFailedWaits:
+    def test_generic_fit_failure_counts_failed_waits(self):
+        """Regression: a waiter whose originator's fit *failed* (not
+        shed) kept outcome 'coalesced' and no counter recorded the
+        group-wide failure."""
+        service = stub_service(fit_seconds=0.05, fail_first=1)
+        router = AsyncSelectionRouter(service)
+
+        async def storm():
+            return await asyncio.gather(
+                *(router.rank("t0") for _ in range(4)),
+                return_exceptions=True)
+
+        results = run(storm())
+        stats = router.stats()
+        router.close()
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert stats["failed_waits"] == 3     # everyone but the originator
+        assert stats["coalesced"] == 3        # they did coalesce first
+        assert stats["rejections"] == 0       # a failure is not a shed
+
+    def test_shed_originator_still_counts_rejections_not_failed_waits(self):
+        service = stub_service(fit_seconds=0.2)
+        router = AsyncSelectionRouter(service, max_pending_fits=1)
+
+        async def storm():
+            originator = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.05)
+            waiter = asyncio.ensure_future(router.rank("t0"))
+            await asyncio.sleep(0.01)
+            shed = await asyncio.gather(router.rank("t1"),
+                                        return_exceptions=True)
+            assert isinstance(shed[0], QueueFullError)
+            await asyncio.gather(originator, waiter)
+
+        run(storm())
+        stats = router.stats()
+        router.close()
+        assert stats["failed_waits"] == 0
+        assert stats["rejections"] == 1
+
+    def test_failed_waits_in_summary_and_since(self):
+        earlier = RouterStats()
+        later = RouterStats(failed_waits=2, coalesced=5)
+        delta = later.since(earlier)
+        assert delta.failed_waits == 2
+        assert later.summary()["failed_waits"] == 2
+        merged = RouterStats().merge(later)
+        assert merged.failed_waits == 2
