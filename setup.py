@@ -3,9 +3,19 @@
 The execution environment has no ``wheel`` package and no network, so the
 modern PEP 517 editable-install path (which needs ``bdist_wheel``) fails.
 ``pip install -e . --no-use-pep517`` takes the ``setup.py develop`` route
-instead, which this file enables.  All metadata lives in ``pyproject.toml``.
+instead, which this file enables.
+
+``package_data`` ships the PEP 561 ``py.typed`` marker so installed
+copies expose the package's inline annotations to type checkers (the
+serving protocol and the strategy base are checked under
+``mypy --strict`` in CI).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+)

@@ -1,0 +1,259 @@
+"""Shared machinery of the ``repro analyze`` static-analysis suite.
+
+The suite is dependency-free on purpose: rules parse the repo with the
+stdlib :mod:`ast` module and report :class:`Finding` records, so the CI
+``analysis`` job needs nothing beyond the interpreter, and the checks
+run identically in environments (like this one) where third-party
+linters cannot be installed.
+
+Three pieces:
+
+- :class:`Project` — lazily parsed view of the repository's ``src``
+  tree, keyed by repo-relative POSIX paths, shared across rules so each
+  file is read and parsed once per run;
+- :class:`Rule` — one invariant checker; subclasses declare ``id`` /
+  ``description`` and implement :meth:`Rule.check`;
+- :func:`run_analysis` — the runner: instantiates the requested rules,
+  collects findings, drops ones suppressed by an inline
+  ``# analyze: ignore[rule-id]`` comment on the flagged line, and
+  returns them in stable (path, line, rule) order.
+
+Suppression is deliberate and visible: a bare ``# analyze: ignore``
+silences every rule on that line, ``# analyze: ignore[lock-discipline]``
+silences one rule, and the comment rides the flagged line itself so the
+exemption is reviewed next to the code it exempts.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterable, Sequence
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "format_findings",
+    "run_analysis",
+]
+
+_IGNORE_RE = re.compile(r"#\s*analyze:\s*ignore(?:\[([a-zA-Z0-9_, -]+)\])?")
+
+
+class AnalysisError(RuntimeError):
+    """The analysis run itself failed (bad root, unknown rule id)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line.
+
+    ``path`` is repo-relative POSIX form so findings are stable across
+    machines; ``hint`` is the suggested fix, shown indented under the
+    message in human output.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+
+class SourceFile:
+    """One parsed source file: text, lines, AST, and suppressions."""
+
+    def __init__(self, rel: str, text: str):
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        self._suppressed: dict[int, set[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _IGNORE_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                self._suppressed[lineno] = None  # every rule
+            else:
+                ids = {r.strip() for r in rules.split(",") if r.strip()}
+                self._suppressed[lineno] = ids
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        if lineno not in self._suppressed:
+            return False
+        rules = self._suppressed[lineno]
+        return rules is None or rule_id in rules
+
+
+class Project:
+    """A lazily parsed, cached view of one repository tree.
+
+    Rules address files by repo-relative POSIX path
+    (``src/repro/serving/router.py``); parse results are cached so the
+    five rules share one AST per file.  Fixture tests point this at the
+    mini-repos under ``tests/analysis_fixtures/`` — any directory with
+    the repo's ``src/repro`` shape works.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise AnalysisError(f"analysis root {self.root} is not a directory")
+        self._cache: dict[str, SourceFile | None] = {}
+
+    def files(self, *patterns: str) -> list[SourceFile]:
+        """Parsed sources matching any of the ``src``-relative globs."""
+        rels: set[str] = set()
+        for pattern in patterns:
+            for path in sorted(self.root.glob(pattern)):
+                if path.suffix == ".py" and path.is_file():
+                    rels.add(path.relative_to(self.root).as_posix())
+        out = []
+        for rel in sorted(rels):
+            source = self.source(rel)
+            if source is not None:
+                out.append(source)
+        return out
+
+    def source(self, rel: str) -> SourceFile | None:
+        """The parsed file at ``rel``, or None if absent/unparseable."""
+        if rel not in self._cache:
+            path = self.root / rel
+            if not path.is_file():
+                self._cache[rel] = None
+            else:
+                text = path.read_text(encoding="utf-8")
+                try:
+                    self._cache[rel] = SourceFile(rel, text)
+                except SyntaxError as exc:
+                    raise AnalysisError(f"{rel} does not parse: {exc}") from exc
+        return self._cache[rel]
+
+    def read_json(self, rel: str) -> object | None:
+        """Parsed JSON at ``rel``, or None if the file is absent."""
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+
+class Rule:
+    """One machine-checked repo invariant.
+
+    Subclasses set :attr:`id` (the ``--rule`` / suppression key) and
+    :attr:`description` (one line, shown by ``repro analyze --list``)
+    and implement :meth:`check`.
+    """
+
+    id: ClassVar[str]
+    description: ClassVar[str]
+
+    def check(self, project: Project) -> list[Finding]:
+        raise NotImplementedError
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, in catalog order."""
+    from repro.analysis.async_blocking import AsyncBlockingRule
+    from repro.analysis.layering import ImportLayeringRule
+    from repro.analysis.lock_discipline import LockDisciplineRule
+    from repro.analysis.pickle_boundary import PickleBoundaryRule
+    from repro.analysis.wire_schema import WireSchemaRule
+
+    return [
+        LockDisciplineRule,
+        AsyncBlockingRule,
+        WireSchemaRule,
+        ImportLayeringRule,
+        PickleBoundaryRule,
+    ]
+
+
+def resolve_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
+    """Instantiate the requested rules (all of them when None)."""
+    catalog = {cls.id: cls for cls in all_rules()}
+    if rule_ids is None:
+        return [cls() for cls in catalog.values()]
+    out = []
+    for rule_id in rule_ids:
+        if rule_id not in catalog:
+            known = ", ".join(sorted(catalog))
+            raise AnalysisError(f"unknown rule {rule_id!r}; known rules: {known}")
+        out.append(catalog[rule_id]())
+    return out
+
+
+def run_analysis(
+    root: Path | str,
+    rule_ids: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the suite over one repo tree and return surviving findings.
+
+    Findings whose flagged line carries a matching
+    ``# analyze: ignore[...]`` comment are dropped here, so every rule
+    gets suppression behaviour for free.
+    """
+    project = Project(root)
+    findings: list[Finding] = []
+    for rule in resolve_rules(rule_ids):
+        for finding in rule.check(project):
+            source = project.source(finding.path)
+            suppressed = source is not None and source.is_suppressed(
+                finding.rule,
+                finding.line,
+            )
+            if suppressed:
+                continue
+            findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def format_findings(findings: Iterable[Finding], fmt: str = "human") -> str:
+    """Render findings as ``human`` text or a ``json`` report."""
+    findings = list(findings)
+    if fmt == "json":
+        report = {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "ok": not findings,
+        }
+        return json.dumps(report, indent=2, sort_keys=True)
+    if fmt != "human":
+        raise AnalysisError(f"unknown format {fmt!r}; expected human or json")
+    if not findings:
+        return "analyze: clean (no findings)"
+    out = []
+    for finding in findings:
+        out.append(f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}")
+        if finding.hint:
+            out.append(f"    fix: {finding.hint}")
+    out.append(f"analyze: {len(findings)} finding(s)")
+    return "\n".join(out)

@@ -1,0 +1,190 @@
+"""lock-discipline: declared lock-guarded attributes stay lock-guarded.
+
+The serving and observability planes share mutable state between the
+event loop, executor threads, and metric scrapes; every such attribute
+is guarded by an instance lock by convention.  PR 7's ``_predict_locks``
+leak showed the convention failing silently — an unguarded read lived
+for two PRs because nothing checked it.
+
+This rule makes the convention declarative.  Registering an attribute
+is one trailing comment on its ``__init__`` assignment::
+
+    self._stats = Counter()  # guarded by: self._stats_lock
+
+From then on, every other read or write of ``self._stats`` inside the
+class must sit lexically inside a ``with self._stats_lock:`` block.
+Exemptions, in order of preference:
+
+- the declaring method itself (construction precedes publication);
+- methods named ``*_locked`` — the repo's "caller already holds the
+  lock" convention — are assumed to run under every declared lock;
+- an explicit ``# analyze: ignore[lock-discipline]`` on the access, for
+  deliberate unlocked fast paths (document why next to it).
+
+Nested functions and lambdas defined inside a guarded block are treated
+as *not* holding the lock: they run whenever they are called, not where
+they are defined.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+_GUARD_RE = re.compile(r"#\s*guarded by:\s*self\.([A-Za-z_][A-Za-z0-9_]*)")
+
+_SCOPE = ("src/repro/serving/*.py", "src/repro/obs/*.py")
+
+
+@dataclass(frozen=True)
+class _Declaration:
+    attr: str
+    lock: str
+    line: int
+    method: ast.AST  # the function whose body declared it
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _declarations(source: SourceFile, klass: ast.ClassDef) -> dict[str, _Declaration]:
+    """Guard declarations in ``klass``: attr -> (lock, declaring method)."""
+    decls: dict[str, _Declaration] = {}
+    for method in ast.walk(klass):
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            attrs = [a for a in map(_self_attr, targets) if a is not None]
+            if not attrs:
+                continue
+            # The marker may trail the assignment or sit on its own
+            # comment line directly above it.
+            end = node.end_lineno or node.lineno
+            for lineno in range(node.lineno - 1, end + 1):
+                text = source.line(lineno)
+                if lineno < node.lineno and not text.lstrip().startswith("#"):
+                    continue
+                match = _GUARD_RE.search(text)
+                if match is None:
+                    continue
+                for attr in attrs:
+                    decls[attr] = _Declaration(
+                        attr=attr,
+                        lock=match.group(1),
+                        line=node.lineno,
+                        method=method,
+                    )
+                break
+    return decls
+
+
+class LockDisciplineRule(Rule):
+    """Accesses to declared-guarded attributes must hold their lock."""
+
+    id: ClassVar[str] = "lock-discipline"
+    description: ClassVar[str] = (
+        "attributes declared '# guarded by: self._lock' are only touched "
+        "inside 'with self._lock' blocks"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in project.files(*_SCOPE):
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source: SourceFile, klass: ast.ClassDef) -> list[Finding]:
+        decls = _declarations(source, klass)
+        if not decls:
+            return []
+        locks = frozenset(d.lock for d in decls.values())
+        findings: list[Finding] = []
+        for stmt in klass.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # *_locked methods run under the caller's lock by convention.
+            held = locks if stmt.name.endswith("_locked") else frozenset()
+            exempt = frozenset(
+                attr for attr, decl in decls.items() if decl.method is stmt
+            )
+            for child in ast.iter_child_nodes(stmt):
+                self._walk(source, klass, decls, exempt, child, held, findings)
+        return findings
+
+    def _walk(
+        self,
+        source: SourceFile,
+        klass: ast.ClassDef,
+        decls: dict[str, _Declaration],
+        exempt: frozenset[str],
+        node: ast.AST,
+        held: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested callable runs when called, not where defined — it
+            # does not inherit the enclosing block's locks.
+            for child in ast.iter_child_nodes(node):
+                self._walk(source, klass, decls, exempt, child, frozenset(), findings)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+                self._walk(
+                    source,
+                    klass,
+                    decls,
+                    exempt,
+                    item.context_expr,
+                    held,
+                    findings,
+                )
+            inner = held | acquired
+            for stmt in node.body:
+                self._walk(source, klass, decls, exempt, stmt, inner, findings)
+            return
+        attr = _self_attr(node)
+        if attr is not None and attr in decls and attr not in exempt:
+            decl = decls[attr]
+            if decl.lock not in held:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            f"{klass.name}.{attr} is declared guarded by "
+                            f"self.{decl.lock} (line {decl.line}) but is "
+                            f"accessed without holding it"
+                        ),
+                        hint=(
+                            f"wrap the access in 'with self.{decl.lock}:' or "
+                            f"move it into a *_locked helper"
+                        ),
+                    )
+                )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(source, klass, decls, exempt, child, held, findings)

@@ -1,0 +1,232 @@
+"""wire-schema: the v1 protocol only ever grows, additively.
+
+``serving/protocol.py`` promises that v1 is *additive-only*: fields
+never disappear, never change type, and requests never grow new
+required fields (PR 3's byte-stability contract).  Until now that rule
+was enforced by reviewer memory.
+
+This rule extracts the message schema — every ``@dataclass`` in the
+protocol module, its wire ``kind``, and each field's annotation and
+required/optional status — and diffs it against the committed snapshot
+at ``benchmarks/baselines/protocol_schema.json``:
+
+- a removed message, removed field, retyped field, newly-required
+  field, or changed protocol version is a **breaking** finding — CI
+  fails and the snapshot refuses to move;
+- a new message or new *optional* field is legitimate additive growth:
+  the finding says exactly that, and
+  ``repro analyze --update-schema`` regenerates the snapshot as part
+  of the same PR.
+
+The snapshot is committed next to the benchmark baselines because it
+is one: a machine-checked record of behaviour previous PRs shipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["WireSchemaRule", "extract_schema"]
+
+PROTOCOL_PATH = "src/repro/serving/protocol.py"
+SNAPSHOT_PATH = "benchmarks/baselines/protocol_schema.json"
+
+_REGENERATE_HINT = (
+    "additive change: regenerate the snapshot with "
+    "'repro analyze --update-schema' and commit it"
+)
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return isinstance(annotation, ast.Name) and annotation.id == "ClassVar"
+
+
+def _is_dataclass(klass: ast.ClassDef) -> bool:
+    for decorator in klass.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _extract(source: SourceFile) -> tuple[dict, dict[str, dict[str, int]]]:
+    """(schema dict, {message: {field or "": line}}) of one protocol file."""
+    version = None
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "PROTOCOL_VERSION"
+            and isinstance(node.value, ast.Constant)
+        ):
+            version = node.value.value
+    messages: dict[str, dict] = {}
+    lines: dict[str, dict[str, int]] = {}
+    for node in source.tree.body:
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        kind = None
+        fields: dict[str, dict] = {}
+        lines[node.name] = {"": node.lineno}
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            name = stmt.target.id
+            if _is_classvar(stmt.annotation):
+                is_kind = name in ("kind", "_kind")
+                if is_kind and isinstance(stmt.value, ast.Constant):
+                    kind = stmt.value.value
+                continue
+            fields[name] = {
+                "type": ast.unparse(stmt.annotation),
+                "required": stmt.value is None,
+            }
+            lines[node.name][name] = stmt.lineno
+        messages[node.name] = {"kind": kind, "fields": fields}
+    schema = {
+        "module": PROTOCOL_PATH,
+        "protocol_version": version,
+        "messages": messages,
+    }
+    return schema, lines
+
+
+def extract_schema(project: Project) -> dict:
+    """The live wire schema of the project's protocol module."""
+    source = project.source(PROTOCOL_PATH)
+    if source is None:
+        return {"module": PROTOCOL_PATH, "protocol_version": None, "messages": {}}
+    schema, _ = _extract(source)
+    return schema
+
+
+class WireSchemaRule(Rule):
+    """protocol.py must match its committed snapshot, additively."""
+
+    id: ClassVar[str] = "wire-schema"
+    description: ClassVar[str] = (
+        "serving/protocol.py dataclasses diff cleanly against "
+        "benchmarks/baselines/protocol_schema.json: no removed, retyped, "
+        "or newly-required fields"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        source = project.source(PROTOCOL_PATH)
+        if source is None:
+            return []
+        live, lines = _extract(source)
+        snapshot = project.read_json(SNAPSHOT_PATH)
+        if snapshot is None:
+            return [
+                Finding(
+                    rule=self.id,
+                    path=PROTOCOL_PATH,
+                    line=1,
+                    message=f"no committed schema snapshot at {SNAPSHOT_PATH}",
+                    hint=_REGENERATE_HINT,
+                )
+            ]
+        if not isinstance(snapshot, dict):
+            return [
+                Finding(
+                    rule=self.id,
+                    path=PROTOCOL_PATH,
+                    line=1,
+                    message=f"{SNAPSHOT_PATH} is not a JSON object",
+                    hint=_REGENERATE_HINT,
+                )
+            ]
+        findings: list[Finding] = []
+
+        def report(message: str, name: str, field: str = "", hint: str = "") -> None:
+            line = lines.get(name, {}).get(field) or lines.get(name, {}).get("", 1)
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=PROTOCOL_PATH,
+                    line=line or 1,
+                    message=message,
+                    hint=hint or "breaking changes belong in a /v2 module",
+                )
+            )
+
+        old_version = snapshot.get("protocol_version")
+        if live["protocol_version"] != old_version:
+            report(
+                f"protocol version changed from {old_version!r} to "
+                f"{live['protocol_version']!r}",
+                name="",
+            )
+        old_messages = snapshot.get("messages", {})
+        for name, old in old_messages.items():
+            new = live["messages"].get(name)
+            if new is None:
+                report(
+                    f"message {name} was removed from the v1 protocol",
+                    name=name,
+                )
+                continue
+            if new["kind"] != old.get("kind"):
+                report(
+                    f"{name}.kind changed from {old.get('kind')!r} to "
+                    f"{new['kind']!r}",
+                    name=name,
+                )
+            old_fields = old.get("fields", {})
+            for field, old_spec in old_fields.items():
+                new_spec = new["fields"].get(field)
+                if new_spec is None:
+                    report(
+                        f"{name}.{field} was removed from the v1 protocol",
+                        name=name,
+                    )
+                    continue
+                if new_spec["type"] != old_spec.get("type"):
+                    report(
+                        f"{name}.{field} was retyped from "
+                        f"{old_spec.get('type')!r} to {new_spec['type']!r}",
+                        name=name,
+                        field=field,
+                    )
+                if new_spec["required"] and not old_spec.get("required"):
+                    report(
+                        f"{name}.{field} became required; v1 fields may "
+                        f"only be added as optional",
+                        name=name,
+                        field=field,
+                    )
+            for field, new_spec in new["fields"].items():
+                if field in old_fields:
+                    continue
+                if new_spec["required"]:
+                    report(
+                        f"{name}.{field} is a new required field; the v1 "
+                        f"protocol only grows optional fields",
+                        name=name,
+                        field=field,
+                    )
+                else:
+                    report(
+                        f"{name}.{field} is new but missing from the "
+                        f"committed snapshot",
+                        name=name,
+                        field=field,
+                        hint=_REGENERATE_HINT,
+                    )
+        for name in live["messages"]:
+            if name not in old_messages:
+                report(
+                    f"message {name} is new but missing from the committed "
+                    f"snapshot",
+                    name=name,
+                    hint=_REGENERATE_HINT,
+                )
+        return findings

@@ -22,6 +22,11 @@ Commands
                 traces as JSON lines)
 ``registry-gc`` sweep artifacts no live strategy/catalog can serve
                 (``--gateway`` sweeps the namespace-sharded layout)
+``analyze``     run the repo-specific static-analysis suite
+                (:mod:`repro.analysis`): lock discipline, async-blocking,
+                wire-schema drift, import layering, pickle boundary;
+                ``--update-schema`` regenerates the committed protocol
+                schema snapshot after additive protocol growth
 
 Strategy specs (see :mod:`repro.strategies`): ``tg:PRED,LEARNER,FEAT``,
 ``lr:basic|all|all+logme``, any transferability estimator (``logme``,
@@ -111,6 +116,17 @@ def _graph_learner_choices() -> tuple[str, ...]:
     from repro.graph import GRAPH_LEARNERS
 
     return tuple(sorted(GRAPH_LEARNERS))
+
+
+def _analysis_rule_choices() -> tuple[str, ...]:
+    from repro.analysis import all_rules
+
+    return tuple(cls.id for cls in all_rules())
+
+
+def _repo_root() -> Path:
+    """The checkout root (two levels above the ``repro`` package)."""
+    return Path(__file__).resolve().parents[2]
 
 
 def _strategy_spec(value: str) -> str:
@@ -392,6 +408,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "Shards may serve different zoos, so this sweeps "
                          "dead strategies and crash partials only — never "
                          "catalog-stale artifacts")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the repo-specific static-analysis suite "
+             "(exit 0 clean, 1 findings)")
+    analyze.add_argument("--rule", action="append", default=None,
+                         choices=_analysis_rule_choices(), metavar="RULE",
+                         help="run only this rule (repeatable; default: "
+                              f"all of {', '.join(_analysis_rule_choices())})")
+    analyze.add_argument("--format", choices=("human", "json"),
+                         default="human", dest="fmt",
+                         help="finding output format (default: human)")
+    analyze.add_argument("--root", type=Path, default=None,
+                         help="repository root to analyze "
+                              "(default: this checkout)")
+    analyze.add_argument("--update-schema", action="store_true",
+                         help="regenerate benchmarks/baselines/"
+                              "protocol_schema.json from serving/protocol.py "
+                              "instead of checking")
     return parser
 
 
@@ -849,6 +884,30 @@ def _cmd_registry_gc(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis import (AnalysisError, Project, SNAPSHOT_PATH,
+                                extract_schema, format_findings, run_analysis)
+
+    root = args.root or _repo_root()
+    try:
+        if args.update_schema:
+            schema = extract_schema(Project(root))
+            path = Path(root) / SNAPSHOT_PATH
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(schema, indent=2, sort_keys=True) + "\n",
+                            encoding="utf-8")
+            print(f"analyze: wrote {path}")
+            return 0
+        findings = run_analysis(root, args.rule)
+    except AnalysisError as exc:
+        print(f"analyze: error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings, args.fmt))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "build-zoo": _cmd_build_zoo,
     "rank": _cmd_rank,
@@ -858,6 +917,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "serve-sim": _cmd_serve_sim,
     "registry-gc": _cmd_registry_gc,
+    "analyze": _cmd_analyze,
 }
 
 

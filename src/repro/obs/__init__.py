@@ -26,13 +26,33 @@ import threading
 from collections import deque
 from contextlib import contextmanager
 
-from .events import EventLog, format_event_human, format_event_json, \
-    request_event, summary_event
-from .metrics import DEFAULT_LATENCY_BUCKETS_MS, EXPOSITION_CONTENT_TYPE, \
-    MetricsRegistry
-from .trace import OUTCOME_SEVERITY, Span, Trace, activate, annotate, \
-    current_trace, deactivate, graft_spans, new_request_id, record_cache, \
-    run_in_context, set_outcome, span
+from .events import (
+    EventLog,
+    format_event_human,
+    format_event_json,
+    request_event,
+    summary_event,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+)
+from .trace import (
+    OUTCOME_SEVERITY,
+    Span,
+    Trace,
+    activate,
+    annotate,
+    current_trace,
+    deactivate,
+    graft_spans,
+    new_request_id,
+    record_cache,
+    run_in_context,
+    set_outcome,
+    span,
+)
 
 __all__ = [
     "Observability", "NullObservability", "MetricsRegistry", "EventLog",
@@ -45,55 +65,84 @@ __all__ = [
 
 #: buckets for per-stage fit timings: stages range from sub-ms feature
 #: assembly to multi-second SGNS training
-_STAGE_BUCKETS_MS = (1.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0,
-                     1000.0, 2500.0, 5000.0, 10000.0, 30000.0)
+_STAGE_BUCKETS_MS = (
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+    30000.0,
+)
 
 
 class Observability:
     """The live observability plane shared by one gateway/process."""
 
-    def __init__(self, *, event_log: EventLog | None = None,
-                 trace_capacity: int = 512,
-                 request_id_factory=new_request_id):
+    def __init__(
+        self,
+        *,
+        event_log: EventLog | None = None,
+        trace_capacity: int = 512,
+        request_id_factory=new_request_id,
+    ):
         self.metrics = MetricsRegistry()
         self.event_log = event_log
         self.new_request_id = request_id_factory
+        # guarded by: self._trace_lock
         self._traces: deque[dict] = deque(maxlen=trace_capacity)
         self._trace_lock = threading.Lock()
-        self._trace_sinks: list = []
+        self._trace_sinks: list = []  # guarded by: self._trace_lock
 
         m = self.metrics
         self.requests_total = m.counter(
             "repro_requests_total",
             "Requests handled, by endpoint, namespace, strategy, and "
             "cache outcome (warm/cold/coalesced/shed/error).",
-            ("endpoint", "namespace", "strategy", "outcome"))
+            ("endpoint", "namespace", "strategy", "outcome"),
+        )
         self.request_latency = m.histogram(
             "repro_request_latency_ms",
             "End-to-end request latency in milliseconds.",
-            ("endpoint", "namespace"))
+            ("endpoint", "namespace"),
+        )
         self.cache_lookups = m.counter(
             "repro_cache_lookups_total",
             "Warm-cache lookups by result (hit/miss).",
-            ("namespace", "strategy", "result"))
+            ("namespace", "strategy", "result"),
+        )
         self.fit_stage = m.histogram(
             "repro_fit_stage_ms",
             "Cold-fit pipeline stage durations in milliseconds.",
             ("namespace", "strategy", "stage"),
-            buckets=_STAGE_BUCKETS_MS)
+            buckets=_STAGE_BUCKETS_MS,
+        )
         self.queue_depth = m.gauge(
             "repro_queue_depth",
             "Cold-fit admission queue depth (live, per strategy).",
-            ("namespace", "strategy"))
+            ("namespace", "strategy"),
+        )
         self.http_responses = m.counter(
             "repro_http_responses_total",
             "HTTP responses served, by path and status code.",
-            ("path", "status"))
+            ("path", "status"),
+        )
 
     # -- request lifecycle --------------------------------------------- #
     @contextmanager
-    def request(self, endpoint: str, *, namespace: str = "-",
-                strategy: str = "-", request_id: str | None = None):
+    def request(
+        self,
+        endpoint: str,
+        *,
+        namespace: str = "-",
+        strategy: str = "-",
+        request_id: str | None = None,
+    ):
         """Trace one request; yields the bound :class:`Trace`.
 
         Nested calls (a compare fanning out through rank paths that also
@@ -103,8 +152,13 @@ class Observability:
         if outer is not None:
             yield outer
             return
-        trace = Trace(request_id or self.new_request_id(), endpoint,
-                      namespace=namespace, strategy=strategy, obs=self)
+        trace = Trace(
+            request_id or self.new_request_id(),
+            endpoint,
+            namespace=namespace,
+            strategy=strategy,
+            obs=self,
+        )
         tokens = activate(trace)
         try:
             yield trace
@@ -117,11 +171,12 @@ class Observability:
             self._collect(trace)
 
     def _collect(self, trace: Trace) -> None:
-        self.requests_total.labels(trace.endpoint, trace.namespace,
-                                   trace.strategy, trace.outcome).inc()
-        self.request_latency.labels(trace.endpoint,
-                                    trace.namespace).observe(
-            trace.duration_ms)
+        self.requests_total.labels(
+            trace.endpoint, trace.namespace, trace.strategy, trace.outcome
+        ).inc()
+        self.request_latency.labels(trace.endpoint, trace.namespace).observe(
+            trace.duration_ms
+        )
         record = trace.to_dict()
         with self._trace_lock:
             self._traces.append(record)
@@ -132,22 +187,22 @@ class Observability:
             self.event_log.emit_request(trace)
 
     # -- hooks called from trace helpers -------------------------------- #
-    def observe_stage(self, trace: Trace, name: str,
-                      duration_ms: float) -> None:
+    def observe_stage(self, trace: Trace, name: str, duration_ms: float) -> None:
         if name.startswith("fit."):
-            self.fit_stage.labels(trace.namespace, trace.strategy,
-                                  name).observe(duration_ms)
+            self.fit_stage.labels(trace.namespace, trace.strategy, name).observe(
+                duration_ms
+            )
 
     def record_cache(self, trace: Trace, hit: bool) -> None:
-        self.cache_lookups.labels(trace.namespace, trace.strategy,
-                                  "hit" if hit else "miss").inc()
+        self.cache_lookups.labels(
+            trace.namespace, trace.strategy, "hit" if hit else "miss"
+        ).inc()
 
     # -- standalone hooks ------------------------------------------------ #
     def record_http_response(self, path: str, status: int) -> None:
         self.http_responses.labels(path, str(status)).inc()
 
-    def watch_queue_depth(self, namespace: str, strategy: str,
-                          fn) -> None:
+    def watch_queue_depth(self, namespace: str, strategy: str, fn) -> None:
         """Export ``fn()`` (live queue depth) as a gauge, lazily read at
         scrape time."""
         self.queue_depth.labels(namespace, strategy).set_function(fn)
@@ -207,13 +262,20 @@ class NullObservability:
         self.metrics = MetricsRegistry()
         self.event_log = None
         self.new_request_id = request_id_factory
-        self.requests_total = self.request_latency = self.cache_lookups \
-            = self.fit_stage = self.queue_depth = self.http_responses \
-            = _NullFamily()
+        null = _NullFamily()
+        self.requests_total = self.request_latency = null
+        self.cache_lookups = self.fit_stage = null
+        self.queue_depth = self.http_responses = null
 
     @contextmanager
-    def request(self, endpoint: str, *, namespace: str = "-",
-                strategy: str = "-", request_id: str | None = None):
+    def request(
+        self,
+        endpoint: str,
+        *,
+        namespace: str = "-",
+        strategy: str = "-",
+        request_id: str | None = None,
+    ):
         yield None
 
     def observe_stage(self, trace, name, duration_ms) -> None:

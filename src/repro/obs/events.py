@@ -19,8 +19,13 @@ import threading
 
 from .trace import Trace
 
-__all__ = ["EventLog", "request_event", "summary_event",
-           "format_event_human", "format_event_json"]
+__all__ = [
+    "EventLog",
+    "request_event",
+    "summary_event",
+    "format_event_human",
+    "format_event_json",
+]
 
 
 def request_event(trace: Trace) -> dict:
@@ -36,8 +41,7 @@ def request_event(trace: Trace) -> dict:
         "stages": trace.stage_totals(),
     }
     if trace.metadata:
-        event.update({k: v for k, v in trace.metadata.items()
-                      if k not in event})
+        event.update({k: v for k, v in trace.metadata.items() if k not in event})
     return event
 
 
@@ -55,15 +59,15 @@ def format_event_json(event: dict) -> str:
 
 
 def _format_stages(stages: dict[str, float]) -> str:
-    return " ".join(f"{name}={ms:.1f}ms"
-                    for name, ms in sorted(stages.items()))
+    return " ".join(f"{name}={ms:.1f}ms" for name, ms in sorted(stages.items()))
 
 
 def format_event_human(event: dict) -> str:
     """One aligned line per event, span details appended when present."""
     if event.get("event") == "summary":
-        fields = " ".join(f"{k}={v}" for k, v in event.items()
-                          if k not in ("event", "kind"))
+        fields = " ".join(
+            f"{k}={v}" for k, v in event.items() if k not in ("event", "kind")
+        )
         return f"[summary:{event.get('kind', '-')}] {fields}"
     parts = [
         f"[{event.get('outcome', '-'):>9}]",
@@ -87,8 +91,10 @@ def format_span_tree(spans: list[dict], indent: int = 1) -> str:
     """Indented one-span-per-line rendering of a nested span list."""
     lines = []
     for node in spans:
-        lines.append(f"{'  ' * indent}- {node['name']} "
-                     f"{node.get('duration_ms', 0.0):.2f}ms")
+        lines.append(
+            f"{'  ' * indent}- {node['name']} "
+            f"{node.get('duration_ms', 0.0):.2f}ms"
+        )
         children = node.get("children")
         if children:
             lines.append(format_span_tree(children, indent + 1))
@@ -104,16 +110,18 @@ class EventLog:
     200 ms-vs-2 s fit is in the log without tracing everything verbosely.
     """
 
-    def __init__(self, stream=None, *, json_lines: bool = False,
-                 slow_ms: float = 1000.0):
+    def __init__(
+        self, stream=None, *, json_lines: bool = False, slow_ms: float = 1000.0
+    ):
         self.stream = stream if stream is not None else sys.stderr
         self.json_lines = json_lines
         self.slow_ms = slow_ms
         self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        text = (format_event_json(event) if self.json_lines
-                else format_event_human(event))
+        text = (
+            format_event_json(event) if self.json_lines else format_event_human(event)
+        )
         with self._lock:
             print(text, file=self.stream, flush=True)
 

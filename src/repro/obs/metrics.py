@@ -27,8 +27,14 @@ from __future__ import annotations
 import math
 import threading
 
-__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
-           "DEFAULT_LATENCY_BUCKETS_MS", "EXPOSITION_CONTENT_TYPE"]
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "EXPOSITION_CONTENT_TYPE",
+]
 
 #: the content type Prometheus scrapers expect from a metrics endpoint
 EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -54,14 +60,16 @@ def _format_value(value: float) -> str:
     return str(int(value))
 
 
-def _format_series(name: str, labelnames: tuple[str, ...],
-                   labelvalues: tuple[str, ...],
-                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+def _format_series(
+    name: str,
+    labelnames: tuple[str, ...],
+    labelvalues: tuple[str, ...],
+    extra: tuple[tuple[str, str], ...] = (),
+) -> str:
     pairs = [*zip(labelnames, labelvalues), *extra]
     if not pairs:
         return name
-    inner = ",".join(f'{k}="{str(v).translate(_ESCAPES)}"'
-                     for k, v in pairs)
+    inner = ",".join(f'{k}="{str(v).translate(_ESCAPES)}"' for k, v in pairs)
     return f"{name}{{{inner}}}"
 
 
@@ -70,12 +78,11 @@ class _Family:
 
     kind: str
 
-    def __init__(self, name: str, help_text: str,
-                 labelnames: tuple[str, ...]):
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...]):
         self.name = name
         self.help = help_text
         self.labelnames = tuple(str(n) for n in labelnames)
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], object] = {}  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def _make_child(self):
@@ -85,22 +92,28 @@ class _Family:
         """The child series for one label-value assignment."""
         if kwvalues:
             if values:
-                raise ValueError("pass label values either positionally "
-                                 "or by name, not both")
+                raise ValueError(
+                    "pass label values either positionally or by name, not both"
+                )
             try:
                 values = tuple(kwvalues.pop(n) for n in self.labelnames)
             except KeyError as exc:
-                raise ValueError(f"metric {self.name} is missing label "
-                                 f"{exc.args[0]!r}") from None
+                raise ValueError(
+                    f"metric {self.name} is missing label {exc.args[0]!r}"
+                ) from None
             if kwvalues:
-                raise ValueError(f"metric {self.name} got unexpected "
-                                 f"label(s) {sorted(kwvalues)}")
+                raise ValueError(
+                    f"metric {self.name} got unexpected label(s) {sorted(kwvalues)}"
+                )
         key = tuple(str(v) for v in values)
         if len(key) != len(self.labelnames):
             raise ValueError(
                 f"metric {self.name} takes {len(self.labelnames)} label "
-                f"value(s) {list(self.labelnames)}, got {len(key)}")
-        child = self._children.get(key)
+                f"value(s) {list(self.labelnames)}, got {len(key)}"
+            )
+        # Lock-free fast path: dict reads are atomic under the GIL and a
+        # missed racing insert only falls through to the locked setdefault.
+        child = self._children.get(key)  # analyze: ignore[lock-discipline]
         if child is None:
             with self._lock:
                 child = self._children.setdefault(key, self._make_child())
@@ -111,11 +124,12 @@ class _Family:
             return sorted(self._children.items())
 
     def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}",
-                 f"# TYPE {self.name} {self.kind}"]
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
         for key, child in self._sorted_children():
-            lines.extend(child.render_series(self.name, self.labelnames,
-                                             key))
+            lines.extend(child.render_series(self.name, self.labelnames, key))
         return lines
 
 
@@ -140,8 +154,10 @@ class Counter:
             return self._value
 
     def render_series(self, name, labelnames, labelvalues):
-        return [f"{_format_series(name, labelnames, labelvalues)} "
-                f"{_format_value(self.value)}"]
+        return [
+            f"{_format_series(name, labelnames, labelvalues)} "
+            f"{_format_value(self.value)}"
+        ]
 
 
 class Gauge:
@@ -179,8 +195,10 @@ class Gauge:
         return float(fn())
 
     def render_series(self, name, labelnames, labelvalues):
-        return [f"{_format_series(name, labelnames, labelvalues)} "
-                f"{_format_value(self.value)}"]
+        return [
+            f"{_format_series(name, labelnames, labelvalues)} "
+            f"{_format_value(self.value)}"
+        ]
 
 
 class Histogram:
@@ -218,13 +236,17 @@ class Histogram:
         bounds = [*(_format_value(b) for b in self.buckets), "+Inf"]
         for bound, bucket_count in zip(bounds, counts):
             cumulative += bucket_count
-            series = _format_series(f"{name}_bucket", labelnames,
-                                    labelvalues, (("le", bound),))
+            series = _format_series(
+                f"{name}_bucket", labelnames, labelvalues, (("le", bound),)
+            )
             lines.append(f"{series} {cumulative}")
-        lines.append(f"{_format_series(name + '_sum', labelnames, labelvalues)} "
-                     f"{_format_value(total)}")
-        lines.append(f"{_format_series(name + '_count', labelnames, labelvalues)} "
-                     f"{count}")
+        lines.append(
+            f"{_format_series(name + '_sum', labelnames, labelvalues)} "
+            f"{_format_value(total)}"
+        )
+        lines.append(
+            f"{_format_series(name + '_count', labelnames, labelvalues)} {count}"
+        )
         return lines
 
 
@@ -265,41 +287,54 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._families: dict[str, _Family] = {}
+        self._families: dict[str, _Family] = {}  # guarded by: self._lock
         self._lock = threading.Lock()
 
-    def _register(self, factory, name: str, help_text: str,
-                  labelnames: tuple[str, ...], **kwargs):
+    def _register(
+        self,
+        factory,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        **kwargs,
+    ):
         with self._lock:
             existing = self._families.get(name)
             if existing is not None:
                 wanted = factory(name, help_text, labelnames, **kwargs)
-                if type(existing) is not type(wanted) or \
-                        existing.labelnames != wanted.labelnames:
+                if (
+                    type(existing) is not type(wanted)
+                    or existing.labelnames != wanted.labelnames
+                ):
                     raise ValueError(
                         f"metric {name!r} already registered with a "
-                        f"different kind or label set")
+                        f"different kind or label set"
+                    )
                 return existing
             family = factory(name, help_text, labelnames, **kwargs)
             self._families[name] = family
             return family
 
-    def counter(self, name: str, help_text: str,
-                labelnames: tuple[str, ...] = ()) -> _CounterFamily:
-        return self._register(_CounterFamily, name, help_text,
-                              tuple(labelnames))
+    def counter(
+        self, name: str, help_text: str, labelnames: tuple[str, ...] = ()
+    ) -> _CounterFamily:
+        return self._register(_CounterFamily, name, help_text, tuple(labelnames))
 
-    def gauge(self, name: str, help_text: str,
-              labelnames: tuple[str, ...] = ()) -> _GaugeFamily:
-        return self._register(_GaugeFamily, name, help_text,
-                              tuple(labelnames))
+    def gauge(
+        self, name: str, help_text: str, labelnames: tuple[str, ...] = ()
+    ) -> _GaugeFamily:
+        return self._register(_GaugeFamily, name, help_text, tuple(labelnames))
 
-    def histogram(self, name: str, help_text: str,
-                  labelnames: tuple[str, ...] = (),
-                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
-                  ) -> _HistogramFamily:
-        return self._register(_HistogramFamily, name, help_text,
-                              tuple(labelnames), buckets=buckets)
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> _HistogramFamily:
+        return self._register(
+            _HistogramFamily, name, help_text, tuple(labelnames), buckets=buckets
+        )
 
     def render(self) -> str:
         """The whole registry in Prometheus text exposition format."""

@@ -32,15 +32,31 @@ import threading
 import time
 import uuid
 
-__all__ = ["Span", "Trace", "span", "current_trace", "set_outcome",
-           "annotate", "record_cache", "run_in_context", "graft_spans",
-           "new_request_id", "OUTCOME_SEVERITY"]
+__all__ = [
+    "Span",
+    "Trace",
+    "span",
+    "current_trace",
+    "set_outcome",
+    "annotate",
+    "record_cache",
+    "run_in_context",
+    "graft_spans",
+    "new_request_id",
+    "OUTCOME_SEVERITY",
+]
 
 #: cache-outcome severity; a trace keeps the most severe outcome any
 #: layer reported (a score_batch mixing warm and cold targets is "cold",
 #: a coalesced wait that was shed is "shed")
-OUTCOME_SEVERITY = {"ok": 0, "warm": 1, "coalesced": 2, "cold": 3,
-                    "error": 4, "shed": 5}
+OUTCOME_SEVERITY = {
+    "ok": 0,
+    "warm": 1,
+    "coalesced": 2,
+    "cold": 3,
+    "error": 4,
+    "shed": 5,
+}
 
 _current_trace: contextvars.ContextVar["Trace | None"] = \
     contextvars.ContextVar("repro_obs_trace", default=None)
@@ -68,8 +84,10 @@ class Span:
         self.duration_ms = (time.perf_counter() - self.started) * 1e3
 
     def to_dict(self) -> dict:
-        out: dict = {"name": self.name,
-                     "duration_ms": round(self.duration_ms or 0.0, 3)}
+        out: dict = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms or 0.0, 3),
+        }
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -78,8 +96,15 @@ class Span:
 class Trace:
     """One request's identity, labels, outcome, and span tree."""
 
-    def __init__(self, request_id: str, endpoint: str, *,
-                 namespace: str = "-", strategy: str = "-", obs=None):
+    def __init__(
+        self,
+        request_id: str,
+        endpoint: str,
+        *,
+        namespace: str = "-",
+        strategy: str = "-",
+        obs=None,
+    ):
         self.request_id = request_id
         self.endpoint = endpoint
         self.namespace = namespace
@@ -99,8 +124,7 @@ class Trace:
 
     def raise_outcome(self, outcome: str) -> None:
         with self._lock:
-            if OUTCOME_SEVERITY.get(outcome, 0) > \
-                    OUTCOME_SEVERITY.get(self.outcome, 0):
+            if OUTCOME_SEVERITY.get(outcome, 0) > OUTCOME_SEVERITY.get(self.outcome, 0):
                 self.outcome = outcome
 
     def annotate(self, **fields) -> None:
@@ -113,8 +137,9 @@ class Trace:
     # -- views ---------------------------------------------------------- #
     @property
     def duration_ms(self) -> float:
-        return self.root.duration_ms if self.root.duration_ms is not None \
-            else (time.perf_counter() - self.root.started) * 1e3
+        if self.root.duration_ms is not None:
+            return self.root.duration_ms
+        return (time.perf_counter() - self.root.started) * 1e3
 
     def stage_totals(self) -> dict[str, float]:
         """Top-level span name -> summed milliseconds.
@@ -127,8 +152,9 @@ class Trace:
         with self._lock:
             totals: dict[str, float] = {}
             for child in self.root.children:
-                totals[child.name] = totals.get(child.name, 0.0) + \
-                    (child.duration_ms or 0.0)
+                totals[child.name] = totals.get(child.name, 0.0) + (
+                    child.duration_ms or 0.0
+                )
         return {name: round(ms, 3) for name, ms in totals.items()}
 
     def span_tree(self) -> list[dict]:
@@ -180,8 +206,7 @@ class _ActiveSpan:
         _current_span.reset(self._token)
         trace = _current_trace.get()
         if trace is not None and trace.obs is not None:
-            trace.obs.observe_stage(trace, self.name,
-                                    self._span.duration_ms)
+            trace.obs.observe_stage(trace, self.name, self._span.duration_ms)
 
 
 def span(name: str) -> _ActiveSpan:
@@ -259,8 +284,7 @@ def graft_spans(records: list[dict]) -> None:
 
     def report(grafted: Span) -> None:
         if trace.obs is not None:
-            trace.obs.observe_stage(trace, grafted.name,
-                                    grafted.duration_ms or 0.0)
+            trace.obs.observe_stage(trace, grafted.name, grafted.duration_ms or 0.0)
         for child in grafted.children:
             report(child)
 

@@ -4,11 +4,11 @@ The paper's premise is that fine-tuning evidence is amortised into a
 learned graph so that *selection* is cheap — this package makes that
 true operationally:
 
-- :mod:`repro.serving.fingerprint` — config/catalog content hashes that
-  detect stale artifacts;
-- :mod:`repro.serving.artifacts` — pack/unpack a fitted pipeline into
-  JSON metadata + ``.npz`` arrays;
-- :mod:`repro.serving.registry` — the versioned on-disk artifact store;
+- :mod:`repro.serving.registry` — the versioned on-disk artifact store
+  (fingerprints and pack/unpack live one layer down, in
+  :mod:`repro.strategies.fingerprint` / :mod:`repro.strategies.artifacts`;
+  ``repro.serving.fingerprint`` and ``repro.serving.artifacts`` remain
+  as compatibility re-exports);
 - :mod:`repro.serving.protocol` — the typed v1 wire protocol every
   entry point (Python, CLI, HTTP) speaks;
 - :mod:`repro.serving.service` — :class:`SelectionService`, the LRU
@@ -41,18 +41,18 @@ traces with fit-stage spans, structured events) lives in
 reports through ambient trace context.
 """
 
-from repro.serving.fingerprint import (
-    catalog_fingerprint,
-    config_fingerprint,
-    config_from_dict,
-)
-from repro.serving.artifacts import (
+from repro.strategies.artifacts import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
     ArtifactNotFoundError,
     StaleArtifactError,
     pack_fitted,
     unpack_fitted,
+)
+from repro.strategies.fingerprint import (
+    catalog_fingerprint,
+    config_fingerprint,
+    config_from_dict,
 )
 from repro.serving.protocol import (
     DEFAULT_COMPARE_TOP_K,

@@ -43,16 +43,24 @@ from repro.serving.protocol import (
 )
 from repro.utils import pearson_correlation, spearman_correlation
 
-__all__ = ["build_comparisons", "ranking_metrics", "served_evaluation",
-           "run_served_evaluation", "write_report", "REPORT_BENCHMARK"]
+__all__ = [
+    "build_comparisons",
+    "ranking_metrics",
+    "served_evaluation",
+    "run_served_evaluation",
+    "write_report",
+    "REPORT_BENCHMARK",
+]
 
 #: the ``benchmark`` discriminant of a BENCH_compare.json report
 REPORT_BENCHMARK = "compare_served"
 
 
-def ranking_metrics(reference: list[tuple[str, float]],
-                    ranking: list[tuple[str, float]],
-                    top_k: int) -> tuple[float, float, float]:
+def ranking_metrics(
+    reference: list[tuple[str, float]],
+    ranking: list[tuple[str, float]],
+    top_k: int,
+) -> tuple[float, float, float]:
     """(pearson, spearman, top-k overlap) of one ranking vs the reference.
 
     Both rankings must cover the same model set (every strategy of a
@@ -62,17 +70,21 @@ def ranking_metrics(reference: list[tuple[str, float]],
     ref_scores = dict(reference)
     scores = dict(ranking)
     if set(ref_scores) != set(scores):
-        raise ValueError("rankings cover different model sets: "
-                         f"{sorted(set(ref_scores) ^ set(scores))[:3]}")
+        raise ValueError(
+            "rankings cover different model sets: "
+            f"{sorted(set(ref_scores) ^ set(scores))[:3]}"
+        )
     model_ids = sorted(ref_scores)
     ref_vec = [ref_scores[m] for m in model_ids]
     vec = [scores[m] for m in model_ids]
     k = min(top_k, len(model_ids))
     ref_top = {m for m, _ in reference[:k]}
     top = {m for m, _ in ranking[:k]}
-    return (pearson_correlation(ref_vec, vec),
-            spearman_correlation(ref_vec, vec),
-            len(ref_top & top) / k)
+    return (
+        pearson_correlation(ref_vec, vec),
+        spearman_correlation(ref_vec, vec),
+        len(ref_top & top) / k,
+    )
 
 
 def build_comparisons(rankings: dict[str, list[tuple[str, float]]],
@@ -91,28 +103,33 @@ def build_comparisons(rankings: dict[str, list[tuple[str, float]]],
     and latencies but no correlation fields.
     """
     if reference not in rankings and reference not in sheds:
-        raise ValueError(f"reference {reference!r} is not among the "
-                         f"compared strategies")
+        raise ValueError(
+            f"reference {reference!r} is not among the compared strategies"
+        )
     overlap = set(rankings) & set(sheds)
     if overlap:
-        raise ValueError(f"strategies marked both ok and shed: "
-                         f"{sorted(overlap)}")
+        raise ValueError(f"strategies marked both ok and shed: {sorted(overlap)}")
     latencies = latencies or {}
     ref_ranking = rankings.get(reference)
     results: dict[str, StrategyComparison] = {}
     for spec, ranking in rankings.items():
         pearson = spearman = shared = None
         if ref_ranking is not None:
-            pearson, spearman, shared = ranking_metrics(
-                ref_ranking, ranking, top_k)
+            pearson, spearman, shared = ranking_metrics(ref_ranking, ranking, top_k)
         results[spec] = StrategyComparison(
-            status="ok", ranking=tuple(ranking),
-            pearson=pearson, spearman=spearman, top_k_overlap=shared,
-            latency=latencies.get(spec, {}))
+            status="ok",
+            ranking=tuple(ranking),
+            pearson=pearson,
+            spearman=spearman,
+            top_k_overlap=shared,
+            latency=latencies.get(spec, {}),
+        )
     for spec, retry_after_s in sheds.items():
         results[spec] = StrategyComparison(
-            status="shed", retry_after_s=float(retry_after_s),
-            latency=latencies.get(spec, {}))
+            status="shed",
+            retry_after_s=float(retry_after_s),
+            latency=latencies.get(spec, {}),
+        )
     return results
 
 
@@ -120,12 +137,16 @@ def _mean(values: list[float]) -> float | None:
     return sum(values) / len(values) if values else None
 
 
-async def served_evaluation(gateway, namespace: str, *,
-                            targets: list[str] | None = None,
-                            strategies: list[str] | None = None,
-                            reference: str | None = None,
-                            top_k: int | None = None,
-                            warm: bool = True) -> dict:
+async def served_evaluation(
+    gateway,
+    namespace: str,
+    *,
+    targets: list[str] | None = None,
+    strategies: list[str] | None = None,
+    reference: str | None = None,
+    top_k: int | None = None,
+    warm: bool = True,
+) -> dict:
     """Replay a target list through ``/v1/compare``; return the report.
 
     The namespace is warmed first (``warm=False`` skips it, turning the
@@ -145,14 +166,20 @@ async def served_evaluation(gateway, namespace: str, *,
         await gateway.warmup(namespace)
 
     all_specs = gateway.strategies(namespace)
-    before = {spec: gateway.router(namespace, spec).stats_snapshot()
-              for spec in all_specs}
+    before = {
+        spec: gateway.router(namespace, spec).stats_snapshot() for spec in all_specs
+    }
     started = time.perf_counter()
     responses = [
-        await gateway.compare(CompareRequest(
-            target=target, namespace=namespace,
-            strategies=tuple(strategies) if strategies else None,
-            reference=reference, top_k=top_k))
+        await gateway.compare(
+            CompareRequest(
+                target=target,
+                namespace=namespace,
+                strategies=tuple(strategies) if strategies else None,
+                reference=reference,
+                top_k=top_k,
+            )
+        )
         for target in targets
     ]
     wall_s = time.perf_counter() - started
@@ -161,8 +188,15 @@ async def served_evaluation(gateway, namespace: str, *,
     for response in responses:
         for spec, comparison in response.results.items():
             row = per_strategy.setdefault(
-                spec, {"pearson": [], "spearman": [], "top_k_overlap": [],
-                       "targets_ok": 0, "targets_shed": 0})
+                spec,
+                {
+                    "pearson": [],
+                    "spearman": [],
+                    "top_k_overlap": [],
+                    "targets_ok": 0,
+                    "targets_shed": 0,
+                },
+            )
             if comparison.status == "shed":
                 row["targets_shed"] += 1
                 continue

@@ -51,8 +51,13 @@ from repro.obs.trace import Trace, activate, deactivate, span
 from repro.zoo.cache import load_zoo, zoo_cache_key
 from repro.zoo.zoo import ZooConfig, build_zoo
 
-__all__ = ["ProcessFitExecutor", "FitPlaneError", "FitWorkerCrashError",
-           "FitTimeoutError", "zoo_ref_for"]
+__all__ = [
+    "ProcessFitExecutor",
+    "FitPlaneError",
+    "FitWorkerCrashError",
+    "FitTimeoutError",
+    "zoo_ref_for",
+]
 
 
 class FitPlaneError(RuntimeError):
@@ -100,15 +105,16 @@ def zoo_ref_for(zoo, cache_dir=None):
     """
     config = getattr(zoo, "config", None)
     if isinstance(config, ZooConfig):
-        return _ConfigZooRef(config=config,
-                             cache_dir=None if cache_dir is None
-                             else str(cache_dir))
+        return _ConfigZooRef(
+            config=config, cache_dir=None if cache_dir is None else str(cache_dir)
+        )
     try:
         payload = pickle.dumps(zoo)
     except Exception as exc:
         raise FitPlaneError(
             f"zoo {type(zoo).__name__} has no ZooConfig and cannot be "
-            f"pickled for a fit worker: {exc}") from exc
+            f"pickled for a fit worker: {exc}"
+        ) from exc
     digest = hashlib.blake2b(payload, digest_size=10).hexdigest()
     return _PickleZooRef(payload=payload, key=f"pickled-{digest}")
 
@@ -205,15 +211,14 @@ class ProcessFitExecutor:
     all surface :class:`FitWorkerCrashError`.
     """
 
-    def __init__(self, workers: int = 2, *,
-                 fit_timeout_s: float | None = None):
+    def __init__(self, workers: int = 2, *, fit_timeout_s: float | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.fit_timeout_s = fit_timeout_s
         self._lock = threading.Lock()
-        self._pool: ProcessPoolExecutor | None = None
-        self._closed = False
+        self._pool: ProcessPoolExecutor | None = None  # guarded by: self._lock
+        self._closed = False  # guarded by: self._lock
 
     # -- pool lifecycle ------------------------------------------------- #
     def _get_pool(self) -> ProcessPoolExecutor:
@@ -222,8 +227,8 @@ class ProcessFitExecutor:
                 raise FitPlaneError("fit executor is closed")
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=get_context("spawn"))
+                    max_workers=self.workers, mp_context=get_context("spawn")
+                )
             return self._pool
 
     def _discard(self, broken: ProcessPoolExecutor) -> None:
@@ -241,8 +246,7 @@ class ProcessFitExecutor:
         """
         ref = None if zoo is None else zoo_ref_for(zoo)
         pool = self._get_pool()
-        futures = [pool.submit(_warm_worker, ref, hold_s)
-                   for _ in range(self.workers)]
+        futures = [pool.submit(_warm_worker, ref, hold_s) for _ in range(self.workers)]
         for future in futures:
             future.result()
         return self.workers
@@ -271,7 +275,8 @@ class ProcessFitExecutor:
             raise FitPlaneError(
                 f"strategy {getattr(strategy, 'spec', strategy)!r} is not "
                 f"picklable and cannot fit in a worker process (use "
-                f"fit_executor='thread'): {exc}") from exc
+                f"fit_executor='thread'): {exc}"
+            ) from exc
         ref = zoo_ref_for(zoo)
         pool = self._get_pool()
         future = pool.submit(_fit_task, blob, ref, target)
@@ -282,7 +287,8 @@ class ProcessFitExecutor:
             # finish as orphans — their result is simply discarded
             raise FitTimeoutError(
                 f"fit for target {target!r} exceeded "
-                f"{self.fit_timeout_s:.1f}s in the worker pool") from None
+                f"{self.fit_timeout_s:.1f}s in the worker pool"
+            ) from None
         except BrokenProcessPool as exc:
             self._discard(pool)
             raise FitWorkerCrashError(

@@ -62,8 +62,13 @@ from repro.strategies import (
     resolve_strategy,
 )
 
-__all__ = ["SelectionGateway", "UnknownNamespaceError", "UnknownTargetError",
-           "UnknownModelError", "UnknownStrategyError"]
+__all__ = [
+    "SelectionGateway",
+    "UnknownNamespaceError",
+    "UnknownTargetError",
+    "UnknownModelError",
+    "UnknownStrategyError",
+]
 
 #: namespace names become registry path segments, so they must be plain
 #: slugs — in particular '.'/'..' must not resolve outside the shard root
@@ -74,8 +79,7 @@ class UnknownNamespaceError(KeyError):
     """The request names a namespace this gateway does not serve."""
 
     def __init__(self, namespace: str, known: list[str]):
-        super().__init__(
-            f"unknown namespace {namespace!r}; serving {sorted(known)}")
+        super().__init__(f"unknown namespace {namespace!r}; serving {sorted(known)}")
         self.namespace = namespace
 
     def __str__(self) -> str:  # KeyError str() wraps args in quotes
@@ -86,8 +90,7 @@ class UnknownTargetError(KeyError):
     """The namespace exists but its zoo has no such target dataset."""
 
     def __init__(self, target: str, namespace: str):
-        super().__init__(
-            f"unknown target {target!r} in namespace {namespace!r}")
+        super().__init__(f"unknown target {target!r} in namespace {namespace!r}")
         self.target = target
         self.namespace = namespace
 
@@ -99,8 +102,7 @@ class UnknownModelError(ValueError):
     """A score_batch pair names a model the namespace's zoo lacks."""
 
     def __init__(self, model_id: str, namespace: str):
-        super().__init__(
-            f"unknown model {model_id!r} in namespace {namespace!r}")
+        super().__init__(f"unknown model {model_id!r} in namespace {namespace!r}")
         self.model_id = model_id
         self.namespace = namespace
 
@@ -110,8 +112,7 @@ class _Entry:
 
     __slots__ = ("service", "router")
 
-    def __init__(self, service: SelectionService,
-                 router: AsyncSelectionRouter):
+    def __init__(self, service: SelectionService, router: AsyncSelectionRouter):
         self.service = service
         self.router = router
 
@@ -162,13 +163,13 @@ def _weighted_budget(strategy, max_pending_fits: int) -> int:
     """The cold-fit queue bound a strategy's ``fit_weight`` implies."""
     weight = float(getattr(strategy, "fit_weight", 1.0))
     if weight <= 0:
-        raise ValueError(f"strategy {strategy.spec!r} has non-positive "
-                         f"fit_weight {weight}")
+        raise ValueError(
+            f"strategy {strategy.spec!r} has non-positive fit_weight {weight}"
+        )
     return max(1, round(max_pending_fits / weight))
 
 
-def _strategy_budgets(resolved, max_pending_fits: int,
-                      fit_budgets) -> dict[str, int]:
+def _strategy_budgets(resolved, max_pending_fits: int, fit_budgets) -> dict[str, int]:
     """Per-strategy cold-fit queue bounds for one namespace's routers."""
     if fit_budgets is None:
         return {strat.spec: max_pending_fits for strat in resolved}
@@ -176,29 +177,34 @@ def _strategy_budgets(resolved, max_pending_fits: int,
     if fit_budgets != "weighted":
         by_spec = {strat.spec: strat for strat in resolved}
         for spec, bound in dict(fit_budgets).items():
-            resolved_spec = spec if spec in by_spec \
-                else canonical_spec(spec) if canonical_spec(spec) in by_spec \
-                else normalize_spec(spec)
+            if spec in by_spec:
+                resolved_spec = spec
+            elif canonical_spec(spec) in by_spec:
+                resolved_spec = canonical_spec(spec)
+            else:
+                resolved_spec = normalize_spec(spec)
             if resolved_spec not in by_spec:
                 raise ValueError(
                     f"fit budget names unknown strategy {spec!r}; "
-                    f"namespace serves {sorted(by_spec)}")
-            if isinstance(bound, bool) or not isinstance(bound, int) \
-                    or bound < 1:
+                    f"namespace serves {sorted(by_spec)}"
+                )
+            if isinstance(bound, bool) or not isinstance(bound, int) or bound < 1:
                 raise ValueError(
                     f"fit budget for {spec!r} must be an integer >= 1, "
-                    f"got {bound!r}")
+                    f"got {bound!r}"
+                )
             if resolved_spec in explicit:
                 # two alias spellings of one strategy must not silently
                 # last-win (same rule add_namespace applies to the map)
                 raise ValueError(
                     f"fit budget for {spec!r} duplicates the budget "
-                    f"already set for {resolved_spec!r}")
+                    f"already set for {resolved_spec!r}"
+                )
             explicit[resolved_spec] = bound
-    return {strat.spec: explicit.get(strat.spec,
-                                     _weighted_budget(strat,
-                                                      max_pending_fits))
-            for strat in resolved}
+    return {
+        strat.spec: explicit.get(strat.spec, _weighted_budget(strat, max_pending_fits))
+        for strat in resolved
+    }
 
 
 class SelectionGateway:
@@ -220,10 +226,13 @@ class SelectionGateway:
         entirely (the overhead benchmark's control arm).
     """
 
-    def __init__(self, registry_root: str | Path | None = None, *,
-                 obs: Observability | None = None):
-        self._registry_root = (
-            Path(registry_root) if registry_root is not None else None)
+    def __init__(
+        self,
+        registry_root: str | Path | None = None,
+        *,
+        obs: Observability | None = None,
+    ):
+        self._registry_root = Path(registry_root) if registry_root is not None else None
         self.obs = obs if obs is not None else Observability()
         self._namespaces: dict[str, _Namespace] = {}
         self._closed = False
@@ -284,7 +293,8 @@ class SelectionGateway:
             raise ValueError(
                 f"namespace name {name!r} must match "
                 f"{_NAMESPACE_NAME.pattern!r} (it becomes a registry "
-                "path segment)")
+                "path segment)"
+            )
         if name in self._namespaces:
             raise ValueError(f"namespace {name!r} already registered")
         if registry is None and self._registry_root is not None:
@@ -298,19 +308,26 @@ class SelectionGateway:
             if strat.spec in ns.entries:
                 raise ValueError(
                     f"strategy {strat.spec!r} registered twice in "
-                    f"namespace {name!r}")
-            service = SelectionService(zoo, strat, registry=registry,
-                                       cache_size=cache_size)
+                    f"namespace {name!r}"
+                )
+            service = SelectionService(
+                zoo, strat, registry=registry, cache_size=cache_size
+            )
             router = AsyncSelectionRouter(
-                service, max_pending_fits=budgets[strat.spec],
-                overflow=overflow, retry_after_s=retry_after_s,
-                fit_workers=fit_workers, predict_workers=predict_workers,
-                shed_start=shed_start, fit_executor=fit_executor,
-                fit_timeout_s=fit_timeout_s)
+                service,
+                max_pending_fits=budgets[strat.spec],
+                overflow=overflow,
+                retry_after_s=retry_after_s,
+                fit_workers=fit_workers,
+                predict_workers=predict_workers,
+                shed_start=shed_start,
+                fit_executor=fit_executor,
+                fit_timeout_s=fit_timeout_s,
+            )
             ns.entries[strat.spec] = _Entry(service, router)
             self.obs.watch_queue_depth(
-                name, strat.spec,
-                lambda r=router: r.pending_fits)
+                name, strat.spec, lambda r=router: r.pending_fits
+            )
         ns.default_spec = resolved[0].spec
         self._namespaces[name] = ns
         return ns.entries[ns.default_spec].service
@@ -322,12 +339,12 @@ class SelectionGateway:
         """Strategy specs a namespace serves, default first."""
         return self._get(namespace).specs()
 
-    def service(self, namespace: str,
-                strategy: str | None = None) -> SelectionService:
+    def service(self, namespace: str, strategy: str | None = None) -> SelectionService:
         return self._get(namespace).entry_for(strategy).service
 
-    def router(self, namespace: str,
-               strategy: str | None = None) -> AsyncSelectionRouter:
+    def router(
+        self, namespace: str, strategy: str | None = None
+    ) -> AsyncSelectionRouter:
         return self._get(namespace).entry_for(strategy).router
 
     def _get(self, namespace: str) -> _Namespace:
@@ -339,8 +356,7 @@ class SelectionGateway:
     # ------------------------------------------------------------------ #
     # protocol entry points
     # ------------------------------------------------------------------ #
-    def _check_names(self, ns: _Namespace, targets: set[str],
-                     models: set[str]) -> None:
+    def _check_names(self, ns: _Namespace, targets: set[str], models: set[str]) -> None:
         """Typed 404/400-able errors instead of service KeyErrors.
 
         Targets are checked against the zoo's *target* roster (the same
@@ -355,31 +371,41 @@ class SelectionGateway:
         if unknown_models:
             raise UnknownModelError(sorted(unknown_models)[0], ns.name)
 
-    async def rank(self, request: RankRequest, *,
-                   request_id: str | None = None) -> RankResponse:
+    async def rank(
+        self, request: RankRequest, *, request_id: str | None = None
+    ) -> RankResponse:
         ns = self._get(request.namespace)
         spec = ns.resolve_spec(request.strategy)
         self._check_names(ns, {request.target}, set())
         # request_id kwarg: transport-level id (X-Request-Id header);
         # the body field wins so the response echo matches the request
-        with self.obs.request("rank", namespace=ns.name, strategy=spec,
-                              request_id=request.request_id or request_id):
+        with self.obs.request(
+            "rank",
+            namespace=ns.name,
+            strategy=spec,
+            request_id=request.request_id or request_id,
+        ):
             return await ns.entries[spec].router.handle(request)
 
-    async def score_batch(self, request: ScoreBatchRequest, *,
-                          request_id: str | None = None
-                          ) -> ScoreBatchResponse:
+    async def score_batch(
+        self, request: ScoreBatchRequest, *, request_id: str | None = None
+    ) -> ScoreBatchResponse:
         ns = self._get(request.namespace)
         spec = ns.resolve_spec(request.strategy)
-        self._check_names(ns, {t for _, t in request.pairs},
-                          {m for m, _ in request.pairs})
-        with self.obs.request("score_batch", namespace=ns.name,
-                              strategy=spec,
-                              request_id=request.request_id or request_id):
+        self._check_names(
+            ns, {t for _, t in request.pairs}, {m for m, _ in request.pairs}
+        )
+        with self.obs.request(
+            "score_batch",
+            namespace=ns.name,
+            strategy=spec,
+            request_id=request.request_id or request_id,
+        ):
             return await ns.entries[spec].router.handle(request)
 
-    async def compare(self, request: CompareRequest, *,
-                      request_id: str | None = None) -> CompareResponse:
+    async def compare(
+        self, request: CompareRequest, *, request_id: str | None = None
+    ) -> CompareResponse:
         """Fan one target across a namespace's strategy map, concurrently.
 
         Every fanned-out strategy answers through its *own* router, so
@@ -415,10 +441,13 @@ class SelectionGateway:
         # one trace covers the whole fan-out: gather's subtasks copy the
         # context at creation, so every strategy's fit/predict spans
         # attach to this compare request (outcome = most severe fanned)
-        with self.obs.request("compare", namespace=ns.name, strategy="map",
-                              request_id=request.request_id or request_id):
-            answers = await asyncio.gather(
-                *(fan_out(spec) for spec in specs))
+        with self.obs.request(
+            "compare",
+            namespace=ns.name,
+            strategy="map",
+            request_id=request.request_id or request_id,
+        ):
+            answers = await asyncio.gather(*(fan_out(spec) for spec in specs))
         rankings: dict[str, list] = {}
         sheds: dict[str, float] = {}
         for spec, answer in zip(specs, answers):
@@ -426,10 +455,10 @@ class SelectionGateway:
                 sheds[spec] = float(answer.retry_after_s)
             else:
                 rankings[spec] = answer
-        latencies = {spec: ns.entries[spec].router.latency_summary()
-                     for spec in specs}
-        results = build_comparisons(rankings, sheds, reference=reference,
-                                    top_k=top_k, latencies=latencies)
+        latencies = {spec: ns.entries[spec].router.latency_summary() for spec in specs}
+        results = build_comparisons(
+            rankings, sheds, reference=reference, top_k=top_k, latencies=latencies
+        )
         return CompareResponse.build(request, reference, top_k, results)
 
     async def handle(self, request):
@@ -440,11 +469,9 @@ class SelectionGateway:
             return await self.score_batch(request)
         if isinstance(request, CompareRequest):
             return await self.compare(request)
-        raise TypeError(
-            f"unsupported request type {type(request).__name__}")
+        raise TypeError(f"unsupported request type {type(request).__name__}")
 
-    async def warmup(self, namespace: str | None = None
-                     ) -> dict[str, dict[str, float]]:
+    async def warmup(self, namespace: str | None = None) -> dict[str, dict[str, float]]:
         """Pre-fit targets — one namespace or all; seconds per target.
 
         Every strategy in a namespace's map is warmed; per-target
@@ -482,14 +509,17 @@ class SelectionGateway:
                 service_snap, router_snap = entry.router.stats_snapshot()
                 ns_service.merge(service_snap)
                 ns_router.merge(router_snap)
-            per_namespace[name] = {**ns_service.summary(),
-                                   **ns_router.summary()}
+            per_namespace[name] = {**ns_service.summary(), **ns_router.summary()}
             fleet_service.merge(ns_service)
             fleet_router.merge(ns_router)
-        fleet = {**fleet_service.summary(), **fleet_router.summary(),
-                 "namespaces": float(len(self._namespaces))}
-        return StatsResponse(namespaces=per_namespace, fleet=fleet,
-                             strategies=self.fit_costs())
+        fleet = {
+            **fleet_service.summary(),
+            **fleet_router.summary(),
+            "namespaces": float(len(self._namespaces)),
+        }
+        return StatsResponse(
+            namespaces=per_namespace, fleet=fleet, strategies=self.fit_costs()
+        )
 
     def fit_costs(self) -> dict[str, dict[str, dict[str, float]]]:
         """Measured per-strategy fit cost: namespace -> spec -> summary.
@@ -498,9 +528,13 @@ class SelectionGateway:
         healthz listing, pairing every declared ``fit_weight`` with the
         fit latency its router actually observed.
         """
-        return {name: {spec: ns.entries[spec].router.fit_cost_summary()
-                       for spec in ns.specs()}
-                for name, ns in sorted(self._namespaces.items())}
+        return {
+            name: {
+                spec: ns.entries[spec].router.fit_cost_summary()
+                for spec in ns.specs()
+            }
+            for name, ns in sorted(self._namespaces.items())
+        }
 
     # ------------------------------------------------------------------ #
     # lifecycle

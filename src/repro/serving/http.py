@@ -91,8 +91,12 @@ _MAX_HEADERS = 64
 class _HTTPError(Exception):
     """Internal: carries a ready-to-send (status, ErrorResponse)."""
 
-    def __init__(self, status: int, error: ErrorResponse,
-                 headers: tuple[tuple[str, str], ...] = ()):
+    def __init__(
+        self,
+        status: int,
+        error: ErrorResponse,
+        headers: tuple[tuple[str, str], ...] = (),
+    ):
         super().__init__(error.message)
         self.status = status
         self.error = error
@@ -105,29 +109,30 @@ def _error_for(exc: Exception) -> _HTTPError:
         hint = float(exc.retry_after_s)
         return _HTTPError(
             429,
-            ErrorResponse(code="queue_full",
-                          message="cold-fit queue is full; retry later",
-                          retry_after_s=hint),
-            headers=(("Retry-After", str(max(1, math.ceil(hint)))),))
+            ErrorResponse(
+                code="queue_full",
+                message="cold-fit queue is full; retry later",
+                retry_after_s=hint,
+            ),
+            headers=(("Retry-After", str(max(1, math.ceil(hint)))),),
+        )
     if isinstance(exc, UnknownNamespaceError):
-        return _HTTPError(404, ErrorResponse(code="unknown_namespace",
-                                             message=str(exc)))
+        return _HTTPError(
+            404, ErrorResponse(code="unknown_namespace", message=str(exc))
+        )
     if isinstance(exc, UnknownTargetError):
-        return _HTTPError(404, ErrorResponse(code="unknown_target",
-                                             message=str(exc)))
+        return _HTTPError(404, ErrorResponse(code="unknown_target", message=str(exc)))
     if isinstance(exc, UnknownStrategyError):
-        return _HTTPError(404, ErrorResponse(code="unknown_strategy",
-                                             message=str(exc)))
+        return _HTTPError(404, ErrorResponse(code="unknown_strategy", message=str(exc)))
     if isinstance(exc, UnknownModelError):
-        return _HTTPError(400, ErrorResponse(code="unknown_model",
-                                             message=str(exc)))
+        return _HTTPError(400, ErrorResponse(code="unknown_model", message=str(exc)))
     if isinstance(exc, ProtocolError):
-        return _HTTPError(400, ErrorResponse(code="bad_request",
-                                             message=str(exc)))
+        return _HTTPError(400, ErrorResponse(code="bad_request", message=str(exc)))
     # Anything else is a server bug: report the class of failure only,
     # never internals (messages/tracebacks stay in server logs).
-    return _HTTPError(500, ErrorResponse(code="internal",
-                                         message="internal server error"))
+    return _HTTPError(
+        500, ErrorResponse(code="internal", message="internal server error")
+    )
 
 
 class GatewayHTTPServer:
@@ -137,9 +142,15 @@ class GatewayHTTPServer:
     :meth:`start` to learn it (how the tests and the benchmark run).
     """
 
-    def __init__(self, gateway: SelectionGateway, host: str = "127.0.0.1",
-                 port: int = 8080, *, max_body_bytes: int = MAX_BODY_BYTES,
-                 read_timeout_s: float = 30.0):
+    def __init__(
+        self,
+        gateway: SelectionGateway,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        read_timeout_s: float = 30.0,
+    ):
         self.gateway = gateway
         self.host = host
         self.port = port
@@ -155,7 +166,8 @@ class GatewayHTTPServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port
+        )
         return self.address
 
     @property
@@ -181,14 +193,15 @@ class GatewayHTTPServer:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         async def read_request():
             method, path, headers = await self._read_head(reader)
             if headers.get("expect", "").lower() == "100-continue":
@@ -206,21 +219,19 @@ class GatewayHTTPServer:
                 # that never sends a full request (port scanner,
                 # slowloris) must not pin a task and fd forever.
                 method, path, headers, body = await asyncio.wait_for(
-                    read_request(), timeout=self.read_timeout_s)
-                status, payload, extra = await self._route(
-                    method, path, headers, body)
+                    read_request(), timeout=self.read_timeout_s
+                )
+                status, payload, extra = await self._route(method, path, headers, body)
             except _HTTPError as exc:
                 status, payload, extra = exc.status, exc.error, exc.headers
-            except (ConnectionError, asyncio.IncompleteReadError,
-                    asyncio.TimeoutError):
+            except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
                 # Client went away or never finished the request
                 # (probe, reset, half-close, slowloris): nothing to
                 # answer — and emphatically not a 500.
                 return
             except Exception as exc:  # noqa: BLE001 - typed 500 boundary
                 mapped = _error_for(exc)
-                status, payload, extra = (mapped.status, mapped.error,
-                                          mapped.headers)
+                status, payload, extra = (mapped.status, mapped.error, mapped.headers)
             self.gateway.obs.record_http_response(path, status)
             await self._write_response(writer, status, payload, extra)
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -232,13 +243,18 @@ class GatewayHTTPServer:
             except ConnectionError:  # pragma: no cover - teardown race
                 pass
 
-    async def _read_head(self, reader: asyncio.StreamReader
-                         ) -> tuple[str, str, dict[str, str]]:
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str]]:
         request_line = await self._read_line(reader)
         parts = request_line.split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _HTTPError(400, ErrorResponse(
-                code="bad_request", message="malformed HTTP request line"))
+            raise _HTTPError(
+                400,
+                ErrorResponse(
+                    code="bad_request", message="malformed HTTP request line"
+                ),
+            )
         method, raw_path = parts[0].upper(), parts[1]
         path = raw_path.split("?", 1)[0]
 
@@ -251,26 +267,32 @@ class GatewayHTTPServer:
                 return method, path, headers
             name, sep, value = line.partition(":")
             if not sep:
-                raise _HTTPError(400, ErrorResponse(
-                    code="bad_request", message="malformed HTTP header"))
+                raise _HTTPError(
+                    400,
+                    ErrorResponse(code="bad_request", message="malformed HTTP header"),
+                )
             headers[name.strip().lower()] = value.strip()
-        raise _HTTPError(400, ErrorResponse(
-            code="bad_request", message="too many HTTP headers"))
+        raise _HTTPError(
+            400, ErrorResponse(code="bad_request", message="too many HTTP headers")
+        )
 
     @staticmethod
     async def _read_line(reader: asyncio.StreamReader) -> str:
         try:
             raw = await reader.readuntil(b"\n")
         except asyncio.LimitOverrunError:
-            raise _HTTPError(400, ErrorResponse(
-                code="bad_request", message="HTTP line too long")) from None
+            raise _HTTPError(
+                400, ErrorResponse(code="bad_request", message="HTTP line too long")
+            ) from None
         if len(raw) > _MAX_LINE_BYTES:
-            raise _HTTPError(400, ErrorResponse(
-                code="bad_request", message="HTTP line too long"))
+            raise _HTTPError(
+                400, ErrorResponse(code="bad_request", message="HTTP line too long")
+            )
         return raw.decode("latin-1").rstrip("\r\n")
 
-    async def _read_body(self, reader: asyncio.StreamReader,
-                         headers: dict[str, str]) -> bytes:
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
         raw_length = headers.get("content-length")
         if raw_length is None:
             return b""
@@ -279,21 +301,29 @@ class GatewayHTTPServer:
             if length < 0:
                 raise ValueError
         except ValueError:
-            raise _HTTPError(400, ErrorResponse(
-                code="bad_request",
-                message="Content-Length must be a non-negative integer"
-            )) from None
+            raise _HTTPError(
+                400,
+                ErrorResponse(
+                    code="bad_request",
+                    message="Content-Length must be a non-negative integer",
+                ),
+            ) from None
         if length > self.max_body_bytes:
-            raise _HTTPError(413, ErrorResponse(
-                code="payload_too_large",
-                message=f"request body exceeds {self.max_body_bytes} bytes"))
+            raise _HTTPError(
+                413,
+                ErrorResponse(
+                    code="payload_too_large",
+                    message=f"request body exceeds {self.max_body_bytes} bytes",
+                ),
+            )
         return await reader.readexactly(length) if length else b""
 
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
-    async def _route(self, method: str, path: str, headers: dict[str, str],
-                     body: bytes):
+    async def _route(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ):
         routes = {
             "/v1/rank": ("POST", self._post_rank),
             "/v1/score_batch": ("POST", self._post_score_batch),
@@ -304,41 +334,47 @@ class GatewayHTTPServer:
         }
         entry = routes.get(path)
         if entry is None:
-            raise _HTTPError(404, ErrorResponse(
-                code="not_found", message=f"no route {path!r}"))
+            raise _HTTPError(
+                404, ErrorResponse(code="not_found", message=f"no route {path!r}")
+            )
         expected_method, handler = entry
         if method != expected_method:
             raise _HTTPError(
                 405,
-                ErrorResponse(code="method_not_allowed",
-                              message=f"{path} expects {expected_method}"),
-                headers=(("Allow", expected_method),))
+                ErrorResponse(
+                    code="method_not_allowed",
+                    message=f"{path} expects {expected_method}",
+                ),
+                headers=(("Allow", expected_method),),
+            )
         return await handler(headers, body)
 
     def _request_id(self, request, headers: dict[str, str]) -> str:
         """Body field > X-Request-Id header > server-minted id."""
-        return (request.request_id or headers.get("x-request-id")
-                or self.gateway.obs.new_request_id())
+        return (
+            request.request_id
+            or headers.get("x-request-id")
+            or self.gateway.obs.new_request_id()
+        )
 
     async def _post_rank(self, headers: dict[str, str], body: bytes):
         request = RankRequest.from_json(body)  # ProtocolError here -> 400
         rid = self._request_id(request, headers)
-        response = await self._dispatch(
-            self.gateway.rank(request, request_id=rid))
+        response = await self._dispatch(self.gateway.rank(request, request_id=rid))
         return 200, response, (("X-Request-Id", rid),)
 
     async def _post_score_batch(self, headers: dict[str, str], body: bytes):
         request = ScoreBatchRequest.from_json(body)
         rid = self._request_id(request, headers)
         response = await self._dispatch(
-            self.gateway.score_batch(request, request_id=rid))
+            self.gateway.score_batch(request, request_id=rid)
+        )
         return 200, response, (("X-Request-Id", rid),)
 
     async def _post_compare(self, headers: dict[str, str], body: bytes):
         request = CompareRequest.from_json(body)
         rid = self._request_id(request, headers)
-        response = await self._dispatch(
-            self.gateway.compare(request, request_id=rid))
+        response = await self._dispatch(self.gateway.compare(request, request_id=rid))
         return 200, response, (("X-Request-Id", rid),)
 
     @staticmethod
@@ -349,19 +385,24 @@ class GatewayHTTPServer:
         try:
             return await coro
         except ProtocolError as exc:
-            raise _HTTPError(500, ErrorResponse(
-                code="internal",
-                message="internal server error")) from exc
+            raise _HTTPError(
+                500, ErrorResponse(code="internal", message="internal server error")
+            ) from exc
 
     async def _get_stats(self, headers: dict[str, str], body: bytes):
         return 200, self.gateway.stats(), ()
 
     async def _get_healthz(self, headers: dict[str, str], body: bytes):
-        payload = {"status": "ok", "protocol": PROTOCOL_VERSION,
-                   "namespaces": self.gateway.namespaces(),
-                   "strategies": {name: self.gateway.strategies(name)
-                                  for name in self.gateway.namespaces()},
-                   "fit_ms": self.gateway.fit_costs()}
+        payload = {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "namespaces": self.gateway.namespaces(),
+            "strategies": {
+                name: self.gateway.strategies(name)
+                for name in self.gateway.namespaces()
+            },
+            "fit_ms": self.gateway.fit_costs(),
+        }
         return 200, payload, ()
 
     async def _get_metrics(self, headers: dict[str, str], body: bytes):
@@ -372,9 +413,12 @@ class GatewayHTTPServer:
     # response writing
     # ------------------------------------------------------------------ #
     @staticmethod
-    async def _write_response(writer: asyncio.StreamWriter, status: int,
-                              payload, extra: tuple[tuple[str, str], ...]
-                              ) -> None:
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        extra: tuple[tuple[str, str], ...],
+    ) -> None:
         if isinstance(payload, str):  # /v1/metrics exposition text
             body = payload.encode()
             content_type = EXPOSITION_CONTENT_TYPE
@@ -382,13 +426,16 @@ class GatewayHTTPServer:
             if hasattr(payload, "to_json"):
                 body = payload.to_json().encode()
             else:
-                body = json.dumps(payload, sort_keys=True,
-                                  separators=(",", ":")).encode()
+                body = json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode()
             content_type = "application/json"
-        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                f"Content-Type: {content_type}",
-                f"Content-Length: {len(body)}",
-                "Connection: close"]
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
         head.extend(f"{name}: {value}" for name, value in extra)
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
         await writer.drain()

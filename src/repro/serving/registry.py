@@ -31,11 +31,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.serving.artifacts import (
+from repro.strategies.artifacts import (
     ArtifactError,
     ArtifactNotFoundError,
 )
-from repro.serving.fingerprint import catalog_fingerprint
+from repro.strategies.fingerprint import catalog_fingerprint
 from repro.strategies import resolve_strategy
 
 __all__ = ["ArtifactRegistry"]
@@ -67,8 +67,7 @@ class ArtifactRegistry:
         namespace = self.root / resolve_strategy(strategy).fingerprint()
         if not namespace.is_dir():
             return []
-        return sorted(p.name for p in namespace.iterdir()
-                      if (p / _META).exists())
+        return sorted(p.name for p in namespace.iterdir() if (p / _META).exists())
 
     # ------------------------------------------------------------------ #
     def save(self, fitted, strategy, zoo) -> Path:
@@ -77,8 +76,7 @@ class ArtifactRegistry:
         meta, arrays = strategy.pack(fitted, zoo)
         return self.save_packed(meta, arrays, strategy, fitted.target)
 
-    def save_packed(self, meta: dict, arrays: dict, strategy,
-                    target: str) -> Path:
+    def save_packed(self, meta: dict, arrays: dict, strategy, target: str) -> Path:
         """Write one *already-packed* artifact; returns its directory.
 
         The process fit plane persists the worker's exact ``(meta,
@@ -103,7 +101,8 @@ class ArtifactRegistry:
         if not (path / _META).exists():
             raise ArtifactNotFoundError(
                 f"no artifact for target {target!r} under strategy "
-                f"{strategy.fingerprint()}")
+                f"{strategy.fingerprint()}"
+            )
         try:
             meta = json.loads((path / _META).read_text())
             with np.load(path / _ARRAYS) as npz:
@@ -124,8 +123,13 @@ class ArtifactRegistry:
                 f"malformed artifact for target {target!r} at {path}: {exc}"
             ) from exc
 
-    def gc(self, live_strategies: list, zoo=None,
-           dry_run: bool = False, layout: str = "flat") -> dict[str, int]:
+    def gc(
+        self,
+        live_strategies: list,
+        zoo=None,
+        dry_run: bool = False,
+        layout: str = "flat",
+    ) -> dict[str, int]:
         """Sweep artifacts that no live strategy/catalog can serve.
 
         ``layout`` selects the directory shape being swept:
@@ -159,28 +163,27 @@ class ArtifactRegistry:
         touching disk.  Returns counts plus reclaimed bytes.
         """
         if layout not in ("flat", "namespaces"):
-            raise ValueError(
-                f"layout must be 'flat' or 'namespaces', got {layout!r}")
-        report = {"namespaces_removed": 0, "artifacts_removed": 0,
-                  "artifacts_kept": 0, "bytes_reclaimed": 0}
+            raise ValueError(f"layout must be 'flat' or 'namespaces', got {layout!r}")
+        report = {
+            "namespaces_removed": 0,
+            "artifacts_removed": 0,
+            "artifacts_kept": 0,
+            "bytes_reclaimed": 0,
+        }
         if not self.root.is_dir():
             return report
         if layout == "namespaces":
             for shard in sorted(p for p in self.root.iterdir() if p.is_dir()):
-                sub = ArtifactRegistry(shard).gc(live_strategies, zoo,
-                                                 dry_run=dry_run)
+                sub = ArtifactRegistry(shard).gc(live_strategies, zoo, dry_run=dry_run)
                 for key in report:
                     report[key] += sub[key]
             return report
 
-        live_fps = {resolve_strategy(s).fingerprint()
-                    for s in live_strategies}
-        live_catalog = catalog_fingerprint(zoo.catalog) if zoo is not None \
-            else None
+        live_fps = {resolve_strategy(s).fingerprint() for s in live_strategies}
+        live_catalog = catalog_fingerprint(zoo.catalog) if zoo is not None else None
 
         def dir_bytes(path: Path) -> int:
-            return sum(f.stat().st_size
-                       for f in path.rglob("*") if f.is_file())
+            return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
 
         def remove(path: Path) -> None:
             report["bytes_reclaimed"] += dir_bytes(path)
@@ -190,12 +193,12 @@ class ArtifactRegistry:
         for namespace in sorted(p for p in self.root.iterdir() if p.is_dir()):
             if namespace.name not in live_fps:
                 report["artifacts_removed"] += sum(
-                    1 for p in namespace.iterdir() if p.is_dir())
+                    1 for p in namespace.iterdir() if p.is_dir()
+                )
                 report["namespaces_removed"] += 1
                 remove(namespace)
                 continue
-            for artifact in sorted(p for p in namespace.iterdir()
-                                   if p.is_dir()):
+            for artifact in sorted(p for p in namespace.iterdir() if p.is_dir()):
                 meta_path = artifact / _META
                 stale = not meta_path.exists()
                 if not stale and live_catalog is not None:

@@ -74,8 +74,12 @@ from repro.serving.protocol import (
 )
 from repro.serving.service import SelectionService, ServiceStats
 
-__all__ = ["AsyncSelectionRouter", "RouterStats", "QueueFullError",
-           "ROUTER_LATENCY_WINDOW"]
+__all__ = [
+    "AsyncSelectionRouter",
+    "RouterStats",
+    "QueueFullError",
+    "ROUTER_LATENCY_WINDOW",
+]
 
 #: rolling window of per-stage latencies kept for percentile reporting
 ROUTER_LATENCY_WINDOW = 10_000
@@ -83,15 +87,26 @@ ROUTER_LATENCY_WINDOW = 10_000
 #: most-recent fit samples feeding the adaptive retry hint's p95
 _HINT_SAMPLE_WINDOW = 1_024
 
-_COUNTER_FIELDS = ("requests", "coalesced", "rejections", "early_sheds",
-                   "failed_waits", "cold_fits", "queue_waits", "fits_timed",
-                   "predicts_timed")
+_COUNTER_FIELDS = (
+    "requests",
+    "coalesced",
+    "rejections",
+    "early_sheds",
+    "failed_waits",
+    "cold_fits",
+    "queue_waits",
+    "fits_timed",
+    "predicts_timed",
+)
 
 #: total-appended counter paired with each latency deque, so ``since``
 #: stays correct after the bounded deque wraps (same idea as
 #: ``ServiceStats.since`` slicing by the queries counter)
-_STAGE_COUNTERS = {"queue_wait_ms": "queue_waits", "fit_ms": "fits_timed",
-                   "predict_ms": "predicts_timed"}
+_STAGE_COUNTERS = {
+    "queue_wait_ms": "queue_waits",
+    "fit_ms": "fits_timed",
+    "predict_ms": "predicts_timed",
+}
 
 
 class QueueFullError(RuntimeError):
@@ -126,14 +141,14 @@ class RouterStats:
     fits_timed: int = 0
     predicts_timed: int = 0
     queue_wait_ms: deque = field(
-        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
-        repr=False)
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW), repr=False
+    )
     fit_ms: deque = field(
-        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
-        repr=False)
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW), repr=False
+    )
     predict_ms: deque = field(
-        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW),
-        repr=False)
+        default_factory=lambda: deque(maxlen=ROUTER_LATENCY_WINDOW), repr=False
+    )
 
     def record_latency(self, stage: str, ms: float) -> None:
         """Append one ``stage`` sample ('queue_wait_ms'/'fit_ms'/...)."""
@@ -156,8 +171,9 @@ class RouterStats:
         ``peak_pending_fits`` is a high-water mark, not a counter, so the
         delta carries the current peak unchanged.
         """
-        out = RouterStats(**{f: getattr(self, f) - getattr(earlier, f)
-                             for f in _COUNTER_FIELDS})
+        out = RouterStats(
+            **{f: getattr(self, f) - getattr(earlier, f) for f in _COUNTER_FIELDS}
+        )
         out.peak_pending_fits = self.peak_pending_fits
         for name, counter in _STAGE_COUNTERS.items():
             fresh = getattr(out, counter)
@@ -170,8 +186,7 @@ class RouterStats:
         counters sum, stage windows extend, the peak stays a max."""
         for name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
-        self.peak_pending_fits = max(self.peak_pending_fits,
-                                     other.peak_pending_fits)
+        self.peak_pending_fits = max(self.peak_pending_fits, other.peak_pending_fits)
         for name in _STAGE_COUNTERS:
             getattr(self, name).extend(getattr(other, name))
         return self
@@ -198,8 +213,7 @@ class RouterStats:
         ``np.percentile`` call.
         """
         fit_p50, fit_p95 = self._percentiles(self.fit_ms, (50, 95))
-        predict_p50, predict_p95 = self._percentiles(self.predict_ms,
-                                                     (50, 95))
+        predict_p50, predict_p95 = self._percentiles(self.predict_ms, (50, 95))
         return {
             "queue_wait_p95_ms": self._percentile(self.queue_wait_ms, 95),
             "fit_p50_ms": fit_p50,
@@ -285,21 +299,24 @@ class AsyncSelectionRouter:
         coalesced group.  ``None`` (default) never times out.
     """
 
-    def __init__(self, service: SelectionService, *,
-                 max_pending_fits: int = 8,
-                 overflow: str = "reject",
-                 retry_after_s: float = 0.5,
-                 fit_workers: int = 2,
-                 predict_workers: int = 4,
-                 shed_start: float = 1.0,
-                 shed_rng=None,
-                 fit_executor: str | None = None,
-                 fit_timeout_s: float | None = None):
+    def __init__(
+        self,
+        service: SelectionService,
+        *,
+        max_pending_fits: int = 8,
+        overflow: str = "reject",
+        retry_after_s: float = 0.5,
+        fit_workers: int = 2,
+        predict_workers: int = 4,
+        shed_start: float = 1.0,
+        shed_rng=None,
+        fit_executor: str | None = None,
+        fit_timeout_s: float | None = None,
+    ):
         if max_pending_fits < 1:
             raise ValueError("max_pending_fits must be >= 1")
         if overflow not in ("reject", "wait"):
-            raise ValueError(f"overflow must be 'reject' or 'wait', "
-                             f"got {overflow!r}")
+            raise ValueError(f"overflow must be 'reject' or 'wait', got {overflow!r}")
         if fit_workers < 1 or predict_workers < 1:
             raise ValueError("worker counts must be >= 1")
         if not (0.0 <= shed_start <= 1.0):
@@ -307,8 +324,9 @@ class AsyncSelectionRouter:
         if fit_executor is None:
             fit_executor = os.environ.get("REPRO_FIT_EXECUTOR", "thread")
         if fit_executor not in ("thread", "process"):
-            raise ValueError(f"fit_executor must be 'thread' or 'process', "
-                             f"got {fit_executor!r}")
+            raise ValueError(
+                f"fit_executor must be 'thread' or 'process', got {fit_executor!r}"
+            )
         self.service = service
         self.max_pending_fits = max_pending_fits
         self.overflow = overflow
@@ -322,12 +340,15 @@ class AsyncSelectionRouter:
             from repro.serving.fit_plane import ProcessFitExecutor
 
             self._fit_plane = ProcessFitExecutor(
-                workers=fit_workers, fit_timeout_s=fit_timeout_s)
+                workers=fit_workers, fit_timeout_s=fit_timeout_s
+            )
         self._fit_pool = ThreadPoolExecutor(
-            max_workers=fit_workers, thread_name_prefix="router-fit")
+            max_workers=fit_workers, thread_name_prefix="router-fit"
+        )
         self._predict_pool = ThreadPoolExecutor(
-            max_workers=predict_workers, thread_name_prefix="router-predict")
-        self._stats = RouterStats()
+            max_workers=predict_workers, thread_name_prefix="router-predict"
+        )
+        self._stats = RouterStats()  # guarded by: self._stats_lock
         self._stats_lock = threading.Lock()
         #: (fits_timed generation, p95 ms) — see _retry_after_hint
         self._p95_cache: tuple[int, float] = (-1, 0.0)
@@ -339,6 +360,7 @@ class AsyncSelectionRouter:
         #: bounded by the service cache: the eviction listener below
         #: drops a key's lock with its cache entry, so a long-running
         #: server over millions of targets cannot leak locks
+        # guarded by: self._predict_locks_guard
         self._predict_locks: dict[tuple[str, str], threading.Lock] = {}
         self._predict_locks_guard = threading.Lock()
         service.add_eviction_listener(self._drop_predict_locks)
@@ -358,7 +380,8 @@ class AsyncSelectionRouter:
             if self._inflight:
                 raise RuntimeError(
                     "router used from a new event loop while fits from a "
-                    "previous loop are still in flight")
+                    "previous loop are still in flight"
+                )
             self._loop = loop
             self._capacity = asyncio.Condition()
         return loop
@@ -382,11 +405,13 @@ class AsyncSelectionRouter:
         """
         with self._stats_lock:
             generation = self._stats.fits_timed
-            samples = (list(self._stats.fit_ms)[-_HINT_SAMPLE_WINDOW:]
-                       if generation != self._p95_cache[0] else None)
+            samples = (
+                list(self._stats.fit_ms)[-_HINT_SAMPLE_WINDOW:]
+                if generation != self._p95_cache[0]
+                else None
+            )
         if samples is not None:  # percentile math outside the lock
-            self._p95_cache = (generation,
-                               RouterStats._percentile(samples, 95))
+            self._p95_cache = (generation, RouterStats._percentile(samples, 95))
         p95_ms = self._p95_cache[1]
         if p95_ms <= 0.0:
             return self.retry_after_s
@@ -418,10 +443,13 @@ class AsyncSelectionRouter:
                 raise QueueFullError(
                     f"cold-fit queue full ({self._pending_fits} pending, "
                     f"limit {self.max_pending_fits}); target {target!r} "
-                    f"shed — retry in {hint:.2f}s", retry_after_s=hint)
+                    f"shed — retry in {hint:.2f}s",
+                    retry_after_s=hint,
+                )
             async with self._capacity:
                 await self._capacity.wait_for(
-                    lambda: self._pending_fits < self.max_pending_fits)
+                    lambda: self._pending_fits < self.max_pending_fits
+                )
         elif overflow == "reject":
             probability = self._shed_probability()
             if probability > 0.0 and self._shed_rng() < probability:
@@ -434,12 +462,15 @@ class AsyncSelectionRouter:
                     f"cold-fit queue deepening ({self._pending_fits} of "
                     f"{self.max_pending_fits} pending); target {target!r} "
                     f"shed early (p={probability:.2f}) — retry in "
-                    f"{hint:.2f}s", retry_after_s=hint)
+                    f"{hint:.2f}s",
+                    retry_after_s=hint,
+                )
         self._pending_fits += 1
         with self._stats_lock:
             self._stats.cold_fits += 1
             self._stats.peak_pending_fits = max(
-                self._stats.peak_pending_fits, self._pending_fits)
+                self._stats.peak_pending_fits, self._pending_fits
+            )
 
     async def _release_cold_fit(self) -> None:
         self._pending_fits -= 1
@@ -456,8 +487,7 @@ class AsyncSelectionRouter:
         returned for :meth:`SelectionService.load_or_fit` to unpack and
         write through.
         """
-        meta, arrays, spans = self._fit_plane.submit_fit(
-            strategy, zoo, target)
+        meta, arrays, spans = self._fit_plane.submit_fit(strategy, zoo, target)
         graft_spans(spans)
         return meta, arrays
 
@@ -520,15 +550,19 @@ class AsyncSelectionRouter:
                 # trace claiming a successful coalesced wait.  A waiter
                 # cancelled in its own right (future still pending)
                 # stays out of the counter: nothing failed group-wide.
-                if inflight.done() and not inflight.cancelled() \
-                        and inflight.exception() is not None:
+                if (
+                    inflight.done()
+                    and not inflight.cancelled()
+                    and inflight.exception() is not None
+                ):
                     with self._stats_lock:
                         self._stats.failed_waits += 1
                     set_outcome("error")
                 raise
             with self._stats_lock:
                 self._stats.record_latency(
-                    "queue_wait_ms", (time.perf_counter() - waited) * 1e3)
+                    "queue_wait_ms", (time.perf_counter() - waited) * 1e3
+                )
             return fitted
 
         # Register the future BEFORE waiting for queue capacity: admission
@@ -545,7 +579,8 @@ class AsyncSelectionRouter:
             # run_in_context: propagate the request's trace onto the fit
             # worker so fit.* spans land on the originating request
             fitted = await loop.run_in_executor(
-                self._fit_pool, run_in_context(self._fit_job, target))
+                self._fit_pool, run_in_context(self._fit_job, target)
+            )
         except BaseException as exc:
             # A cancelled originator sheds the whole coalesced group
             # (waiters see the CancelledError; a retry hits the cache if
@@ -558,7 +593,8 @@ class AsyncSelectionRouter:
                 future.set_result(fitted)
             with self._stats_lock:
                 self._stats.record_latency(
-                    "fit_ms", (time.perf_counter() - started) * 1e3)
+                    "fit_ms", (time.perf_counter() - started) * 1e3
+                )
             return fitted
         finally:
             del self._inflight[key]
@@ -596,10 +632,12 @@ class AsyncSelectionRouter:
         started = time.perf_counter()
         with span("predict"):
             result = await loop.run_in_executor(
-                self._predict_pool, run_in_context(locked))
+                self._predict_pool, run_in_context(locked)
+            )
         with self._stats_lock:
             self._stats.record_latency(
-                "predict_ms", (time.perf_counter() - started) * 1e3)
+                "predict_ms", (time.perf_counter() - started) * 1e3
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -613,8 +651,7 @@ class AsyncSelectionRouter:
             self._stats.requests += 1
         fitted = await self._ensure_fitted(target)
         model_ids = self.service.zoo.model_ids()
-        ranking = await self._run_predict(
-            target, lambda: fitted.rank(model_ids))
+        ranking = await self._run_predict(target, lambda: fitted.rank(model_ids))
         self.service.record_query(started)
         return ranking if top_k is None else ranking[:top_k]
 
@@ -635,17 +672,15 @@ class AsyncSelectionRouter:
             by_target.setdefault(target, []).append(i)
 
         targets = list(by_target)
-        fitteds = await asyncio.gather(
-            *(self._ensure_fitted(t) for t in targets))
+        fitteds = await asyncio.gather(*(self._ensure_fitted(t) for t in targets))
 
         async def predict(target, fitted, indices):
             models = [pairs[i][0] for i in indices]
-            return await self._run_predict(
-                target, lambda: fitted.predict(models))
+            return await self._run_predict(target, lambda: fitted.predict(models))
 
         scores = await asyncio.gather(
-            *(predict(t, f, by_target[t])
-              for t, f in zip(targets, fitteds)))
+            *(predict(t, f, by_target[t]) for t, f in zip(targets, fitteds))
+        )
         out = np.empty(len(pairs))
         for target, target_scores in zip(targets, scores):
             out[by_target[target]] = target_scores
@@ -663,15 +698,15 @@ class AsyncSelectionRouter:
         self.service.check_strategy(getattr(request, "strategy", None))
         if isinstance(request, RankRequest):
             return RankResponse.build(
-                request, await self.rank(request.target, top_k=request.top_k))
+                request, await self.rank(request.target, top_k=request.top_k)
+            )
         if isinstance(request, ScoreBatchRequest):
             return ScoreBatchResponse.build(
-                request, await self.score_batch(list(request.pairs)))
-        raise TypeError(
-            f"unsupported request type {type(request).__name__}")
+                request, await self.score_batch(list(request.pairs))
+            )
+        raise TypeError(f"unsupported request type {type(request).__name__}")
 
-    async def warmup(self, targets: list[str] | None = None
-                     ) -> dict[str, float]:
+    async def warmup(self, targets: list[str] | None = None) -> dict[str, float]:
         """Pre-fit pipelines concurrently; seconds spent per target.
 
         Warmup never sheds: capacity overflow waits instead of raising,
@@ -726,8 +761,11 @@ class AsyncSelectionRouter:
         with self._stats_lock:
             p50, p95 = RouterStats._percentiles(self._stats.fit_ms, (50, 95))
             fits = self._stats.fits_timed
-        return {"fit_ms_p50": p50, "fit_ms_p95": p95,
-                "fits_timed": float(fits)}
+        return {
+            "fit_ms_p50": p50,
+            "fit_ms_p95": p95,
+            "fits_timed": float(fits),
+        }
 
     @property
     def pending_fits(self) -> int:

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import record_cache, set_outcome, span
-from repro.serving.artifacts import ArtifactError
+from repro.strategies.artifacts import ArtifactError
 from repro.serving.protocol import (
     RankRequest,
     RankResponse,
@@ -56,8 +56,15 @@ __all__ = ["SelectionService", "ServiceStats", "LATENCY_WINDOW"]
 #: bounds the memory of a long-running service at ~0.8 MB
 LATENCY_WINDOW = 100_000
 
-_COUNTER_FIELDS = ("queries", "cache_hits", "cache_misses",
-                   "registry_hits", "fits", "evictions", "invalidations")
+_COUNTER_FIELDS = (
+    "queries",
+    "cache_hits",
+    "cache_misses",
+    "registry_hits",
+    "fits",
+    "evictions",
+    "invalidations",
+)
 
 
 @dataclass
@@ -72,7 +79,8 @@ class ServiceStats:
     evictions: int = 0
     invalidations: int = 0
     latencies_ms: deque = field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False)
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
 
     def hit_rate(self) -> float:
         """Fraction of fitted-pipeline lookups served from memory."""
@@ -96,8 +104,9 @@ class ServiceStats:
         Each query appends exactly one latency, so the delta's latencies
         are the last ``queries`` entries (bounded by the rolling window).
         """
-        out = ServiceStats(**{f: getattr(self, f) - getattr(earlier, f)
-                              for f in _COUNTER_FIELDS})
+        out = ServiceStats(
+            **{f: getattr(self, f) - getattr(earlier, f) for f in _COUNTER_FIELDS}
+        )
         if out.queries > 0:
             out.latencies_ms.extend(list(self.latencies_ms)[-out.queries:])
         return out
@@ -127,8 +136,11 @@ class ServiceStats:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
         window = np.asarray(self.latencies_ms)
         p50, p95 = np.percentile(window, (50, 95))
-        return {"p50_ms": float(p50), "p95_ms": float(p95),
-                "max_ms": float(window.max())}
+        return {
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "max_ms": float(window.max()),
+        }
 
     def summary(self) -> dict[str, float]:
         return {
@@ -154,9 +166,13 @@ class SelectionService:
     signature), or ``None`` for TG defaults.
     """
 
-    def __init__(self, zoo, strategy=None,
-                 registry: ArtifactRegistry | None = None,
-                 cache_size: int = 32):
+    def __init__(
+        self,
+        zoo,
+        strategy=None,
+        registry: ArtifactRegistry | None = None,
+        cache_size: int = 32,
+    ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.zoo = zoo
@@ -167,8 +183,9 @@ class SelectionService:
         self.registry = registry
         self.cache_size = cache_size
         self._config_fp = self.strategy.fingerprint()
+        # guarded by: self._lock
         self._cache: OrderedDict[tuple[str, str], object] = OrderedDict()
-        self._stats = ServiceStats()
+        self._stats = ServiceStats()  # guarded by: self._lock
         #: guards cache order/content and stat counters; never held across
         #: a fit or registry I/O
         self._lock = threading.Lock()
@@ -206,8 +223,11 @@ class SelectionService:
         ``random``), matching what ``get_strategy`` accepts; custom
         non-lowercase specs match exactly.
         """
-        if spec is None or spec == self.strategy.spec \
-                or canonical_spec(spec) == self.strategy.spec:
+        if (
+            spec is None
+            or spec == self.strategy.spec
+            or canonical_spec(spec) == self.strategy.spec
+        ):
             return
         if normalize_spec(spec) != self.strategy.spec:
             raise UnknownStrategyError(spec, [self.strategy.spec])
@@ -215,8 +235,9 @@ class SelectionService:
     # ------------------------------------------------------------------ #
     def _check_target(self, target: str) -> None:
         if target not in self.zoo.dataset_names():
-            raise KeyError(f"unknown dataset {target!r}; known: "
-                           f"{self.zoo.dataset_names()}")
+            raise KeyError(
+                f"unknown dataset {target!r}; known: {self.zoo.dataset_names()}"
+            )
 
     def cache_get(self, target: str):
         """In-memory lookup with hit/miss accounting; ``None`` on a miss.
@@ -259,8 +280,7 @@ class SelectionService:
         if self.registry is not None:
             try:
                 with span("fit.registry_load"):
-                    fitted = self.registry.load(target, self.strategy,
-                                                self.zoo)
+                    fitted = self.registry.load(target, self.strategy, self.zoo)
                 with self._lock:
                     self._stats.registry_hits += 1
             except ArtifactError:
@@ -281,8 +301,7 @@ class SelectionService:
                     self._stats.fits += 1
                 if self.registry is not None:
                     with span("fit.artifact_pack"):
-                        self.registry.save_packed(meta, arrays,
-                                                  self.strategy, target)
+                        self.registry.save_packed(meta, arrays, self.strategy, target)
 
         key = (target, self._config_fp)
         evicted: list[tuple[str, str]] = []
@@ -320,8 +339,7 @@ class SelectionService:
     _record = record_query
 
     # ------------------------------------------------------------------ #
-    def rank(self, target: str, top_k: int | None = None
-             ) -> list[tuple[str, float]]:
+    def rank(self, target: str, top_k: int | None = None) -> list[tuple[str, float]]:
         """Models ranked for ``target``, best first (optionally truncated)."""
         started = time.perf_counter()
         ranking = self._fitted(target).rank(self.zoo.model_ids())
@@ -359,12 +377,13 @@ class SelectionService:
         self.check_strategy(getattr(request, "strategy", None))
         if isinstance(request, RankRequest):
             return RankResponse.build(
-                request, self.rank(request.target, top_k=request.top_k))
+                request, self.rank(request.target, top_k=request.top_k)
+            )
         if isinstance(request, ScoreBatchRequest):
             return ScoreBatchResponse.build(
-                request, self.score_batch(list(request.pairs)))
-        raise TypeError(
-            f"unsupported request type {type(request).__name__}")
+                request, self.score_batch(list(request.pairs))
+            )
+        raise TypeError(f"unsupported request type {type(request).__name__}")
 
     # ------------------------------------------------------------------ #
     def warmup(self, targets: list[str] | None = None) -> dict[str, float]:
@@ -374,8 +393,7 @@ class SelectionService:
         but does not count as query traffic.
         """
         out: dict[str, float] = {}
-        for target in (targets if targets is not None
-                       else self.zoo.target_names()):
+        for target in targets if targets is not None else self.zoo.target_names():
             started = time.perf_counter()
             self._fitted(target)
             out[target] = time.perf_counter() - started

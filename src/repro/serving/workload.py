@@ -41,8 +41,13 @@ from repro.serving.protocol import (
 from repro.serving.router import QueueFullError, RouterStats
 from repro.serving.service import SelectionService, ServiceStats
 
-__all__ = ["WorkloadConfig", "generate_workload", "replay",
-           "replay_async", "replay_concurrent"]
+__all__ = [
+    "WorkloadConfig",
+    "generate_workload",
+    "replay",
+    "replay_async",
+    "replay_concurrent",
+]
 
 #: retry ceiling per shed query before the rejection is re-raised
 _MAX_RETRIES = 100
@@ -75,15 +80,14 @@ class WorkloadConfig:
         if not (0.0 <= self.compare_fraction <= 1.0):
             raise ValueError("compare_fraction must be in [0, 1]")
         if self.batch_fraction + self.compare_fraction > 1.0:
-            raise ValueError("batch_fraction + compare_fraction must "
-                             "not exceed 1")
+            raise ValueError("batch_fraction + compare_fraction must not exceed 1")
         if self.zipf_alpha < 0:
             raise ValueError("zipf_alpha must be >= 0")
 
 
-def generate_workload(zoo, config: WorkloadConfig | None = None,
-                      namespace: str = DEFAULT_NAMESPACE
-                      ) -> list[RankRequest | ScoreBatchRequest]:
+def generate_workload(
+    zoo, config: WorkloadConfig | None = None, namespace: str = DEFAULT_NAMESPACE
+) -> list[RankRequest | ScoreBatchRequest]:
     """A reproducible protocol-request sequence over the zoo's targets."""
     config = config or WorkloadConfig()
     rng = np.random.default_rng(config.seed)
@@ -100,19 +104,19 @@ def generate_workload(zoo, config: WorkloadConfig | None = None,
         target = targets[rng.choice(len(targets), p=weights)]
         draw = rng.random()
         if draw < config.batch_fraction:
-            chosen = rng.choice(len(models), size=min(config.batch_size,
-                                                      len(models)),
-                                replace=False)
+            chosen = rng.choice(
+                len(models), size=min(config.batch_size, len(models)), replace=False
+            )
             pairs = tuple((models[i], target) for i in chosen)
-            requests.append(ScoreBatchRequest(pairs=pairs,
-                                              namespace=namespace))
+            requests.append(ScoreBatchRequest(pairs=pairs, namespace=namespace))
         elif draw < config.batch_fraction + config.compare_fraction:
-            requests.append(CompareRequest(target=target,
-                                           namespace=namespace,
-                                           top_k=config.top_k))
+            requests.append(
+                CompareRequest(target=target, namespace=namespace, top_k=config.top_k)
+            )
         else:
-            requests.append(RankRequest(target=target, top_k=config.top_k,
-                                        namespace=namespace))
+            requests.append(
+                RankRequest(target=target, top_k=config.top_k, namespace=namespace)
+            )
     return requests
 
 
@@ -125,13 +129,20 @@ def _trace_request(obs, request, default_strategy: str = "-"):
     if obs is None:
         return nullcontext()
     strategy = getattr(request, "strategy", None) or default_strategy
-    return obs.request(request.kind, namespace=request.namespace,
-                      strategy=strategy, request_id=request.request_id)
+    return obs.request(
+        request.kind,
+        namespace=request.namespace,
+        strategy=strategy,
+        request_id=request.request_id,
+    )
 
 
-def replay(service: SelectionService,
-           requests: list[RankRequest | ScoreBatchRequest], *,
-           obs=None) -> dict[str, float]:
+def replay(
+    service: SelectionService,
+    requests: list[RankRequest | ScoreBatchRequest],
+    *,
+    obs=None,
+) -> dict[str, float]:
     """Run a workload; returns the stats summary *of this replay only*.
 
     Counters are diffed against a snapshot taken at entry, so traffic
@@ -155,28 +166,33 @@ def replay(service: SelectionService,
 
 def _stats_snapshots(handler):
     """(service, router) snapshot pairs for a router or a gateway."""
-    if hasattr(handler, "stats_snapshot"):      # AsyncSelectionRouter
+    if hasattr(handler, "stats_snapshot"):  # AsyncSelectionRouter
         return [handler.stats_snapshot()]
-    return [handler.router(name, spec).stats_snapshot()  # SelectionGateway
-            for name in handler.namespaces()
-            for spec in handler.strategies(name)]
+    return [
+        handler.router(name, spec).stats_snapshot()  # SelectionGateway
+        for name in handler.namespaces()
+        for spec in handler.strategies(name)
+    ]
 
 
 def _merged_summary(handler, before) -> dict[str, float]:
     """Pool per-namespace deltas into one summary (true percentiles)."""
     service_total, router_total = ServiceStats(), RouterStats()
-    for (service_b, router_b), (service_a, router_a) in zip(
-            before, _stats_snapshots(handler)):
+    snapshots = zip(before, _stats_snapshots(handler))
+    for (service_b, router_b), (service_a, router_a) in snapshots:
         service_total.merge(service_a.since(service_b))
         router_total.merge(router_a.since(router_b))
     return {**service_total.summary(), **router_total.summary()}
 
 
-async def replay_async(handler,
-                       requests: list[RankRequest | ScoreBatchRequest], *,
-                       clients: int = 1,
-                       partition: bool = False,
-                       obs=None) -> dict[str, float]:
+async def replay_async(
+    handler,
+    requests: list[RankRequest | ScoreBatchRequest],
+    *,
+    clients: int = 1,
+    partition: bool = False,
+    obs=None,
+) -> dict[str, float]:
     """Replay a workload through an async handler with concurrent clients.
 
     ``handler`` is anything with an async ``handle(request)`` — a router
@@ -209,7 +225,8 @@ async def replay_async(handler,
                 await asyncio.sleep(exc.retry_after_s)
         raise QueueFullError(
             f"request for {request.target!r} shed {_MAX_RETRIES} times",
-            retry_after_s=0.0)
+            retry_after_s=0.0,
+        )
 
     async def client(assigned) -> None:
         for request in assigned:
@@ -229,11 +246,15 @@ async def replay_async(handler,
     return summary
 
 
-def replay_concurrent(handler,
-                      requests: list[RankRequest | ScoreBatchRequest], *,
-                      clients: int = 1,
-                      partition: bool = False,
-                      obs=None) -> dict[str, float]:
+def replay_concurrent(
+    handler,
+    requests: list[RankRequest | ScoreBatchRequest],
+    *,
+    clients: int = 1,
+    partition: bool = False,
+    obs=None,
+) -> dict[str, float]:
     """Synchronous wrapper: run :func:`replay_async` in a fresh loop."""
-    return asyncio.run(replay_async(handler, requests, clients=clients,
-                                    partition=partition, obs=obs))
+    return asyncio.run(
+        replay_async(handler, requests, clients=clients, partition=partition, obs=obs)
+    )

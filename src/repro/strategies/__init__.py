@@ -7,7 +7,12 @@
 - :mod:`repro.strategies.score_based` — transferability-only rankers
   (no-history fast path) and random selection;
 - :mod:`repro.strategies.registry` — the string-keyed registry:
-  ``get_strategy("tg:lr,n2v,all" | "lr:all+logme" | "logme" | ...)``.
+  ``get_strategy("tg:lr,n2v,all" | "lr:all+logme" | "logme" | ...)``;
+- :mod:`repro.strategies.fingerprint` /
+  :mod:`repro.strategies.artifacts` — the content hashes and
+  pack/unpack forms of the strategy artifact contract (consumed by the
+  serving registry one layer up, and by the process fit plane as its
+  wire format).
 """
 
 from repro.strategies.base import (

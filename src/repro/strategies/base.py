@@ -36,11 +36,13 @@ needs every ranker behind one abstraction that the whole serving stack
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Protocol
 
 import numpy as np
+import numpy.typing as npt
 
-__all__ = ["SelectionStrategy", "FittedScoreTable", "sort_ranking",
-           "SCORE_TABLE_KIND"]
+__all__ = ["SelectionStrategy", "FittedSelection", "FittedScoreTable",
+           "sort_ranking", "SCORE_TABLE_KIND"]
 
 #: meta["kind"] discriminant of score-table artifacts (TG artifacts
 #: predate the field and carry no kind)
@@ -55,6 +57,22 @@ def sort_ranking(scores: dict[str, float]) -> list[tuple[str, float]]:
     cannot diverge across strategy families.
     """
     return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+class FittedSelection(Protocol):
+    """Structural interface of a fitted, servable selection pipeline.
+
+    Anything with these three members serves — the class exists for type
+    checkers and documentation, not for inheritance
+    (:class:`~repro.core.FittedTransferGraph` conforms without importing
+    this module).
+    """
+
+    target: str
+
+    def predict(self, model_ids: list[str]) -> npt.NDArray[np.float64]: ...
+
+    def rank(self, model_ids: list[str]) -> list[tuple[str, float]]: ...
 
 
 class SelectionStrategy:
@@ -84,7 +102,7 @@ class SelectionStrategy:
     fit_weight: float = 1.0
 
     # ------------------------------------------------------------------ #
-    def fit(self, zoo, target: str):
+    def fit(self, zoo: Any, target: str) -> FittedSelection:
         """Produce a :class:`FittedSelection` for one target."""
         raise NotImplementedError
 
@@ -92,22 +110,26 @@ class SelectionStrategy:
         """Content hash keying this strategy's registry artifacts."""
         raise NotImplementedError
 
-    def pack(self, fitted, zoo) -> tuple[dict, dict[str, np.ndarray]]:
+    def pack(
+        self, fitted: FittedSelection, zoo: Any
+    ) -> tuple[dict[str, Any], dict[str, npt.NDArray[Any]]]:
         """Serialise a fitted pipeline into ``(meta, arrays)``."""
         raise NotImplementedError
 
-    def unpack(self, meta: dict, arrays: dict, zoo):
+    def unpack(
+        self, meta: dict[str, Any], arrays: dict[str, npt.NDArray[Any]], zoo: Any
+    ) -> FittedSelection:
         """Revive a fitted pipeline, validating freshness first."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
     # shared faces (evaluation harness + convenience)
     # ------------------------------------------------------------------ #
-    def rank(self, zoo, target: str) -> list[tuple[str, float]]:
+    def rank(self, zoo: Any, target: str) -> list[tuple[str, float]]:
         """Models ranked best-first for ``target`` (fits, then ranks)."""
         return self.fit(zoo, target).rank(zoo.model_ids())
 
-    def scores_for_target(self, zoo, target: str) -> dict[str, float]:
+    def scores_for_target(self, zoo: Any, target: str) -> dict[str, float]:
         """The evaluation-harness protocol shared with the baselines."""
         fitted = self.fit(zoo, target)
         model_ids = zoo.model_ids()
@@ -130,7 +152,7 @@ class FittedScoreTable:
     target: str
     scores: dict[str, float] = field(repr=False)
 
-    def predict(self, model_ids: list[str]) -> np.ndarray:
+    def predict(self, model_ids: list[str]) -> npt.NDArray[np.float64]:
         return np.asarray([self.scores[m] for m in model_ids],
                           dtype=np.float64)
 

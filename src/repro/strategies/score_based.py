@@ -49,14 +49,14 @@ class ScoreTableStrategy(SelectionStrategy):
         raise NotImplementedError
 
     def fingerprint(self) -> str:
-        from repro.serving.fingerprint import stable_digest
+        from repro.strategies.fingerprint import stable_digest
 
         return stable_digest(self._fingerprint_payload())
 
     # ------------------------------------------------------------------ #
     def pack(self, fitted: FittedScoreTable, zoo
              ) -> tuple[dict, dict[str, np.ndarray]]:
-        from repro.serving.fingerprint import catalog_fingerprint
+        from repro.strategies.fingerprint import catalog_fingerprint
 
         model_ids = sorted(fitted.scores)
         meta = {
@@ -73,8 +73,8 @@ class ScoreTableStrategy(SelectionStrategy):
         return meta, arrays
 
     def unpack(self, meta: dict, arrays: dict, zoo) -> FittedScoreTable:
-        from repro.serving.artifacts import StaleArtifactError
-        from repro.serving.fingerprint import catalog_fingerprint
+        from repro.strategies.artifacts import StaleArtifactError
+        from repro.strategies.fingerprint import catalog_fingerprint
 
         version = meta.get("format_version")
         if version != SCORE_TABLE_FORMAT_VERSION or \

@@ -100,16 +100,16 @@ class TransferGraphStrategy(SelectionStrategy):
         return self._tg.fit(zoo, target)
 
     def fingerprint(self) -> str:
-        from repro.serving.fingerprint import config_fingerprint
+        from repro.strategies.fingerprint import config_fingerprint
 
         return config_fingerprint(self.config)
 
     def pack(self, fitted, zoo) -> tuple[dict, dict[str, np.ndarray]]:
-        from repro.serving.artifacts import pack_fitted
+        from repro.strategies.artifacts import pack_fitted
 
         return pack_fitted(fitted, self.config, zoo)
 
     def unpack(self, meta: dict, arrays: dict, zoo):
-        from repro.serving.artifacts import unpack_fitted
+        from repro.strategies.artifacts import unpack_fitted
 
         return unpack_fitted(meta, arrays, zoo, self.config)

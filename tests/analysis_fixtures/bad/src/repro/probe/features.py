@@ -1,0 +1,8 @@
+"""import-layering fixture: probe (layer 2) reaching up into serving."""
+
+from repro.serving.router import AsyncSelectionRouter
+
+
+def build_router():
+    # BAD: an upward dependency — probe must not know about serving.
+    return AsyncSelectionRouter

@@ -1,0 +1,17 @@
+"""lock-discipline fixture: a declared guard with an unguarded read."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded by: self._lock
+
+    def record(self):
+        with self._lock:
+            self._hits += 1
+
+    def peek(self):
+        # BAD: reads self._hits without holding self._lock.
+        return self._hits

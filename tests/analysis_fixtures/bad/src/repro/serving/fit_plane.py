@@ -1,0 +1,9 @@
+"""pickle-boundary fixture: a spawn worker fed an unpicklable task."""
+
+
+def schedule(pool, zoo, target):
+    def task():
+        return zoo, target
+
+    # BAD: nested functions cannot be pickled to a spawn worker.
+    return pool.submit(task)

@@ -1,0 +1,17 @@
+"""async-blocking fixture: blocking primitives inline in coroutines."""
+
+import time
+
+
+async def handle(request, future):
+    # BAD: time.sleep stalls the loop; open blocks on file IO;
+    # future.result() blocks until resolution.
+    time.sleep(0.1)
+    with open(request) as fh:
+        payload = fh.read()
+    return future.result(), payload
+
+
+async def refit(strategy, zoo, target):
+    # BAD: a strategy fit runs inline on the event loop.
+    return strategy.fit(zoo, target)

@@ -1,0 +1,25 @@
+"""wire-schema fixture: breaks the additive-only contract four ways.
+
+Relative to the committed snapshot next door: ``RankRequest.request_id``
+was removed, ``RankRequest.top_k`` was retyped, ``RankRequest.trace`` is
+a new *required* field, and the ``RankResponse`` message is gone.  The
+``numpy`` import additionally violates the layering rule's
+protocol-is-stdlib-only edge.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+PROTOCOL_VERSION = "v1"
+
+ZERO = float(np.float64(0.0))
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    kind: ClassVar[str] = "rank"
+    target: str
+    trace: str
+    top_k: str = "5"

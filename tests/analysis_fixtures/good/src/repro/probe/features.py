@@ -1,0 +1,9 @@
+"""import-layering fixture: probe importing downward (nn) is allowed."""
+
+from repro import nn
+
+__all__ = ["nn", "feature_dim"]
+
+
+def feature_dim(config):
+    return int(config["dim"])

@@ -1,0 +1,29 @@
+"""lock-discipline fixture: every access pattern the rule exempts.
+
+The declaring ``__init__``, accesses under ``with self._lock``, a
+``*_locked`` helper, and one deliberate, commented
+``# analyze: ignore[lock-discipline]`` fast path.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded by: self._lock
+
+    def record(self):
+        with self._lock:
+            self._hits += 1
+
+    def snapshot_locked(self):
+        return self._hits
+
+    def snapshot(self):
+        with self._lock:
+            return self.snapshot_locked()
+
+    def peek_fast(self):
+        # Deliberate unlocked sample: a torn read only skews one scrape.
+        return self._hits  # analyze: ignore[lock-discipline]

@@ -1,0 +1,9 @@
+"""pickle-boundary fixture: spawn workers take module-level callables."""
+
+
+def _fit_task(spec, target):
+    return spec, target
+
+
+def schedule(pool, spec, target):
+    return pool.submit(_fit_task, spec, target)

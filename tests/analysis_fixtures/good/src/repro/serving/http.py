@@ -1,0 +1,21 @@
+"""async-blocking fixture: the sanctioned patterns only.
+
+Blocking callables are *referenced* as executor arguments, never called
+on the loop; sleeps go through asyncio.
+"""
+
+import asyncio
+
+
+async def handle(loop, strategy, zoo, target):
+    await asyncio.sleep(0)
+    return await loop.run_in_executor(None, strategy.fit, zoo, target)
+
+
+async def read_payload(path):
+    return await asyncio.to_thread(_read, path)
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -1,0 +1,28 @@
+"""wire-schema fixture: a stdlib-only protocol matching its snapshot.
+
+``protocol_schema.json`` next door was generated from this module with
+``repro analyze --update-schema --root tests/analysis_fixtures/good``.
+"""
+
+import json
+from dataclasses import dataclass
+from typing import ClassVar
+
+PROTOCOL_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    kind: ClassVar[str] = "rank"
+    target: str
+    top_k: int = 5
+    request_id: str | None = None
+
+    def to_json(self):
+        return json.dumps({"kind": self.kind, "target": self.target})
+
+
+@dataclass(frozen=True)
+class RankResponse:
+    kind: ClassVar[str] = "rank_response"
+    ranking: list[tuple[str, float]]

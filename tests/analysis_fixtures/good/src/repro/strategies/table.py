@@ -1,0 +1,12 @@
+"""pickle-boundary fixture: a strategy with plain-data state only."""
+
+from repro.strategies.base import SelectionStrategy
+
+
+class TableStrategy(SelectionStrategy):
+    spec = "table"
+    name = "Table"
+
+    def __init__(self, scale):
+        self.scale = float(scale)
+        self.offsets = {}

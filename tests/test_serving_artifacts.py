@@ -15,7 +15,7 @@ from repro.serving import (
     config_fingerprint,
     config_from_dict,
 )
-from repro.serving.artifacts import _pack_value, _unpack_value
+from repro.strategies.artifacts import _pack_value, _unpack_value
 
 SMALL_HYPERPARAMS = {
     "lr": {},
