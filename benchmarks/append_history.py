@@ -1,0 +1,126 @@
+"""Append one ``BENCH_compare.json`` run to the benchmark history series.
+
+The compare gate (``compare_gate.py``) answers "did this run regress
+against the committed baseline?"; the history series answers "how has
+the served benchmark moved over time?".  Each bench-gate run appends one
+JSON line to ``benchmarks/history/compare_series.jsonl`` — a
+branch-tracked, append-only record keyed by commit sha, so plotting
+warm-rank latency or top-k overlap across the repo's history is a
+one-liner over the file.
+
+Appends are idempotent per sha: re-running the gate on the same commit
+(CI retries, local repeats) replaces nothing and adds nothing.
+
+Usage::
+
+    python benchmarks/append_history.py BENCH_compare.json \\
+        [--series benchmarks/history/compare_series.jsonl] [--sha SHA]
+
+The sha defaults to ``$GITHUB_SHA``, then ``git rev-parse HEAD``, then
+``local``.  Exit status: 0 appended (or sha already recorded), 2 the
+report is unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+DEFAULT_SERIES = Path(__file__).resolve().parent / "history" / "compare_series.jsonl"
+
+
+def _resolve_sha(explicit: str | None) -> str:
+    if explicit:
+        return explicit
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True, check=True
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def series_line(report: dict, sha: str, recorded_at: str) -> dict:
+    """One history record: the run's identity plus every per-strategy
+    metric the gate inspects, lifted verbatim from the report."""
+    for field in ("benchmark", "strategies"):
+        if field not in report:
+            raise ValueError(f"report is missing field {field!r}")
+    return {
+        "sha": sha,
+        "recorded_at": recorded_at,
+        "benchmark": report["benchmark"],
+        "namespace": report.get("namespace"),
+        "protocol": report.get("protocol"),
+        "reference": report.get("reference"),
+        "targets": report.get("targets"),
+        "strategies": report["strategies"],
+    }
+
+
+def recorded_shas(series_path: Path) -> set[str]:
+    shas: set[str] = set()
+    if not series_path.exists():
+        return shas
+    for raw in series_path.read_text(encoding="utf-8").splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            shas.add(json.loads(raw).get("sha"))
+        except ValueError:
+            continue  # a torn line never blocks new appends
+    return shas
+
+
+def append_run(report_path: Path, series_path: Path, sha: str) -> bool:
+    """Append the report to the series; False when the sha is already
+    recorded (idempotent re-runs)."""
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    if sha in recorded_shas(series_path):
+        return False
+    line = series_line(
+        report, sha, datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    series_path.parent.mkdir(parents=True, exist_ok=True)
+    with series_path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a BENCH_compare.json run to the history series"
+    )
+    parser.add_argument("report", type=Path)
+    parser.add_argument("--series", type=Path, default=DEFAULT_SERIES)
+    parser.add_argument(
+        "--sha",
+        default=None,
+        help="commit sha to record (default: $GITHUB_SHA, "
+        "else git rev-parse HEAD, else 'local')",
+    )
+    args = parser.parse_args(argv)
+    sha = _resolve_sha(args.sha)
+    try:
+        appended = append_run(args.report, args.series, sha)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if appended:
+        print(f"history: recorded {sha[:12]} in {args.series}")
+    else:
+        print(f"history: {sha[:12]} already recorded in {args.series}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

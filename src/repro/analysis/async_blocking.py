@@ -8,9 +8,10 @@ inline in a coroutine.  One inline ``strategy.fit()`` in a request
 handler stalls every in-flight request for seconds; it still passes
 every functional test, because tests measure results, not loop stalls.
 
-This rule walks the ``async def`` bodies of the three event-loop-facing
-modules (``http.py``, ``router.py``, ``gateway.py``) and flags direct
-calls that block:
+This rule walks the ``async def`` bodies of the event-loop-facing
+modules (serving's ``http.py``, ``router.py``, ``gateway.py`` and the
+fleet's ``wire.py``, ``coordinator.py``, ``worker.py``) and flags
+direct calls that block:
 
 - ``time.sleep`` (use ``asyncio.sleep``);
 - ``open`` (artifact/file IO belongs in the executor);
@@ -39,6 +40,9 @@ _SCOPE = (
     "src/repro/serving/http.py",
     "src/repro/serving/router.py",
     "src/repro/serving/gateway.py",
+    "src/repro/fleet/wire.py",
+    "src/repro/fleet/coordinator.py",
+    "src/repro/fleet/worker.py",
 )
 
 _EXECUTOR_CALLS = {"run_in_executor", "to_thread"}
@@ -100,7 +104,8 @@ class AsyncBlockingRule(Rule):
     id: ClassVar[str] = "async-blocking"
     description: ClassVar[str] = (
         "no time.sleep/open/Future.result/subprocess/strategy.fit/np.load "
-        "directly inside async def bodies of http.py, router.py, gateway.py"
+        "directly inside async def bodies of serving's http/router/gateway "
+        "and the fleet's wire/coordinator/worker"
     )
 
     def check(self, project: Project) -> list[Finding]:

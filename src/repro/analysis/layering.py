@@ -46,6 +46,7 @@ LAYERS: dict[str, int] = {
     "core": 4,
     "strategies": 5,
     "baselines": 6,
+    "fleet": 6,  # distributed fit plane: serving imports it, never back
     "serving": 7,
 }
 

@@ -106,6 +106,19 @@ def _fraction(value: str) -> float:
     return f
 
 
+def _host_port(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError("expected HOST:PORT")
+    try:
+        n = int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError("PORT must be an integer") from None
+    if not (0 <= n <= 65535):
+        raise argparse.ArgumentTypeError("PORT must be in [0, 65535]")
+    return host, n
+
+
 def _predictor_choices() -> tuple[str, ...]:
     from repro.predictors import PREDICTORS
 
@@ -330,19 +343,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-namespace cold-fit queue bound")
     serve.add_argument("--fit-workers", type=_positive_int, default=2,
                        help="per-namespace parallel cold-fit workers")
-    serve.add_argument("--fit-executor", choices=("thread", "process"),
+    serve.add_argument("--fit-executor",
+                       choices=("thread", "process", "socket"),
                        default=None,
                        help="where cold fits run: 'thread' shares the "
                             "server process (GIL-bound), 'process' ships "
                             "each fit to a worker process over the "
                             "artifact boundary for true multi-core "
-                            "fitting (default: $REPRO_FIT_EXECUTOR, else "
-                            "thread)")
+                            "fitting, 'socket' dispatches to external "
+                            "'repro fit-worker' daemons via the fleet "
+                            "coordinator (default: $REPRO_FIT_EXECUTOR, "
+                            "else thread)")
+    serve.add_argument("--fleet-listen", type=_host_port, default=None,
+                       metavar="HOST:PORT",
+                       help="fleet coordinator bind address for "
+                            "--fit-executor socket (PORT 0 binds an "
+                            "ephemeral port; default 127.0.0.1:0)")
     serve.add_argument("--fit-timeout", type=float, default=None,
                        dest="fit_timeout", metavar="SECONDS",
-                       help="bound one cold fit (process executor only); "
-                            "an overrunning fit sheds its coalesced "
-                            "group with a typed error")
+                       help="bound one cold fit (process/socket executors "
+                            "only); an overrunning fit sheds its "
+                            "coalesced group with a typed error")
+    serve.add_argument("--no-prestart", action="store_true",
+                       help="skip readying the remote fit plane at "
+                            "startup; process workers then spawn lazily "
+                            "on the first cold fit")
     serve.add_argument("--warmup", action="store_true",
                        help="pre-fit every namespace's targets before "
                             "accepting traffic")
@@ -352,6 +377,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-ms", type=float, default=1000.0,
                        help="slow-request threshold in ms; slower "
                             "requests log their full span tree")
+
+    fit_worker = sub.add_parser(
+        "fit-worker",
+        help="fleet fit daemon: register with a gateway's coordinator "
+             "and serve cold fits over the socket protocol")
+    fit_worker.add_argument("--connect", type=_host_port, required=True,
+                            metavar="HOST:PORT",
+                            help="fleet coordinator address (printed by "
+                                 "'repro serve --fit-executor socket')")
+    fit_worker.add_argument("--name", default=None,
+                            help="worker name shown in healthz/fleet "
+                                 "summaries (default: <hostname>-<pid>)")
+    fit_worker.add_argument("--concurrency", type=_positive_int, default=1,
+                            help="fits this worker runs at once")
 
     sim = sub.add_parser(
         "serve-sim", help="replay a synthetic workload; report latency")
@@ -686,7 +725,21 @@ def _cmd_serve(args) -> int:
     # for machines); the same plane backs /v1/metrics.
     obs = Observability(event_log=EventLog(json_lines=args.log_json,
                                            slow_ms=args.slow_ms))
-    gateway = SelectionGateway(registry_root=root, obs=obs)
+    executor = args.fit_executor or os.environ.get("REPRO_FIT_EXECUTOR",
+                                                   "thread")
+    fleet = None
+    if executor == "socket":
+        from repro.fleet import FleetCoordinator
+
+        fleet_host, fleet_port = args.fleet_listen or ("127.0.0.1", 0)
+        fleet = FleetCoordinator(fleet_host, fleet_port,
+                                 fit_timeout_s=args.fit_timeout, obs=obs)
+        fleet_host, fleet_port = fleet.start()
+        print(f"fleet: coordinator listening on "
+              f"{fleet_host}:{fleet_port} — connect workers with "
+              f"'repro fit-worker --connect {fleet_host}:{fleet_port}'",
+              flush=True)
+    gateway = SelectionGateway(registry_root=root, obs=obs, fleet=fleet)
     presets = _scale_presets()
     default_strategy = _cli_default_strategy(args)
     extra_strategies: list = []
@@ -724,9 +777,11 @@ def _cmd_serve(args) -> int:
               f"(fit budgets {budgets}; registry shard {root / name})",
               flush=True)
 
-    workers = gateway.prestart_fit_planes()  # no-op in thread mode
-    if workers:
-        print(f"fit plane: {workers} worker processes live", flush=True)
+    if not args.no_prestart:
+        workers = gateway.prestart_fit_planes()  # no-op in thread mode
+        if workers:
+            noun = "fleet workers" if fleet is not None else "worker processes"
+            print(f"fit plane: {workers} {noun} live", flush=True)
 
     async def run() -> None:
         if args.warmup:  # before binding: no traffic races the warmup
@@ -762,6 +817,32 @@ def _cmd_serve(args) -> int:
         print("shutting down")
     finally:
         gateway.close()
+    return 0
+
+
+def _cmd_fit_worker(args) -> int:
+    import asyncio
+
+    from repro.fleet import FitPlaneError, FitWorker
+
+    host, port = args.connect
+    worker = FitWorker(host, port, name=args.name,
+                       concurrency=args.concurrency,
+                       echo=lambda line: print(line, flush=True))
+    print(f"fit-worker {worker.name!r}: connecting to {host}:{port} "
+          f"(concurrency {args.concurrency})", flush=True)
+    try:
+        asyncio.run(worker.run())
+    except ConnectionError as exc:
+        print(f"fit-worker: connection failed: {exc}", file=sys.stderr)
+        return 1
+    except FitPlaneError as exc:
+        print(f"fit-worker: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    print(f"fit-worker {worker.name!r}: coordinator gone, exiting "
+          f"({worker.fits_done} fits served)", flush=True)
     return 0
 
 
@@ -915,6 +996,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "warmup": _cmd_warmup,
     "serve": _cmd_serve,
+    "fit-worker": _cmd_fit_worker,
     "serve-sim": _cmd_serve_sim,
     "registry-gc": _cmd_registry_gc,
     "analyze": _cmd_analyze,

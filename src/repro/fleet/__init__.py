@@ -1,0 +1,49 @@
+"""The fit fleet: distributed cold fitting over the artifact boundary.
+
+PR 7 put cold fits behind the strategy pack/unpack boundary in a
+spawn-based process pool; this package lifts the *same* boundary onto a
+socket so N machines become a fit fleet (ROADMAP item 1b) — rankings
+stay instant at the edge while heavy TransferGraph fitting happens
+elsewhere, the operational shape evaluation-free selectors assume.
+
+- :mod:`repro.fleet.errors` — the typed :class:`FitPlaneError` family
+  every executor (thread pool, process pool, socket fleet) sheds with;
+- :mod:`repro.fleet.work` — the worker-side fit task (hydrate → fit →
+  warm → pack) shared by process-pool and socket workers, which is what
+  keeps thread/process/socket artifacts byte-identical;
+- :mod:`repro.fleet.wire` — the length-prefixed, versioned, byte-stable
+  frame protocol (HELLO/REGISTER/HEARTBEAT/FIT/FIT_RESULT/FIT_ERROR);
+- :mod:`repro.fleet.coordinator` — :class:`FleetCoordinator`, the
+  gateway-side registry/heartbeat/dispatch loop with least-outstanding
+  worker selection and retry-once failover;
+- :mod:`repro.fleet.worker` — :class:`FitWorker`, the
+  ``repro fit-worker`` daemon.
+
+Layering: ``serving`` imports ``fleet`` (the router's
+``fit_executor="socket"`` plane), never the reverse — enforced by the
+``import-layering`` rule in ``repro analyze``.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.errors import (
+    FitPlaneError,
+    FitTimeoutError,
+    FitWorkerCrashError,
+    NoWorkersError,
+    WireError,
+)
+from repro.fleet.work import run_fit, warm_worker, zoo_ref_for
+from repro.fleet.worker import FitWorker
+
+__all__ = [
+    "FleetCoordinator",
+    "FitWorker",
+    "FitPlaneError",
+    "FitTimeoutError",
+    "FitWorkerCrashError",
+    "NoWorkersError",
+    "WireError",
+    "run_fit",
+    "warm_worker",
+    "zoo_ref_for",
+]

@@ -132,6 +132,17 @@ class Observability:
             "HTTP responses served, by path and status code.",
             ("path", "status"),
         )
+        self.fleet_workers = m.gauge(
+            "repro_fleet_workers",
+            "Live fit-worker daemons registered with the fleet coordinator.",
+            (),
+        )
+        self.fleet_dispatch = m.counter(
+            "repro_fleet_dispatch_total",
+            "Fleet fit dispatches by outcome (ok/fit_error/retry/crash/"
+            "timeout/no_workers).",
+            ("outcome",),
+        )
 
     # -- request lifecycle --------------------------------------------- #
     @contextmanager
@@ -207,6 +218,14 @@ class Observability:
         scrape time."""
         self.queue_depth.labels(namespace, strategy).set_function(fn)
 
+    def watch_fleet_workers(self, fn) -> None:
+        """Export ``fn()`` (live fleet size) as a gauge, lazily read at
+        scrape time."""
+        self.fleet_workers.labels().set_function(fn)
+
+    def record_fleet_dispatch(self, outcome: str) -> None:
+        self.fleet_dispatch.labels(outcome).inc()
+
     def emit_summary(self, kind: str, **fields) -> None:
         if self.event_log is not None:
             self.event_log.emit_summary(kind, **fields)
@@ -266,6 +285,7 @@ class NullObservability:
         self.requests_total = self.request_latency = null
         self.cache_lookups = self.fit_stage = null
         self.queue_depth = self.http_responses = null
+        self.fleet_workers = self.fleet_dispatch = null
 
     @contextmanager
     def request(
@@ -288,6 +308,12 @@ class NullObservability:
         pass
 
     def watch_queue_depth(self, namespace, strategy, fn) -> None:
+        pass
+
+    def watch_fleet_workers(self, fn) -> None:
+        pass
+
+    def record_fleet_dispatch(self, outcome) -> None:
         pass
 
     def emit_summary(self, kind: str, **fields) -> None:

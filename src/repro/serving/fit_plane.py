@@ -17,13 +17,12 @@ artifact — the same ``(meta, arrays)`` pair the registry persists — so
   inside the packed assembler state (the per-dataset transferability
   normalisation cache) — children never mutate the parent's catalog.
 
-Workers re-hydrate the zoo once and cache it in a module global keyed by
-the zoo fingerprint (:func:`repro.zoo.zoo_cache_key`): the first fit in
-a worker pays a disk load (or a deterministic rebuild when the zoo was
-never cached to disk — see :func:`_hydrate_zoo`), every later fit
-reuses it.  The pool uses the ``spawn`` start method: forking a
-multi-threaded server can inherit held locks into the child, and the
-per-worker interpreter startup is paid once per (long-lived) worker.
+The worker-side task itself — zoo hydration (cached per zoo
+fingerprint), the fit, the warm predict, the pack — lives in
+:mod:`repro.fleet.work` since the socket fleet (ISSUE 9) runs the very
+same function in its ``repro fit-worker`` daemons; this module re-exports
+the typed error family and :func:`zoo_ref_for` from
+:mod:`repro.fleet` for compatibility with pre-fleet imports.
 
 Failure semantics: a worker that dies mid-fit (OOM kill, segfault)
 surfaces as :class:`FitWorkerCrashError` and a fit exceeding
@@ -32,24 +31,27 @@ surfaces as :class:`FitWorkerCrashError` and a fit exceeding
 for that target.  A crash permanently breaks the underlying pool, so the
 executor discards and lazily rebuilds it; the router stays serviceable.
 Ordinary exceptions raised by ``strategy.fit`` propagate with their
-original type, matching the thread path.
+original type, matching the thread path.  The pool uses the ``spawn``
+start method: forking a multi-threaded server can inherit held locks
+into the child, and the per-worker interpreter startup is paid once per
+(long-lived) worker.
 """
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from multiprocessing import get_context
 
-from repro.obs.trace import Trace, activate, deactivate, span
-from repro.zoo.cache import load_zoo, zoo_cache_key
-from repro.zoo.zoo import ZooConfig, build_zoo
+from repro.fleet.errors import (
+    FitPlaneError,
+    FitTimeoutError,
+    FitWorkerCrashError,
+)
+from repro.fleet.work import run_fit, warm_worker, zoo_ref_for
 
 __all__ = [
     "ProcessFitExecutor",
@@ -60,143 +62,6 @@ __all__ = [
 ]
 
 
-class FitPlaneError(RuntimeError):
-    """Base class for process-fit-plane failures (not fit exceptions)."""
-
-
-class FitWorkerCrashError(FitPlaneError):
-    """A worker process died mid-fit; the pool was discarded for rebuild."""
-
-
-class FitTimeoutError(FitPlaneError):
-    """A fit exceeded ``fit_timeout_s``; its coalesced group is shed."""
-
-
-# ---------------------------------------------------------------------- #
-# zoo references: what crosses the boundary instead of a live zoo
-# ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class _ConfigZooRef:
-    """Re-hydrate from a :class:`ZooConfig`: disk cache, else rebuild."""
-
-    config: ZooConfig
-    cache_dir: str | None
-
-    @property
-    def key(self) -> str:
-        return zoo_cache_key(self.config)
-
-
-@dataclass(frozen=True)
-class _PickleZooRef:
-    """A directly-pickled zoo (test stubs without a ZooConfig)."""
-
-    payload: bytes
-    key: str
-
-
-def zoo_ref_for(zoo, cache_dir=None):
-    """The picklable reference a worker re-hydrates ``zoo`` from.
-
-    Zoos built through :func:`repro.zoo.get_or_build_zoo` carry a
-    :class:`ZooConfig` and re-hydrate from the disk cache (or a
-    deterministic rebuild); anything else — stub zoos in tests — must
-    itself be picklable and ships whole.
-    """
-    config = getattr(zoo, "config", None)
-    if isinstance(config, ZooConfig):
-        return _ConfigZooRef(
-            config=config, cache_dir=None if cache_dir is None else str(cache_dir)
-        )
-    try:
-        payload = pickle.dumps(zoo)
-    except Exception as exc:
-        raise FitPlaneError(
-            f"zoo {type(zoo).__name__} has no ZooConfig and cannot be "
-            f"pickled for a fit worker: {exc}"
-        ) from exc
-    digest = hashlib.blake2b(payload, digest_size=10).hexdigest()
-    return _PickleZooRef(payload=payload, key=f"pickled-{digest}")
-
-
-# ---------------------------------------------------------------------- #
-# worker side (top-level functions: spawn pickles them by reference)
-# ---------------------------------------------------------------------- #
-#: per-worker-process zoo cache, keyed by zoo fingerprint — hydration
-#: (disk load or rebuild) is paid once per worker, not once per fit
-_ZOO_CACHE: dict[str, object] = {}
-
-
-def _hydrate_zoo(ref):
-    zoo = _ZOO_CACHE.get(ref.key)
-    if zoo is not None:
-        return zoo
-    if isinstance(ref, _PickleZooRef):
-        zoo = pickle.loads(ref.payload)
-    else:
-        # Mirrors get_or_build_zoo WITHOUT the cache write: concurrent
-        # workers racing identical np.savez calls onto one cache path
-        # could tear it for a later loader, and the rebuild is
-        # deterministic in the config anyway.
-        zoo = load_zoo(ref.config, ref.cache_dir)
-        if zoo is None:
-            zoo = build_zoo(ref.config)
-        if ref.config.include_lora:
-            zoo.ensure_lora_history()
-    _ZOO_CACHE[ref.key] = zoo
-    return zoo
-
-
-def _fit_in_worker(strategy_blob: bytes, zoo_ref, target: str):
-    """Worker entrypoint: hydrate, fit, warm, pack.
-
-    The warm predict materialises the target's lazy transferability
-    normalisation *before* packing, so the derived scores the fit
-    recorded into this process's catalog copy fold back to the parent
-    inside the assembler state.  Spans are collected on a local trace
-    and returned as records; the parent grafts them onto the live
-    request trace (:func:`repro.obs.trace.graft_spans`).
-    """
-    strategy = pickle.loads(strategy_blob)
-    with span("fit.zoo_hydrate"):
-        zoo = _hydrate_zoo(zoo_ref)
-    fitted = strategy.fit(zoo, target)
-    with span("fit.warm_predict"):
-        fitted.predict(zoo.model_ids())
-    with span("fit.artifact_pack"):
-        meta, arrays = strategy.pack(fitted, zoo)
-    return meta, arrays
-
-
-def _fit_task(strategy_blob: bytes, zoo_ref, target: str):
-    trace = Trace("fit-worker", "fit_worker")
-    tokens = activate(trace)
-    try:
-        meta, arrays = _fit_in_worker(strategy_blob, zoo_ref, target)
-    finally:
-        deactivate(tokens)
-        trace.finish()
-    return meta, arrays, trace.span_tree()
-
-
-def _warm_worker(zoo_ref, hold_s: float):
-    """Pool warmup task: hydrate the zoo, then hold the worker briefly.
-
-    The hold makes N concurrently-submitted warmup tasks land on N
-    *distinct* workers with high probability, so every worker pays its
-    interpreter start + zoo hydration before traffic arrives instead of
-    on its first cold fit.
-    """
-    if zoo_ref is not None:
-        _hydrate_zoo(zoo_ref)
-    if hold_s > 0:
-        time.sleep(hold_s)
-    return True
-
-
-# ---------------------------------------------------------------------- #
-# parent side
-# ---------------------------------------------------------------------- #
 class ProcessFitExecutor:
     """A crash-tolerant ``ProcessPoolExecutor`` for cold fits.
 
@@ -246,7 +111,7 @@ class ProcessFitExecutor:
         """
         ref = None if zoo is None else zoo_ref_for(zoo)
         pool = self._get_pool()
-        futures = [pool.submit(_warm_worker, ref, hold_s) for _ in range(self.workers)]
+        futures = [pool.submit(warm_worker, ref, hold_s) for _ in range(self.workers)]
         for future in futures:
             future.result()
         return self.workers
@@ -259,15 +124,17 @@ class ProcessFitExecutor:
             pool.shutdown(wait=True)
 
     # -- fits ----------------------------------------------------------- #
-    def submit_fit(self, strategy, zoo, target: str):
+    def submit_fit(self, strategy, zoo, target: str, *, timeout_s=None):
         """Fit ``target`` in a worker; returns ``(meta, arrays, spans)``.
 
         Blocks until the worker finishes (the caller is a router fit
-        thread).  Raises :class:`FitWorkerCrashError` /
-        :class:`FitTimeoutError` for plane failures, re-raises the
-        original exception for an ordinary fit failure, and raises
-        :class:`FitPlaneError` when the strategy cannot cross the
-        process boundary at all (e.g. a test-patched fit closure).
+        thread).  ``timeout_s`` overrides the executor-level
+        ``fit_timeout_s`` for this fit.  Raises
+        :class:`FitWorkerCrashError` / :class:`FitTimeoutError` for
+        plane failures, re-raises the original exception for an
+        ordinary fit failure, and raises :class:`FitPlaneError` when
+        the strategy cannot cross the process boundary at all (e.g. a
+        test-patched fit closure).
         """
         try:
             blob = pickle.dumps(strategy)
@@ -279,15 +146,16 @@ class ProcessFitExecutor:
             ) from exc
         ref = zoo_ref_for(zoo)
         pool = self._get_pool()
-        future = pool.submit(_fit_task, blob, ref, target)
+        future = pool.submit(run_fit, blob, ref, target)
+        timeout = timeout_s if timeout_s is not None else self.fit_timeout_s
         try:
-            return future.result(timeout=self.fit_timeout_s)
+            return future.result(timeout=timeout)
         except FutureTimeoutError:
             future.cancel()  # drops it if still queued; running fits
             # finish as orphans — their result is simply discarded
             raise FitTimeoutError(
                 f"fit for target {target!r} exceeded "
-                f"{self.fit_timeout_s:.1f}s in the worker pool"
+                f"{timeout:.1f}s in the worker pool"
             ) from None
         except BrokenProcessPool as exc:
             self._discard(pool)

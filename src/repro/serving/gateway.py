@@ -224,6 +224,12 @@ class SelectionGateway:
         Defaults to a fresh plane with no event log; pass a
         :class:`~repro.obs.NullObservability` to disable collection
         entirely (the overhead benchmark's control arm).
+    fleet:
+        A started :class:`~repro.fleet.FleetCoordinator` shared by
+        every ``fit_executor="socket"`` router the gateway builds.  The
+        gateway owns its shutdown: :meth:`close` closes it (dropping
+        all registered ``repro fit-worker`` daemons), and
+        ``/v1/healthz`` lists its live fleet.
     """
 
     def __init__(
@@ -231,9 +237,11 @@ class SelectionGateway:
         registry_root: str | Path | None = None,
         *,
         obs: Observability | None = None,
+        fleet=None,
     ):
         self._registry_root = Path(registry_root) if registry_root is not None else None
         self.obs = obs if obs is not None else Observability()
+        self.fleet = fleet
         self._namespaces: dict[str, _Namespace] = {}
         self._closed = False
 
@@ -284,10 +292,12 @@ class SelectionGateway:
         ``fit_executor`` selects where every router in the namespace
         runs its cold fits: ``"thread"`` (in-process pool),
         ``"process"`` (the :mod:`repro.serving.fit_plane` worker pool —
-        true multi-core fitting), or ``None`` to follow the
-        ``REPRO_FIT_EXECUTOR`` environment default.  ``fit_timeout_s``
-        bounds a process-mode fit before its coalesced group is shed
-        with a typed error.
+        true multi-core fitting), ``"socket"`` (the gateway's shared
+        :class:`~repro.fleet.FleetCoordinator` dispatching to
+        ``repro fit-worker`` daemons; requires the gateway's ``fleet``),
+        or ``None`` to follow the ``REPRO_FIT_EXECUTOR`` environment
+        default.  ``fit_timeout_s`` bounds a process/socket-mode fit
+        before its coalesced group is shed with a typed error.
         """
         if not _NAMESPACE_NAME.fullmatch(name):
             raise ValueError(
@@ -323,6 +333,7 @@ class SelectionGateway:
                 shed_start=shed_start,
                 fit_executor=fit_executor,
                 fit_timeout_s=fit_timeout_s,
+                fleet=self.fleet,
             )
             ns.entries[strat.spec] = _Entry(service, router)
             self.obs.watch_queue_depth(
@@ -540,26 +551,36 @@ class SelectionGateway:
     # lifecycle
     # ------------------------------------------------------------------ #
     def prestart_fit_planes(self) -> int:
-        """Spawn every process-mode router's fit workers now.
+        """Ready every remote fit plane now.
 
-        Worker processes otherwise spawn lazily on the first cold fit,
-        charging interpreter start-up to an unlucky request.  Returns
-        the number of workers confirmed live (0 when every router runs
-        the thread executor).
+        Process-mode routers spawn their worker pools (otherwise lazily
+        charged to an unlucky first request); the shared socket fleet —
+        counted once, not per router — reports its live ``fit-worker``
+        daemons.  Returns the number of workers confirmed live (0 when
+        every router runs the thread executor).
         """
         started = 0
         for ns in self._namespaces.values():
             for entry in ns.entries.values():
-                started += entry.router.prestart_fit_plane()
+                if entry.router.fit_executor != "socket":
+                    started += entry.router.prestart_fit_plane()
+        if self.fleet is not None:
+            started += self.fleet.prestart()
         return started
 
+    def fleet_summary(self) -> dict | None:
+        """The fleet coordinator's live snapshot; None without a fleet."""
+        return None if self.fleet is None else self.fleet.fleet_summary()
+
     def close(self) -> None:
-        """Shut every namespace's routers down; idempotent."""
+        """Shut every namespace's routers (and the fleet) down; idempotent."""
         if not self._closed:
             self._closed = True
             for ns in self._namespaces.values():
                 for entry in ns.entries.values():
                     entry.router.close()
+            if self.fleet is not None:
+                self.fleet.close()
 
     async def __aenter__(self) -> "SelectionGateway":
         return self

@@ -403,6 +403,9 @@ class GatewayHTTPServer:
             },
             "fit_ms": self.gateway.fit_costs(),
         }
+        fleet = self.gateway.fleet_summary()
+        if fleet is not None:
+            payload["fleet"] = fleet
         return 200, payload, ()
 
     async def _get_metrics(self, headers: dict[str, str], body: bytes):

@@ -288,15 +288,23 @@ class AsyncSelectionRouter:
         ``"thread"`` fits in the router's thread pool (the default);
         ``"process"`` ships cold fits to a spawn-based
         ``ProcessPoolExecutor`` (see :mod:`repro.serving.fit_plane`) for
-        true CPU parallelism — the worker returns the strategy-packed
-        artifact, the parent unpacks and writes it through to the
-        registry byte-identically to the thread path.  ``None`` reads
-        the ``REPRO_FIT_EXECUTOR`` environment variable, defaulting to
+        true CPU parallelism; ``"socket"`` dispatches them through a
+        shared :class:`~repro.fleet.FleetCoordinator` (the ``fleet``
+        parameter) to remote ``repro fit-worker`` daemons.  In every
+        remote mode the worker returns the strategy-packed artifact and
+        the parent unpacks and writes it through to the registry
+        byte-identically to the thread path.  ``None`` reads the
+        ``REPRO_FIT_EXECUTOR`` environment variable, defaulting to
         ``"thread"``.
     fit_timeout_s:
-        Process mode only: a fit exceeding this many seconds raises
-        :class:`~repro.serving.fit_plane.FitTimeoutError`, shedding its
+        Process/socket modes: a fit exceeding this many seconds raises
+        :class:`~repro.fleet.errors.FitTimeoutError`, shedding its
         coalesced group.  ``None`` (default) never times out.
+    fleet:
+        The :class:`~repro.fleet.FleetCoordinator` socket-mode fits
+        dispatch through.  Required for ``fit_executor="socket"``; the
+        coordinator is shared (gateway-owned), so :meth:`close` leaves
+        it running.
     """
 
     def __init__(
@@ -312,6 +320,7 @@ class AsyncSelectionRouter:
         shed_rng=None,
         fit_executor: str | None = None,
         fit_timeout_s: float | None = None,
+        fleet=None,
     ):
         if max_pending_fits < 1:
             raise ValueError("max_pending_fits must be >= 1")
@@ -323,9 +332,14 @@ class AsyncSelectionRouter:
             raise ValueError("shed_start must be in [0, 1]")
         if fit_executor is None:
             fit_executor = os.environ.get("REPRO_FIT_EXECUTOR", "thread")
-        if fit_executor not in ("thread", "process"):
+        if fit_executor not in ("thread", "process", "socket"):
             raise ValueError(
-                f"fit_executor must be 'thread' or 'process', got {fit_executor!r}"
+                f"fit_executor must be 'thread', 'process', or 'socket', "
+                f"got {fit_executor!r}"
+            )
+        if fit_executor == "socket" and fleet is None:
+            raise ValueError(
+                "fit_executor='socket' needs a FleetCoordinator (fleet=...)"
             )
         self.service = service
         self.max_pending_fits = max_pending_fits
@@ -335,13 +349,20 @@ class AsyncSelectionRouter:
         self._shed_rng = shed_rng if shed_rng is not None else random.random
         self.fit_workers = fit_workers
         self.fit_executor = fit_executor
+        self._fit_timeout_s = fit_timeout_s
         self._fit_plane = None
+        #: socket planes are shared (gateway-owned); close() must not
+        #: shut a coordinator other routers still dispatch through
+        self._owns_fit_plane = False
         if fit_executor == "process":
             from repro.serving.fit_plane import ProcessFitExecutor
 
             self._fit_plane = ProcessFitExecutor(
                 workers=fit_workers, fit_timeout_s=fit_timeout_s
             )
+            self._owns_fit_plane = True
+        elif fit_executor == "socket":
+            self._fit_plane = fleet
         self._fit_pool = ThreadPoolExecutor(
             max_workers=fit_workers, thread_name_prefix="router-fit"
         )
@@ -478,16 +499,19 @@ class AsyncSelectionRouter:
             self._capacity.notify_all()
 
     def _remote_fit(self, strategy, zoo, target: str):
-        """Process-mode fit: block a fit thread on a worker process.
+        """Process/socket-mode fit: block a fit thread on a remote worker.
 
-        The worker ships back ``(meta, arrays, spans)``; the child's
-        fit-stage spans are grafted onto the live request trace here
-        (this thread carries the request context via
-        :func:`repro.obs.run_in_context`) and the packed payload is
-        returned for :meth:`SelectionService.load_or_fit` to unpack and
-        write through.
+        The worker — a spawn-pool process or a fleet daemon — ships back
+        ``(meta, arrays, spans)``; the child's fit-stage spans are
+        grafted onto the live request trace here (this thread carries
+        the request context via :func:`repro.obs.run_in_context`) and
+        the packed payload is returned for
+        :meth:`SelectionService.load_or_fit` to unpack and write
+        through.
         """
-        meta, arrays, spans = self._fit_plane.submit_fit(strategy, zoo, target)
+        meta, arrays, spans = self._fit_plane.submit_fit(
+            strategy, zoo, target, timeout_s=self._fit_timeout_s
+        )
         graft_spans(spans)
         return meta, arrays
 
@@ -773,24 +797,31 @@ class AsyncSelectionRouter:
         return self._pending_fits
 
     def prestart_fit_plane(self) -> int:
-        """Spawn the process fit plane's workers now (0 in thread mode).
+        """Ready the remote fit plane now (0 in thread mode).
 
         Process workers otherwise spawn lazily on the first cold fits,
         which would bill each of the first ``fit_workers`` requests for
-        an interpreter start plus a zoo hydration on top of its fit.
-        Blocks until every worker is up with the zoo hydrated.
+        an interpreter start plus a zoo hydration on top of its fit;
+        blocks until every worker is up with the zoo hydrated.  A
+        shared socket plane has no pool to spawn — its prestart reports
+        the fleet's live worker count instead.
         """
         if self._fit_plane is None:
             return 0
         return self._fit_plane.prestart(zoo=self.service.zoo)
 
     def close(self) -> None:
-        """Shut the executors down; idempotent."""
+        """Shut the executors down; idempotent.
+
+        A shared socket fit plane (the gateway's fleet coordinator) is
+        left running — other routers may still dispatch through it, and
+        its owner closes it.
+        """
         if not self._closed:
             self._closed = True
             self._fit_pool.shutdown(wait=True)
             self._predict_pool.shutdown(wait=True)
-            if self._fit_plane is not None:
+            if self._fit_plane is not None and self._owns_fit_plane:
                 self._fit_plane.close()
 
     async def __aenter__(self) -> "AsyncSelectionRouter":
