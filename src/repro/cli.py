@@ -358,7 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="HOST:PORT",
                        help="fleet coordinator bind address for "
                             "--fit-executor socket (PORT 0 binds an "
-                            "ephemeral port; default 127.0.0.1:0)")
+                            "ephemeral port; default 127.0.0.1:0 — "
+                            "bind beyond loopback only with "
+                            "--fleet-secret or on a trusted network)")
+    serve.add_argument("--fleet-secret", default=None, metavar="SECRET",
+                       help="shared fleet-auth secret: workers must "
+                            "answer an HMAC challenge with the same "
+                            "secret before they may register or "
+                            "receive fits (default: $REPRO_FLEET_SECRET; "
+                            "unset accepts any client that can reach "
+                            "--fleet-listen)")
     serve.add_argument("--fit-timeout", type=float, default=None,
                        dest="fit_timeout", metavar="SECONDS",
                        help="bound one cold fit (process/socket executors "
@@ -391,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "summaries (default: <hostname>-<pid>)")
     fit_worker.add_argument("--concurrency", type=_positive_int, default=1,
                             help="fits this worker runs at once")
+    fit_worker.add_argument("--fleet-secret", default=None, metavar="SECRET",
+                            help="shared fleet-auth secret; must match "
+                                 "the gateway's --fleet-secret (default: "
+                                 "$REPRO_FLEET_SECRET)")
 
     sim = sub.add_parser(
         "serve-sim", help="replay a synthetic workload; report latency")
@@ -732,13 +745,24 @@ def _cmd_serve(args) -> int:
         from repro.fleet import FleetCoordinator
 
         fleet_host, fleet_port = args.fleet_listen or ("127.0.0.1", 0)
+        secret = args.fleet_secret or os.environ.get("REPRO_FLEET_SECRET")
         fleet = FleetCoordinator(fleet_host, fleet_port,
-                                 fit_timeout_s=args.fit_timeout, obs=obs)
+                                 fit_timeout_s=args.fit_timeout,
+                                 secret=secret, obs=obs)
         fleet_host, fleet_port = fleet.start()
+        if secret is None and fleet_host not in ("127.0.0.1", "::1",
+                                                 "localhost"):
+            print(f"fleet: WARNING — listener {fleet_host}:{fleet_port} "
+                  f"is unauthenticated; anyone who can reach it can join "
+                  f"the fleet and feed fit results into this gateway. "
+                  f"Set --fleet-secret / REPRO_FLEET_SECRET, or keep "
+                  f"--fleet-listen on 127.0.0.1.", file=sys.stderr,
+                  flush=True)
+        auth = "" if secret is None else " --fleet-secret <same secret>"
         print(f"fleet: coordinator listening on "
               f"{fleet_host}:{fleet_port} — connect workers with "
-              f"'repro fit-worker --connect {fleet_host}:{fleet_port}'",
-              flush=True)
+              f"'repro fit-worker --connect {fleet_host}:{fleet_port}"
+              f"{auth}'", flush=True)
     gateway = SelectionGateway(registry_root=root, obs=obs, fleet=fleet)
     presets = _scale_presets()
     default_strategy = _cli_default_strategy(args)
@@ -828,6 +852,8 @@ def _cmd_fit_worker(args) -> int:
     host, port = args.connect
     worker = FitWorker(host, port, name=args.name,
                        concurrency=args.concurrency,
+                       secret=(args.fleet_secret
+                               or os.environ.get("REPRO_FLEET_SECRET")),
                        echo=lambda line: print(line, flush=True))
     print(f"fit-worker {worker.name!r}: connecting to {host}:{port} "
           f"(concurrency {args.concurrency})", flush=True)

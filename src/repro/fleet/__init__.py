@@ -12,7 +12,8 @@ elsewhere, the operational shape evaluation-free selectors assume.
   warm → pack) shared by process-pool and socket workers, which is what
   keeps thread/process/socket artifacts byte-identical;
 - :mod:`repro.fleet.wire` — the length-prefixed, versioned, byte-stable
-  frame protocol (HELLO/REGISTER/HEARTBEAT/FIT/FIT_RESULT/FIT_ERROR);
+  frame protocol (HELLO/CHALLENGE/AUTH/REGISTER/HEARTBEAT/FIT/
+  FIT_RESULT/FIT_ERROR) and the mutual HMAC fleet-secret handshake;
 - :mod:`repro.fleet.coordinator` — :class:`FleetCoordinator`, the
   gateway-side registry/heartbeat/dispatch loop with least-outstanding
   worker selection and retry-once failover;

@@ -13,9 +13,14 @@ the coordinator loop.
 Worker lifecycle:
 
 1. a ``repro fit-worker`` connects and sends HELLO (wire version, name,
-   pid); a version-skewed or silent client is dropped before it can
-   receive work;
-2. the coordinator replies REGISTER with an assigned worker id and the
+   pid, auth nonce); a version-skewed or silent client is dropped
+   before it can receive work;
+2. with a fleet secret configured the coordinator interposes a mutual
+   CHALLENGE/AUTH round — its CHALLENGE carries an HMAC proof over the
+   worker's nonce, the worker answers with a proof over the challenge
+   nonce, and a client that cannot produce it is dropped unregistered
+   (see the trust-model note in :mod:`repro.fleet.wire`); then the
+   coordinator replies REGISTER with an assigned worker id and the
    heartbeat cadence, and the worker joins the live set;
 3. HEARTBEAT frames (and any result frame) refresh ``last_seen``; a
    worker silent for ``heartbeat_misses`` intervals is reaped;
@@ -40,6 +45,8 @@ export ``repro_fleet_workers`` (live gauge) and
 from __future__ import annotations
 
 import asyncio
+import hmac
+import importlib
 import itertools
 import pickle
 import threading
@@ -123,6 +130,7 @@ class FleetCoordinator:
         heartbeat_interval_s: float = 2.0,
         heartbeat_misses: int = 3,
         fit_timeout_s: float | None = None,
+        secret: str | bytes | None = None,
         obs=None,
     ):
         if heartbeat_interval_s <= 0:
@@ -131,6 +139,9 @@ class FleetCoordinator:
             raise ValueError("heartbeat_misses must be >= 1")
         self._host = host
         self._requested_port = port
+        #: shared fleet-auth secret; None accepts any client that can
+        #: reach the listener (loopback/trusted networks only)
+        self._secret = secret
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_misses = heartbeat_misses
         self.fit_timeout_s = fit_timeout_s
@@ -179,12 +190,17 @@ class FleetCoordinator:
         with self._lock:
             already = self._closed
             self._closed = True
-            thread, loop = self._thread, self._loop
+            thread = self._thread
         if already or thread is None:
             return
-        if loop is not None and thread.is_alive():
+        # A close() racing startup must not miss the shutdown event:
+        # _loop/_shutdown are published before _started is set (even on
+        # early loop death, via _thread_main's finally), so wait for it.
+        self._started.wait(timeout=30.0)
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and thread.is_alive():
             try:
-                loop.call_soon_threadsafe(self._shutdown.set)
+                loop.call_soon_threadsafe(shutdown.set)
             except RuntimeError:
                 pass  # loop already gone
         thread.join(timeout=10.0)
@@ -328,6 +344,31 @@ class FleetCoordinator:
         ):
             writer.close()
             return
+        if self._secret is not None:
+            # Mutual HMAC handshake: prove we know the secret over the
+            # worker's nonce, demand proof over ours. A client that
+            # cannot answer is dropped before it holds a worker id or
+            # can address any fit.
+            challenge_nonce = wire.new_nonce()
+            try:
+                await wire.write_frame(
+                    writer,
+                    wire.Challenge(
+                        nonce=challenge_nonce,
+                        proof=wire.coordinator_proof(self._secret, hello.nonce),
+                    ),
+                )
+                answer = await asyncio.wait_for(
+                    wire.read_frame(reader), _HELLO_TIMEOUT_S
+                )
+            except Exception:
+                writer.close()
+                return
+            if not isinstance(answer, wire.Auth) or not hmac.compare_digest(
+                answer.proof, wire.worker_proof(self._secret, challenge_nonce)
+            ):
+                writer.close()
+                return
         order = next(self._worker_seq)
         worker = _Worker(
             worker_id=f"w{order}:{hello.worker_name}",
@@ -373,7 +414,12 @@ class FleetCoordinator:
             self._lose_worker(worker, "disconnected")
 
     def _resolve(self, worker: _Worker, frame) -> None:
-        worker.outstanding.pop(frame.fit_id, None)
+        if frame.fit_id not in worker.outstanding:
+            # Only the worker a fit was dispatched to may resolve it —
+            # a result/error from any other worker (or a late frame for
+            # a timed-out/retried fit) must not touch self._pending.
+            return
+        worker.outstanding.pop(frame.fit_id)
         pending = self._pending.pop(frame.fit_id, None)
         if pending is None or pending.future.done():
             return  # orphan: the fit timed out or was retried elsewhere
@@ -493,19 +539,32 @@ class FleetCoordinator:
 def _revive_error(frame) -> BaseException:
     """The exception a FIT_ERROR frame sheds its coalesced group with.
 
-    An ordinary fit exception travels pickled and re-raises with its
-    original type (matching the process plane); an unpicklable one
-    degrades to RuntimeError with the worker's message, and worker-side
-    plane failures (zoo hydration, unpicklable payloads) stay typed
-    :class:`FitPlaneError`.
+    The frame names the exception as ``(exc_module, exc_type, message)``
+    strings — the coordinator never unpickles worker-supplied bytes, so
+    a worker cannot make the gateway execute code.  Types importable
+    from ``builtins`` or this package's own ``repro.*`` modules re-raise
+    with their original type (matching the process plane); anything else
+    — third-party or test-local exception classes, or constructors that
+    reject a lone message argument — degrades to RuntimeError carrying
+    the worker's message, and worker-side plane failures (zoo hydration,
+    unencodable payloads) stay typed :class:`FitPlaneError`.
     """
-    if frame.exc_blob:
+    module, type_name = frame.exc_module, frame.exc_type
+    if type_name and (module == "builtins" or module.startswith("repro.")):
         try:
-            exc = pickle.loads(frame.exc_blob)
-        except Exception:
-            exc = None
-        if isinstance(exc, BaseException):
-            return exc
+            candidate = getattr(importlib.import_module(module), type_name, None)
+        except ImportError:
+            candidate = None
+        if (
+            isinstance(candidate, type)
+            and issubclass(candidate, BaseException)
+            and not issubclass(candidate, (SystemExit, KeyboardInterrupt))
+        ):
+            try:
+                return candidate(frame.message)
+            except Exception:
+                pass  # constructor wants more than a message
     if frame.kind == "plane":
         return FitPlaneError(frame.message)
-    return RuntimeError(frame.message)
+    prefix = f"{type_name}: " if type_name else ""
+    return RuntimeError(f"{prefix}{frame.message}")

@@ -20,12 +20,14 @@ Frames and their direction:
 ========== ======================= ===================================
 frame      direction               carries
 ========== ======================= ===================================
-HELLO      worker -> coordinator   wire version, worker name, pid
+HELLO      worker -> coordinator   wire version, worker name, pid, nonce
+CHALLENGE  coordinator -> worker   auth nonce + coordinator's HMAC proof
+AUTH       worker -> coordinator   worker's HMAC proof of the challenge
 REGISTER   coordinator -> worker   assigned worker id, heartbeat cadence
 HEARTBEAT  worker -> coordinator   liveness + outstanding/fits_done
 FIT        coordinator -> worker   fit id, target, pickled strategy+zoo ref
 FIT_RESULT worker -> coordinator   meta JSON, span records, packed arrays
-FIT_ERROR  worker -> coordinator   typed kind, message, pickled exception
+FIT_ERROR  worker -> coordinator   typed kind, exception module/type, message
 ========== ======================= ===================================
 
 A frame that fails to parse (bad magic sizes, unknown type, missing
@@ -33,11 +35,26 @@ fields) raises :class:`~repro.fleet.errors.WireError`; both ends treat
 that as a dead peer and drop the connection.  ``WIRE_VERSION`` is
 checked once at HELLO — a version-skewed worker is refused before it
 can receive work.
+
+Trust model: the gateway never evaluates bytes a worker sends — the
+worker->coordinator frames are pure JSON headers plus raw numpy array
+bytes (FIT_ERROR names the exception by module/type string; nothing is
+unpickled).  Pickle travels only coordinator->worker inside FIT, which
+is why the CHALLENGE/AUTH handshake is *mutual*: when a shared secret
+is configured (``--fleet-secret`` / ``REPRO_FLEET_SECRET``) each side
+proves knowledge of it with an HMAC over the other side's fresh nonce
+(:func:`coordinator_proof` / :func:`worker_proof`,
+``multiprocessing.connection``-style) before any FIT is exchanged.
+Without a secret the listener must stay on a loopback/trusted
+interface — anyone who can connect can join the fleet.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import os
 import struct
 from dataclasses import dataclass, field
 
@@ -49,6 +66,8 @@ __all__ = [
     "WIRE_VERSION",
     "MAX_FRAME_BYTES",
     "Hello",
+    "Challenge",
+    "Auth",
     "Register",
     "Heartbeat",
     "Fit",
@@ -58,10 +77,13 @@ __all__ = [
     "decode_frame",
     "read_frame",
     "write_frame",
+    "new_nonce",
+    "coordinator_proof",
+    "worker_proof",
 ]
 
 #: bumped on any frame-shape change; checked at HELLO
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 #: hard frame-size ceiling — a corrupt length prefix must not make a
 #: reader allocate gigabytes (tiny-zoo artifacts are a few MB)
@@ -72,11 +94,38 @@ _LEN = struct.Struct("!I")
 
 @dataclass(frozen=True)
 class Hello:
-    """Worker's opening frame: who it is and what protocol it speaks."""
+    """Worker's opening frame: who it is and what protocol it speaks.
+
+    ``nonce`` is the worker's fresh challenge material: a secured
+    coordinator must echo ``coordinator_proof(secret, nonce)`` in its
+    CHALLENGE, proving *it* knows the secret before the worker will
+    accept (and later unpickle) FIT payloads from it.
+    """
 
     worker_name: str
     pid: int
     wire_version: int = WIRE_VERSION
+    nonce: str = ""
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """Coordinator's auth demand: prove knowledge of the fleet secret.
+
+    ``proof`` is the coordinator's own HMAC over the HELLO nonce, so
+    authentication is mutual — a worker never registers with (or takes
+    pickled FIT payloads from) a coordinator that cannot produce it.
+    """
+
+    nonce: str
+    proof: str
+
+
+@dataclass(frozen=True)
+class Auth:
+    """Worker's answer to CHALLENGE: HMAC proof over the challenge nonce."""
+
+    proof: str
 
 
 @dataclass(frozen=True)
@@ -124,23 +173,59 @@ class FitResult:
 @dataclass(frozen=True)
 class FitError:
     """A failed fit: ``kind`` separates plane failures from ordinary
-    fit exceptions (which re-raise with their original type via
-    ``exc_blob`` when it unpickles, else as a RuntimeError)."""
+    fit exceptions.
+
+    The exception travels as ``(exc_module, exc_type, message)`` strings
+    in the JSON header — never pickled, so a worker cannot make the
+    gateway execute bytes.  The coordinator re-raises with the original
+    type when it names an importable ``builtins``/``repro.*`` exception
+    class, else degrades to a RuntimeError carrying the message.
+    """
 
     fit_id: str
     kind: str  # "fit" (strategy raised) | "plane" (hydration/infra)
     message: str
-    exc_blob: bytes = b""
+    exc_module: str = ""
+    exc_type: str = ""
 
 
 _FRAME_NAMES = {
     Hello: "HELLO",
+    Challenge: "CHALLENGE",
+    Auth: "AUTH",
     Register: "REGISTER",
     Heartbeat: "HEARTBEAT",
     Fit: "FIT",
     FitResult: "FIT_RESULT",
     FitError: "FIT_ERROR",
 }
+
+
+# ---------------------------------------------------------------------- #
+# fleet-secret authentication (multiprocessing.connection-style HMAC)
+# ---------------------------------------------------------------------- #
+def new_nonce() -> str:
+    """Fresh per-connection challenge material (hex, 256 bits)."""
+    return os.urandom(32).hex()
+
+
+def _proof(secret, role: bytes, nonce: str) -> str:
+    key = secret.encode("utf-8") if isinstance(secret, str) else bytes(secret)
+    return hmac.new(key, role + nonce.encode("ascii"), hashlib.sha256).hexdigest()
+
+
+def coordinator_proof(secret, worker_nonce: str) -> str:
+    """The coordinator's HMAC over the worker's HELLO nonce.
+
+    Domain-separated from :func:`worker_proof` so a proof captured in
+    one direction can never be replayed in the other.
+    """
+    return _proof(secret, b"repro-fleet-coordinator:", worker_nonce)
+
+
+def worker_proof(secret, challenge_nonce: str) -> str:
+    """The worker's HMAC over the coordinator's CHALLENGE nonce."""
+    return _proof(secret, b"repro-fleet-worker:", challenge_nonce)
 
 
 def _header_bytes(header: dict) -> bytes:
@@ -159,7 +244,12 @@ def encode_frame(frame) -> bytes:
             "worker_name": frame.worker_name,
             "pid": int(frame.pid),
             "wire_version": int(frame.wire_version),
+            "nonce": frame.nonce,
         }
+    elif isinstance(frame, Challenge):
+        header = {"frame": name, "nonce": frame.nonce, "proof": frame.proof}
+    elif isinstance(frame, Auth):
+        header = {"frame": name, "proof": frame.proof}
     elif isinstance(frame, Register):
         header = {
             "frame": name,
@@ -204,13 +294,13 @@ def encode_frame(frame) -> bytes:
             "arrays": descriptors,
         }
     else:  # FitError
-        blobs = [frame.exc_blob]
         header = {
             "frame": name,
             "fit_id": frame.fit_id,
             "kind": frame.kind,
             "message": frame.message,
-            "blobs": [len(frame.exc_blob)],
+            "exc_module": frame.exc_module,
+            "exc_type": frame.exc_type,
         }
     try:
         head = _header_bytes(header)
@@ -271,8 +361,17 @@ def decode_frame(payload: bytes):
             header, name, "worker_name", "pid", "wire_version"
         )
         return Hello(
-            worker_name=str(worker_name), pid=int(pid), wire_version=int(version)
+            worker_name=str(worker_name),
+            pid=int(pid),
+            wire_version=int(version),
+            nonce=str(header.get("nonce", "")),
         )
+    if name == "CHALLENGE":
+        nonce, proof = _require(header, name, "nonce", "proof")
+        return Challenge(nonce=str(nonce), proof=str(proof))
+    if name == "AUTH":
+        (proof,) = _require(header, name, "proof")
+        return Auth(proof=str(proof))
     if name == "REGISTER":
         worker_id, interval = _require(
             header, name, "worker_id", "heartbeat_interval_s"
@@ -326,14 +425,17 @@ def decode_frame(payload: bytes):
                 ) from exc
         return FitResult(fit_id=str(fit_id), meta=meta, spans=spans, arrays=arrays)
     if name == "FIT_ERROR":
-        fit_id, kind, message, lengths = _require(
-            header, name, "fit_id", "kind", "message", "blobs"
-        )
-        if len(lengths) != 1:
-            raise WireError(f"FIT_ERROR frame needs 1 blob, got {len(lengths)}")
-        (exc_blob,) = _split_blobs(tail, lengths, name)
+        fit_id, kind, message = _require(header, name, "fit_id", "kind", "message")
+        if tail:
+            raise WireError(
+                f"FIT_ERROR frame carries {len(tail)} unexpected blob bytes"
+            )
         return FitError(
-            fit_id=str(fit_id), kind=str(kind), message=str(message), exc_blob=exc_blob
+            fit_id=str(fit_id),
+            kind=str(kind),
+            message=str(message),
+            exc_module=str(header.get("exc_module", "")),
+            exc_type=str(header.get("exc_type", "")),
         )
     raise WireError(f"unknown fleet frame {name!r}")
 

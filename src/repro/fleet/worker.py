@@ -12,17 +12,29 @@ Zoo hydration is cached per zoo fingerprint in the process-global
 disk load once, exactly like a process-pool worker.
 
 Error discipline mirrors the process plane: an ordinary exception from
-``strategy.fit`` ships back pickled inside FIT_ERROR (``kind="fit"``)
-and re-raises with its original type in the parent, while worker-side
-infrastructure failures (zoo hydration, an unpicklable result) ship as
-``kind="plane"`` and surface as
+``strategy.fit`` ships back inside FIT_ERROR (``kind="fit"``) as its
+``(module, type, message)`` strings — never pickled, so the gateway
+needs no trust in worker bytes — and re-raises with its original type
+in the parent when that names a ``builtins``/``repro.*`` exception,
+while worker-side infrastructure failures (zoo hydration, an
+unencodable result) ship as ``kind="plane"`` and surface as
 :class:`~repro.fleet.errors.FitPlaneError`.  The worker never dies on a
-failed fit — only on disconnect.
+failed fit — only on disconnect.  ``fits_done`` counts *successful*
+fits only (failures are visible as FIT_ERROR outcomes on the
+coordinator), so healthz summaries mean the same thing on both ends.
+
+When the coordinator was started with a fleet secret, pass the same
+``secret`` here: registration then runs the mutual CHALLENGE/AUTH
+handshake from :mod:`repro.fleet.wire`, and the worker refuses a
+coordinator that cannot prove knowledge of the secret — FIT frames
+carry pickled payloads, so the worker must authenticate the
+coordinator, not just the reverse.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import os
 import pickle
 import socket
@@ -50,6 +62,11 @@ class FitWorker:
         Fits this worker runs at once (executor threads).  The default
         1 keeps one fit per worker — the coordinator's least-outstanding
         dispatch then spreads a multi-target burst across the fleet.
+    secret:
+        Shared fleet-auth secret (``--fleet-secret`` /
+        ``REPRO_FLEET_SECRET``); must match the coordinator's.  None
+        registers unauthenticated with an open coordinator — and
+        refuses a coordinator that demands authentication.
     echo:
         Optional ``print``-like callable for lifecycle lines (the CLI
         passes one; tests and benchmarks leave it None).
@@ -62,6 +79,7 @@ class FitWorker:
         *,
         name: str | None = None,
         concurrency: int = 1,
+        secret: str | bytes | None = None,
         echo=None,
     ):
         if concurrency < 1:
@@ -70,6 +88,7 @@ class FitWorker:
         self.port = port
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.concurrency = concurrency
+        self._secret = secret
         self.worker_id: str | None = None
         self.fits_done = 0
         self._outstanding = 0
@@ -92,11 +111,28 @@ class FitWorker:
         )
         write_lock = asyncio.Lock()
         heartbeat_task = None
+        # Strong references: the loop only weakly references tasks, so a
+        # bare create_task could be collected mid-fit, silently dropping
+        # the reply and stranding the coordinator until fit_timeout_s.
+        fit_tasks: set[asyncio.Task] = set()
         try:
+            nonce = wire.new_nonce()
             await wire.write_frame(
-                writer, wire.Hello(worker_name=self.name, pid=os.getpid())
+                writer,
+                wire.Hello(worker_name=self.name, pid=os.getpid(), nonce=nonce),
             )
             registration = await wire.read_frame(reader)
+            if isinstance(registration, wire.Challenge):
+                registration = await self._answer_challenge(
+                    reader, writer, registration, nonce
+                )
+            elif self._secret is not None:
+                raise FitPlaneError(
+                    "coordinator did not request fleet-secret "
+                    "authentication but this worker has one configured — "
+                    "refusing to take fits from an unauthenticated "
+                    "coordinator"
+                )
             if not isinstance(registration, wire.Register):
                 raise FitPlaneError(
                     f"coordinator answered HELLO with "
@@ -114,9 +150,11 @@ class FitWorker:
             while True:
                 frame = await wire.read_frame(reader)
                 if isinstance(frame, wire.Fit):
-                    asyncio.create_task(
+                    task = asyncio.create_task(
                         self._handle_fit(frame, writer, write_lock, pool)
                     )
+                    fit_tasks.add(task)
+                    task.add_done_callback(fit_tasks.discard)
         except (asyncio.IncompleteReadError, ConnectionError, OSError, WireError):
             self._say(
                 f"fit-worker {self.worker_id or self.name!r}: "
@@ -125,8 +163,30 @@ class FitWorker:
         finally:
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
+            for task in fit_tasks:
+                task.cancel()
             pool.shutdown(wait=False)
             writer.close()
+
+    async def _answer_challenge(self, reader, writer, challenge, nonce):
+        """Mutual auth: verify the coordinator's proof, send ours back."""
+        if self._secret is None:
+            raise FitPlaneError(
+                f"coordinator {self.host}:{self.port} requires a fleet "
+                f"secret — start this worker with --fleet-secret / "
+                f"REPRO_FLEET_SECRET"
+            )
+        if not hmac.compare_digest(
+            challenge.proof, wire.coordinator_proof(self._secret, nonce)
+        ):
+            raise FitPlaneError(
+                f"coordinator {self.host}:{self.port} failed fleet-secret "
+                f"authentication — refusing to take fits from it"
+            )
+        await wire.write_frame(
+            writer, wire.Auth(proof=wire.worker_proof(self._secret, challenge.nonce))
+        )
+        return await wire.read_frame(reader)
 
     def run_in_thread(self) -> threading.Thread:
         """Serve from a daemon thread (tests/benchmarks); returns it.
@@ -183,21 +243,17 @@ class FitWorker:
             reply = wire.FitResult(
                 fit_id=frame.fit_id, meta=meta, spans=spans, arrays=arrays
             )
+            self.fits_done += 1  # successes only; both ends agree
         except Exception as exc:
-            kind = "plane" if isinstance(exc, FitPlaneError) else "fit"
-            try:
-                exc_blob = pickle.dumps(exc)
-            except Exception:
-                exc_blob = b""  # parent degrades to RuntimeError(message)
             reply = wire.FitError(
                 fit_id=frame.fit_id,
-                kind=kind,
-                message=f"{type(exc).__name__}: {exc}",
-                exc_blob=exc_blob,
+                kind="plane" if isinstance(exc, FitPlaneError) else "fit",
+                message=str(exc),
+                exc_module=type(exc).__module__,
+                exc_type=type(exc).__name__,
             )
         finally:
             self._outstanding -= 1
-        self.fits_done += 1
         try:
             async with write_lock:
                 await wire.write_frame(writer, reply)

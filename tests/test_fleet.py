@@ -22,6 +22,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -117,9 +118,13 @@ _arrays = npst.arrays(
     shape=npst.array_shapes(min_dims=0, max_dims=3, max_side=4),
 )
 
+_hexes = st.text(alphabet="0123456789abcdef", min_size=0, max_size=64)
+
 _frames = st.one_of(
     st.builds(wire.Hello, worker_name=_names, pid=_counts,
-              wire_version=_counts),
+              wire_version=_counts, nonce=_hexes),
+    st.builds(wire.Challenge, nonce=_hexes, proof=_hexes),
+    st.builds(wire.Auth, proof=_hexes),
     st.builds(wire.Register, worker_id=_names,
               heartbeat_interval_s=st.floats(0.001, 1e6)),
     st.builds(wire.Heartbeat, worker_id=_names, outstanding=_counts,
@@ -130,7 +135,8 @@ _frames = st.one_of(
               spans=st.lists(_json_dicts, max_size=3),
               arrays=st.dictionaries(_names, _arrays, max_size=3)),
     st.builds(wire.FitError, fit_id=_names, kind=st.sampled_from(["fit",
-              "plane"]), message=_names, exc_blob=_blobs),
+              "plane"]), message=_names, exc_module=_names,
+              exc_type=_names),
 )
 
 
@@ -202,11 +208,12 @@ class TestWireRoundTrip:
 # ---------------------------------------------------------------------- #
 # coordinator + in-thread workers: dispatch and typed failure semantics
 # ---------------------------------------------------------------------- #
-def fleet_with_workers(count=2, **kwargs):
+def fleet_with_workers(count=2, secret=None, **kwargs):
     """A started coordinator with ``count`` in-thread workers live."""
-    fleet = FleetCoordinator("127.0.0.1", 0, **kwargs)
+    fleet = FleetCoordinator("127.0.0.1", 0, secret=secret, **kwargs)
     host, port = fleet.start()
-    workers = [FitWorker(host, port, name=f"wk{i}") for i in range(count)]
+    workers = [FitWorker(host, port, name=f"wk{i}", secret=secret)
+               for i in range(count)]
     threads = [w.run_in_thread() for w in workers]
     fleet.wait_for_workers(count)
     return fleet, workers, threads
@@ -372,6 +379,175 @@ class TestWorkerLifecycle:
             assert all(d["pid"] == os.getpid() for d in summary["details"])
         finally:
             fleet.close()
+
+
+class TestAuth:
+    """The mutual HMAC handshake gating registration (--fleet-secret)."""
+
+    def test_secured_fleet_serves_fits_end_to_end(self):
+        fleet, _, _ = fleet_with_workers(2, secret="s3kr1t")
+        service = SelectionService(StubZoo(),
+                                   StubStrategy("agree",
+                                                STUB_SCORES["agree"]))
+        router = socket_router(service, fleet)
+        try:
+            assert run(router.rank("t0"))[0][0] == "m0"
+        finally:
+            router.close()
+            fleet.close()
+
+    def test_wrong_secret_fails_mutual_auth_and_registers_nothing(self):
+        fleet = FleetCoordinator("127.0.0.1", 0, secret="right")
+        host, port = fleet.start()
+        try:
+            # mutual: the worker rejects the coordinator's proof first
+            with pytest.raises(FitPlaneError, match="failed fleet-secret"):
+                run(FitWorker(host, port, name="w", secret="wrong").run())
+            assert fleet.worker_count == 0
+        finally:
+            fleet.close()
+
+    def test_forged_auth_proof_is_dropped_before_register(self):
+        fleet = FleetCoordinator("127.0.0.1", 0, secret="right")
+        host, port = fleet.start()
+
+        async def scenario():
+            reader, writer = await asyncio.open_connection(host, port)
+            await wire.write_frame(
+                writer, wire.Hello("intruder", os.getpid(),
+                                   nonce=wire.new_nonce()))
+            challenge = await wire.read_frame(reader)
+            assert isinstance(challenge, wire.Challenge)
+            await wire.write_frame(writer, wire.Auth(proof="0" * 64))
+            with pytest.raises(asyncio.IncompleteReadError):
+                await wire.read_frame(reader)  # dropped, never REGISTER
+            writer.close()
+
+        try:
+            run(scenario())
+            assert fleet.worker_count == 0
+        finally:
+            fleet.close()
+
+    def test_secretless_worker_is_told_to_bring_the_secret(self):
+        fleet = FleetCoordinator("127.0.0.1", 0, secret="right")
+        host, port = fleet.start()
+        try:
+            with pytest.raises(FitPlaneError,
+                               match="requires a fleet secret"):
+                run(FitWorker(host, port, name="bare").run())
+            assert fleet.worker_count == 0
+        finally:
+            fleet.close()
+
+    def test_secured_worker_refuses_an_open_coordinator(self):
+        fleet = FleetCoordinator("127.0.0.1", 0)  # no secret: no challenge
+        host, port = fleet.start()
+        try:
+            with pytest.raises(FitPlaneError,
+                               match="did not request fleet-secret"):
+                run(FitWorker(host, port, name="strict", secret="s").run())
+        finally:
+            fleet.close()
+
+    def test_proofs_are_domain_separated(self):
+        # a captured coordinator proof must never replay as a worker's
+        nonce = wire.new_nonce()
+        assert wire.coordinator_proof("s", nonce) != wire.worker_proof(
+            "s", nonce)
+
+
+class TestResolveOwnership:
+    def test_foreign_fit_error_cannot_poison_anothers_fit(self):
+        """A frame from worker B for a fit dispatched to worker A is
+        ignored — B can neither resolve nor fail A's pending future."""
+        fleet = FleetCoordinator("127.0.0.1", 0)
+        host, port = fleet.start()
+
+        async def join(name):
+            reader, writer = await asyncio.open_connection(host, port)
+            await wire.write_frame(writer, wire.Hello(name, os.getpid()))
+            assert isinstance(await wire.read_frame(reader), wire.Register)
+            return reader, writer
+
+        async def scenario():
+            reader_a, writer_a = await join("fakeA")
+            _, writer_b = await join("fakeB")
+            box = {}
+            thread = threading.Thread(
+                target=lambda: box.update(result=fleet.submit_fit(
+                    StubStrategy("agree", STUB_SCORES["agree"]),
+                    StubZoo(), "t0")))
+            thread.start()
+            fit = await asyncio.wait_for(wire.read_frame(reader_a), 10)
+            assert isinstance(fit, wire.Fit)  # least-outstanding picked A
+            await wire.write_frame(writer_b, wire.FitError(
+                fit.fit_id, "fit", "forged", exc_module="builtins",
+                exc_type="ValueError"))
+            await asyncio.sleep(0.3)
+            assert thread.is_alive()  # the forged frame resolved nothing
+            await wire.write_frame(writer_a, wire.FitResult(
+                fit.fit_id, meta={"winner": "fakeA"}, spans=[]))
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            writer_a.close()
+            writer_b.close()
+            return box["result"]
+
+        try:
+            meta, arrays, spans = run(scenario())
+        finally:
+            fleet.close()
+        assert meta == {"winner": "fakeA"}
+        assert dict(arrays) == {} and spans == []
+
+    def test_fits_done_counts_successes_not_attempts(self):
+        fleet, workers, _ = fleet_with_workers(1)
+        failing = SelectionService(StubZoo(), FailingFleetStrategy())
+        router = socket_router(failing, fleet)
+        try:
+            with pytest.raises(ValueError, match="no fit for 't0'"):
+                run(router.rank("t0"))
+        finally:
+            router.close()
+        healthy = SelectionService(StubZoo(),
+                                   StubStrategy("agree",
+                                                STUB_SCORES["agree"]))
+        router = socket_router(healthy, fleet)
+        try:
+            run(router.rank("t0"))
+            assert workers[0].fits_done == 1  # the failure didn't count
+            assert fleet.fleet_summary()["details"][0]["fits_done"] == 1
+        finally:
+            router.close()
+            fleet.close()
+
+
+class TestLifecycleRaces:
+    def test_close_before_start_is_a_quiet_no_op(self):
+        fleet = FleetCoordinator("127.0.0.1", 0)
+        fleet.close()  # never started: nothing to join, nothing to hang
+        with pytest.raises(FitPlaneError, match="closed"):
+            fleet.start()
+
+    def test_close_racing_start_never_leaks_the_loop_thread(self):
+        for _ in range(5):
+            fleet = FleetCoordinator("127.0.0.1", 0)
+
+            def starter():
+                try:
+                    fleet.start()
+                except FitPlaneError:
+                    pass  # close() won the race; that's the point
+
+            thread = threading.Thread(target=starter)
+            thread.start()
+            fleet.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            if fleet._thread is not None:
+                fleet._thread.join(timeout=10)
+                assert not fleet._thread.is_alive()
 
 
 # ---------------------------------------------------------------------- #
@@ -601,20 +777,23 @@ class TestCLI:
 
         args = build_parser().parse_args(
             ["fit-worker", "--connect", "10.0.0.7:9000", "--name", "gpu-3",
-             "--concurrency", "2"])
+             "--concurrency", "2", "--fleet-secret", "hunter2"])
         assert args.command == "fit-worker"
         assert args.connect == ("10.0.0.7", 9000)
         assert args.concurrency == 2
+        assert args.fleet_secret == "hunter2"
 
     def test_serve_accepts_socket_executor_and_fleet_listen(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(
             ["serve", "--fit-executor", "socket",
-             "--fleet-listen", "0.0.0.0:7700", "--no-prestart"])
+             "--fleet-listen", "0.0.0.0:7700", "--no-prestart",
+             "--fleet-secret", "hunter2"])
         assert args.fit_executor == "socket"
         assert args.fleet_listen == ("0.0.0.0", 7700)
         assert args.no_prestart
+        assert args.fleet_secret == "hunter2"
 
     @pytest.mark.parametrize("bad", ["7700", "host:", ":", "host:port",
                                      "host:70000"])
