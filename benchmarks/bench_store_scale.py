@@ -1,0 +1,168 @@
+"""Store scale — indexed lookups at 1e6 rows, incremental vs full refit.
+
+Not a paper figure: this gates the durability tentpole (ROADMAP open
+item 2, "survive a zoo with millions of targets").  Two contracts:
+
+- **Indexed lookup is sublinear.**  A million-row synthetic history
+  table answers an equality filter on an indexed column through a
+  SQLite B-tree; the same filter without the index scans every row.
+  The indexed lookup must beat the scan by >=10x at 1e6 rows and must
+  not grow with table size the way the scan does (10x more rows may
+  cost the index at most 5x, where the scan pays ~10x).
+
+- **Incremental refresh is O(changed edges).**  After a 1-row history
+  update, `Node2Vec.refresh` re-walks only the dirty nodes' 1-hop
+  frontier and warm-starts SGNS, while a full refit re-embeds every
+  node.  Embedding dominates a TG fit (>90% of fit wall-clock on the
+  tiny zoo), so the learner-level speedup bounds the service-level
+  one.  Required: >=5x on a graph large enough that the frontier is a
+  small fraction of the nodes (360 nodes here; the ratio grows with
+  zoo size because refresh cost tracks the frontier, not the graph).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from benchmarks.helpers import BENCH_EMBEDDING_DIM
+from repro.graph import ModelDatasetGraph, Node2Vec
+from repro.store import Column, Schema, SQLiteStore
+
+_SMALL_ROWS = 100_000
+_LARGE_ROWS = 1_000_000
+_MODELS = 500            # -> _LARGE_ROWS / _MODELS datasets per model
+_LOOKUP_ROUNDS = 30
+
+
+def _history_schema(name: str) -> Schema:
+    return Schema(
+        name=name,
+        columns=[
+            Column("model_id", "str"),
+            Column("dataset_id", "str"),
+            Column("accuracy", "float"),
+        ],
+        primary_key=("model_id", "dataset_id"),
+    )
+
+
+def _fill(table, n_rows: int, chunk: int = 50_000) -> None:
+    datasets = n_rows // _MODELS
+    buffer: list[dict] = []
+    for m in range(_MODELS):
+        for d in range(datasets):
+            buffer.append({"model_id": f"m{m:05d}",
+                           "dataset_id": f"d{d:05d}",
+                           "accuracy": (m * 31 + d) % 97 / 97.0})
+            if len(buffer) >= chunk:
+                table.load_records(buffer)
+                buffer = []
+    if buffer:
+        table.load_records(buffer)
+
+
+def _best_lookup(table, dataset_ids: list[str]) -> float:
+    best = float("inf")
+    for i in range(_LOOKUP_ROUNDS):
+        key = dataset_ids[i % len(dataset_ids)]
+        start = time.perf_counter()
+        rows = table.filter(dataset_id=key)
+        best = min(best, time.perf_counter() - start)
+        assert len(rows) == _MODELS
+    return best
+
+
+def _run_lookup(tmp_path) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for label, n_rows in (("small", _SMALL_ROWS), ("large", _LARGE_ROWS)):
+        store = SQLiteStore(tmp_path / f"{label}.db")
+        indexed = store.table(_history_schema("indexed")).add_index("dataset_id")
+        scanned = store.table(_history_schema("scanned"))
+        _fill(indexed, n_rows)
+        _fill(scanned, n_rows)
+        keys = [f"d{d:05d}" for d in range(0, n_rows // _MODELS, 7)]
+        out[f"indexed_{label}_s"] = _best_lookup(indexed, keys)
+        out[f"scan_{label}_s"] = _best_lookup(scanned, keys)
+        store.close()
+    return out
+
+
+def _synthetic_graph(n_models: int = 240, n_datasets: int = 120,
+                     degree: int = 10) -> ModelDatasetGraph:
+    """The GraphBuilder's output shape, at a size the tiny zoo can't reach."""
+    g = ModelDatasetGraph()
+    models = [f"m{i}" for i in range(n_models)]
+    datasets = [f"d{i}" for i in range(n_datasets)]
+    for m in models:
+        g.add_node(m, "model")
+    for d in datasets:
+        g.add_node(d, "dataset")
+    rng = np.random.default_rng(11)
+    for i, m in enumerate(models):
+        for d in rng.choice(n_datasets, size=degree, replace=False):
+            g.add_edge(m, datasets[d], 0.2 + 0.8 * ((i + d) % 13) / 13,
+                       "accuracy")
+    for i in range(n_datasets - 1):
+        g.add_edge(datasets[i], datasets[i + 1], 0.5, "similarity")
+    return g
+
+
+def _run_refresh() -> dict[str, float]:
+    graph = _synthetic_graph()
+    learner = Node2Vec(dim=BENCH_EMBEDDING_DIM, seed=3,
+                       num_walks=4, walk_length=10, epochs=2)
+
+    start = time.perf_counter()
+    embeddings = learner.embed(graph)
+    full_s = time.perf_counter() - start
+
+    # a single history-row update dirties its two incident nodes
+    dirty = {"m7", "d3"}
+    start = time.perf_counter()
+    refreshed = learner.refresh(graph, embeddings, dirty)
+    refresh_s = time.perf_counter() - start
+    assert set(refreshed) == set(graph.nodes())
+
+    frontier = set(dirty)
+    for node in dirty:
+        frontier.update(nb for nb, _w, _k in graph.neighbors(node))
+    return {
+        "full_s": full_s,
+        "refresh_s": refresh_s,
+        "frontier": len(frontier),
+        "nodes": len(graph.nodes()),
+    }
+
+
+def test_bench_store_scale(benchmark, tmp_path):
+    def run():
+        rows = _run_lookup(tmp_path / "lookup")
+        rows.update(_run_refresh())
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Store scale — indexed lookup + incremental refresh")
+    print(f"  lookup @ {_SMALL_ROWS:>9,d} rows: "
+          f"indexed {rows['indexed_small_s'] * 1e6:8.1f} us   "
+          f"scan {rows['scan_small_s'] * 1e3:8.2f} ms")
+    print(f"  lookup @ {_LARGE_ROWS:>9,d} rows: "
+          f"indexed {rows['indexed_large_s'] * 1e6:8.1f} us   "
+          f"scan {rows['scan_large_s'] * 1e3:8.2f} ms")
+    scan_speedup = rows["scan_large_s"] / rows["indexed_large_s"]
+    index_growth = rows["indexed_large_s"] / rows["indexed_small_s"]
+    print(f"  indexed vs scan @ 1e6     {scan_speedup:8.1f}x")
+    print(f"  indexed cost growth (10x rows) {index_growth:5.2f}x")
+    print(f"  full embed ({rows['nodes']:.0f} nodes)     "
+          f"{rows['full_s'] * 1e3:8.1f} ms")
+    print(f"  refresh (frontier {rows['frontier']:.0f})      "
+          f"{rows['refresh_s'] * 1e3:8.1f} ms")
+    refresh_speedup = rows["full_s"] / rows["refresh_s"]
+    print(f"  incremental speedup       {refresh_speedup:8.1f}x")
+
+    assert scan_speedup >= 10.0
+    assert index_growth <= 5.0
+    assert refresh_speedup >= 5.0

@@ -19,7 +19,11 @@ direct calls that block:
 - anything under ``subprocess`` (the process fit plane wraps its pool
   in an executor for a reason);
 - ``<strategy>.fit(...)`` and ``np.load`` (the two heavyweight calls
-  the executors exist for).
+  the executors exist for);
+- anything under ``sqlite3`` and ``execute``/``executemany``/
+  ``executescript`` calls (the durable store and the registry's
+  artifact index are SQLite databases on disk — a query is file IO
+  and may additionally park on the database lock).
 
 Arguments of ``run_in_executor``/``to_thread`` calls are exempt — that
 is the sanctioned way to reference a blocking callable — and nested
@@ -95,6 +99,17 @@ def _blocking_reason(func: ast.AST) -> tuple[str, str] | None:
             f"{'.'.join(chain)}() runs a strategy fit on the event loop",
             "submit the fit through the router's fit executor",
         )
+    if chain[0] == "sqlite3":
+        return (
+            f"sqlite3.{chain[-1]}() blocks the event loop",
+            "open store databases in the executor (loop.run_in_executor)",
+        )
+    if chain[-1] in {"execute", "executemany", "executescript"} and len(chain) > 1:
+        return (
+            f"{'.'.join(chain)}() runs SQLite work on the event loop",
+            "route store/index queries through the executor "
+            "(loop.run_in_executor)",
+        )
     return None
 
 
@@ -103,9 +118,9 @@ class AsyncBlockingRule(Rule):
 
     id: ClassVar[str] = "async-blocking"
     description: ClassVar[str] = (
-        "no time.sleep/open/Future.result/subprocess/strategy.fit/np.load "
-        "directly inside async def bodies of serving's http/router/gateway "
-        "and the fleet's wire/coordinator/worker"
+        "no time.sleep/open/Future.result/subprocess/strategy.fit/np.load/"
+        "sqlite3 work directly inside async def bodies of serving's "
+        "http/router/gateway and the fleet's wire/coordinator/worker"
     )
 
     def check(self, project: Project) -> list[Finding]:

@@ -48,6 +48,7 @@ LAYERS: dict[str, int] = {
     "baselines": 6,
     "fleet": 6,  # distributed fit plane: serving imports it, never back
     "serving": 7,
+    "docs": 7,  # generated-docs tooling reads fleet wire defs, never back
 }
 
 #: top-level modules whose job is wiring all layers together

@@ -124,6 +124,62 @@ class TransferGraph:
         )
 
     # ------------------------------------------------------------------ #
+    def refresh(self, zoo, target: str, fitted: FittedTransferGraph,
+                dirty_nodes: set[str]) -> FittedTransferGraph:
+        """Incrementally update a fitted pipeline after catalog writes.
+
+        Stage 2 is localized: instead of re-walking the whole graph, the
+        learner re-walks only ``dirty_nodes`` (the graph nodes incident
+        to the changed catalog rows) and their one-hop neighbors, warm-
+        starting SGNS from ``fitted.embeddings`` — see
+        :meth:`repro.graph.Node2Vec.refresh`.  Stages 3–4 (feature
+        assembly + predictor) always retrain: their cost is linear in
+        the history table, not the graph, and the changed labels must
+        reach the predictor.  Learners without a ``refresh`` (the GNNs)
+        and graph-less configs fall back to a clean :meth:`fit`.
+        """
+        config = self.config
+        if not config.features.graph_features or not fitted.embeddings:
+            return self.fit(zoo, target)
+        learner = get_graph_learner(
+            config.graph_learner, dim=config.embedding_dim,
+            seed=derive_seed(config.seed, "graph_learner", target))
+        if not hasattr(learner, "refresh"):
+            return self.fit(zoo, target)
+
+        builder = GraphBuilder(zoo, config.graph)
+        with span("refresh.graph_build"):
+            graph, links = builder.build(exclude_target=target)
+        with span("refresh.embed"):
+            embeddings = learner.refresh(graph, fitted.embeddings,
+                                         dirty_nodes, links)
+
+        assembler = FeatureAssembler(
+            zoo=zoo,
+            features=config.features,
+            embeddings=embeddings,
+            transferability_metric=config.graph.transferability_metric,
+            similarity_method=config.graph.similarity_method,
+            graph=graph,
+        )
+        with span("refresh.features"):
+            pairs, labels = self._training_pairs(zoo, target)
+            x_train, names = assembler.assemble(pairs, fit=True)
+
+        predictor = get_predictor(config.predictor)
+        with span("refresh.train"):
+            predictor.fit(x_train, labels)
+
+        return FittedTransferGraph(
+            target=target,
+            assembler=assembler,
+            predictor=predictor,
+            embeddings=embeddings,
+            graph_stats=graph.stats(),
+            feature_names=names,
+        )
+
+    # ------------------------------------------------------------------ #
     def scores_for_target(self, zoo, target: str) -> dict[str, float]:
         """Stage 4: predicted score for every model on ``target``.
 

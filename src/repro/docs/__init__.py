@@ -1,0 +1,36 @@
+"""Documentation tooling: generated references that cannot drift.
+
+Hand-written docs rot; this package renders the machine-checked parts
+of ``docs/`` from the same sources the code enforces:
+
+- :mod:`repro.docs.protocol` renders ``docs/protocol.md`` from the
+  committed wire-schema snapshot
+  (``benchmarks/baselines/protocol_schema.json`` — the file the
+  ``wire-schema`` analysis rule gates against ``serving/protocol.py``)
+  plus the fleet frame table derived from :mod:`repro.fleet.wire`'s
+  dataclasses, so the protocol reference is exactly as fresh as the
+  enforced schema;
+- :mod:`repro.docs.links` is a stdlib link checker for ``docs/*.md``
+  and the README: relative links must resolve on disk and fenced
+  ``repro ...`` CLI examples must name real subcommands (parsed from
+  the live ``repro --help``).
+
+Both run in CI via ``repro docs --protocol --check`` and
+``repro docs --check-links``.
+"""
+
+from repro.docs.links import check_links
+from repro.docs.protocol import (
+    PROTOCOL_DOC_PATH,
+    check_protocol_doc,
+    render_protocol_doc,
+    write_protocol_doc,
+)
+
+__all__ = [
+    "PROTOCOL_DOC_PATH",
+    "check_links",
+    "check_protocol_doc",
+    "render_protocol_doc",
+    "write_protocol_doc",
+]

@@ -1,0 +1,156 @@
+"""Render ``docs/protocol.md`` from the enforced protocol sources.
+
+Two sections, two sources of truth:
+
+- the **HTTP v1 message reference** comes from the committed wire-schema
+  snapshot ``benchmarks/baselines/protocol_schema.json``.  That file is
+  already gated against ``repro/serving/protocol.py`` by the
+  ``wire-schema`` analysis rule, so rendering *from the snapshot* means
+  the doc can only drift if the snapshot does — and then CI fails
+  twice, once per gate;
+- the **fleet frame table** is derived from the
+  :mod:`repro.fleet.wire` dataclasses (name, direction, fields), the
+  same definitions both ends of the socket parse with.
+
+``repro docs --protocol`` writes the doc; ``--check`` renders to memory
+and exits non-zero when the committed doc differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.fleet import wire
+
+__all__ = [
+    "PROTOCOL_DOC_PATH",
+    "SNAPSHOT_PATH",
+    "render_protocol_doc",
+    "write_protocol_doc",
+    "check_protocol_doc",
+]
+
+#: repo-relative path of the generated protocol reference
+PROTOCOL_DOC_PATH = "docs/protocol.md"
+
+#: repo-relative path of the committed wire-schema snapshot
+SNAPSHOT_PATH = "benchmarks/baselines/protocol_schema.json"
+
+#: fleet frame -> (direction, one-line purpose); the field list itself
+#: comes from the live dataclasses in repro.fleet.wire
+_FRAME_DIRECTIONS = {
+    "HELLO": ("worker → coordinator",
+              "wire version, worker name, pid, challenge nonce"),
+    "CHALLENGE": ("coordinator → worker",
+                  "auth nonce + coordinator's HMAC proof"),
+    "AUTH": ("worker → coordinator",
+             "worker's HMAC proof of the challenge"),
+    "REGISTER": ("coordinator → worker",
+                 "assigned worker id, heartbeat cadence"),
+    "HEARTBEAT": ("worker → coordinator",
+                  "liveness + outstanding/fits_done"),
+    "FIT": ("coordinator → worker",
+            "fit id, target, pickled strategy + zoo reference"),
+    "FIT_RESULT": ("worker → coordinator",
+                   "meta JSON, span records, packed arrays"),
+    "FIT_ERROR": ("worker → coordinator",
+                  "typed kind, exception module/type, message"),
+}
+
+
+def _message_section(name: str, spec: dict) -> list[str]:
+    lines = [f"### `{name}`", ""]
+    kind = spec.get("kind")
+    if kind is not None:
+        lines += [f"Wire discriminant: `\"kind\": \"{kind}\"`", ""]
+    lines += ["| field | type | required |", "| --- | --- | --- |"]
+    for field, info in sorted(spec.get("fields", {}).items()):
+        required = "yes" if info.get("required") else "no"
+        # "|" inside a cell would split the markdown table column
+        type_str = str(info.get("type", "?")).replace("|", "\\|")
+        lines.append(f"| `{field}` | `{type_str}` | {required} |")
+    lines.append("")
+    return lines
+
+
+def _fleet_rows() -> list[tuple[str, str, str, str]]:
+    rows = []
+    for frame_cls, name in wire._FRAME_NAMES.items():
+        direction, carries = _FRAME_DIRECTIONS.get(name, ("?", "?"))
+        fields = ", ".join(f.name for f in dataclasses.fields(frame_cls))
+        rows.append((name, direction, fields, carries))
+    return rows
+
+
+def render_protocol_doc(root: str | Path) -> str:
+    """The full ``docs/protocol.md`` markdown for this checkout."""
+    snapshot_file = Path(root) / SNAPSHOT_PATH
+    snapshot = json.loads(snapshot_file.read_text(encoding="utf-8"))
+    messages = snapshot.get("messages", {})
+    version = snapshot.get("protocol_version", "?")
+
+    lines = [
+        "# Wire protocol reference",
+        "",
+        "<!-- GENERATED FILE — do not edit by hand. -->",
+        "<!-- Regenerate with: repro docs --protocol -->",
+        "<!-- CI gates drift with: repro docs --protocol --check -->",
+        "",
+        "## HTTP v1 protocol",
+        "",
+        f"Protocol version: `{version}`.  Messages are canonical JSON "
+        "(sorted keys, compact separators) — encoding the same message "
+        "twice yields identical bytes.  This section is rendered from "
+        f"`{SNAPSHOT_PATH}`, the snapshot the `wire-schema` analysis "
+        "rule gates against `repro/serving/protocol.py`; growth is "
+        "additive-only (new optional fields), never breaking.",
+        "",
+    ]
+    for name in sorted(messages):
+        lines += _message_section(name, messages[name])
+
+    lines += [
+        "## Fleet socket frames",
+        "",
+        "The distributed fit plane (`repro fit-worker` ↔ the gateway's "
+        "`FleetCoordinator`) speaks a length-prefixed framed protocol "
+        "over TCP (`repro/fleet/wire.py`, wire version "
+        f"`{wire.WIRE_VERSION}`): each frame is a canonical-JSON header "
+        "plus an optional binary tail for what JSON cannot carry.  The "
+        "CHALLENGE/AUTH handshake is a *mutual* HMAC proof over fresh "
+        "nonces when a fleet secret is configured; the coordinator "
+        "never unpickles worker-supplied bytes.",
+        "",
+        "| frame | direction | fields | carries |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, direction, fields, carries in _fleet_rows():
+        lines.append(f"| `{name}` | {direction} | `{fields}` | {carries} |")
+    lines += [
+        "",
+        "See `docs/operations.md` for the fleet trust model and "
+        "deployment runbook.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_protocol_doc(root: str | Path) -> Path:
+    """Render and write ``docs/protocol.md``; returns the path."""
+    out = Path(root) / PROTOCOL_DOC_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_protocol_doc(root), encoding="utf-8")
+    return out
+
+
+def check_protocol_doc(root: str | Path) -> list[str]:
+    """Drift report: empty when the committed doc matches a fresh render."""
+    expected = render_protocol_doc(root)
+    path = Path(root) / PROTOCOL_DOC_PATH
+    if not path.exists():
+        return [f"{PROTOCOL_DOC_PATH} is missing; run `repro docs --protocol`"]
+    if path.read_text(encoding="utf-8") != expected:
+        return [f"{PROTOCOL_DOC_PATH} is stale; run `repro docs --protocol`"]
+    return []

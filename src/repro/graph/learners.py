@@ -77,6 +77,38 @@ class Node2Vec(GraphLearner):
             return train_skipgram(walks, graph.nodes(),
                                   self.skipgram_config, sg_rng)
 
+    def refresh(self, graph: ModelDatasetGraph,
+                embeddings: dict[str, np.ndarray],
+                dirty_nodes: set[str],
+                links: LinkExamples | None = None) -> dict[str, np.ndarray]:
+        """Localized re-walk + warm-started SGNS over a dirty neighborhood.
+
+        Walks restart only from ``dirty_nodes`` and their one-hop
+        neighbors; SGNS warm-starts every node from ``embeddings``, so
+        vectors outside the re-walked region are carried over verbatim
+        and the refresh costs O(changed nodes), not O(graph).  Falls
+        back to a full :meth:`embed` when the dirty set is empty-or-
+        unknown relative to this graph (nothing to localize against).
+        """
+        known = set(graph.nodes())
+        dirty = {n for n in dirty_nodes if n in known}
+        if not dirty or not embeddings:
+            return self.embed(graph, links)
+        frontier = set(dirty)
+        for node in dirty:
+            frontier.update(nb for nb, _w, _k in graph.neighbors(node))
+        walk_rng = np.random.default_rng(
+            derive_seed(self.seed, self.name, "refresh-walks"))
+        sg_rng = np.random.default_rng(
+            derive_seed(self.seed, self.name, "refresh-sgns"))
+        with span("refresh.walks"):
+            walks = generate_walks(graph, self.walk_config, walk_rng,
+                                   start_nodes=sorted(frontier))
+        with span("refresh.sgns"):
+            return train_skipgram(walks, graph.nodes(),
+                                  self.skipgram_config, sg_rng,
+                                  init=embeddings)
+
 
 class Node2VecPlus(Node2Vec):
     """Node2Vec+ (Liu et al. 2023): edge-weight-aware walks + SGNS (§V-B1)."""

@@ -60,12 +60,21 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 def train_skipgram(walks: list[list[str]], vocabulary: list[str],
                    config: SkipGramConfig,
-                   rng: np.random.Generator) -> dict[str, np.ndarray]:
+                   rng: np.random.Generator,
+                   init: dict[str, np.ndarray] | None = None,
+                   ) -> dict[str, np.ndarray]:
     """Train SGNS embeddings; returns {node: vector(dim)}.
 
     Nodes that never appear in a walk keep their random initialisation
     (they are isolated in the graph; downstream code treats their
     embedding as uninformative noise, which is the honest signal).
+
+    ``init`` warm-starts the input embedding table from a previous
+    training run: nodes present in ``init`` (with a matching dim) start
+    from their old vector and nodes absent from the walks *keep* it
+    verbatim — the incremental-refresh contract, where only the dirty
+    neighborhood is re-walked and the rest of the embedding space must
+    not drift.
     """
     index = {node: i for i, node in enumerate(vocabulary)}
     walks_idx = [[index[n] for n in walk] for walk in walks]
@@ -80,6 +89,11 @@ def train_skipgram(walks: list[list[str]], vocabulary: list[str],
     noise = noise / noise_sum if noise_sum > 0 else np.full(v, 1.0 / v)
 
     emb_in = (rng.random((v, config.dim)) - 0.5) / config.dim
+    if init:
+        for node, vector in init.items():
+            i = index.get(node)
+            if i is not None and np.shape(vector) == (config.dim,):
+                emb_in[i] = np.asarray(vector, dtype=float)
     emb_out = np.zeros((v, config.dim))
 
     pairs = _pairs_from_walks(walks_idx, config.window, rng)

@@ -73,15 +73,28 @@ def _step_probabilities(neighbors: list[str], weights: np.ndarray,
 
 
 def generate_walks(graph: ModelDatasetGraph, config: WalkConfig,
-                   rng: np.random.Generator) -> list[list[str]]:
-    """Generate ``num_walks`` biased walks from every node."""
+                   rng: np.random.Generator,
+                   start_nodes: list[str] | None = None) -> list[list[str]]:
+    """Generate ``num_walks`` biased walks from every node.
+
+    ``start_nodes`` restricts where walks *start* (walks still traverse
+    the whole graph): the incremental-refresh path passes the dirty
+    neighborhood here so re-walking costs O(changed nodes), not
+    O(graph).  Unknown names are ignored.
+    """
     neighbor_cache: dict[str, tuple[list[str], np.ndarray]] = {
         node: _collapse_neighbors(graph, node) for node in graph.nodes()
     }
     neighbor_sets = {node: set(names) for node, (names, _) in neighbor_cache.items()}
 
     walks: list[list[str]] = []
-    nodes = graph.nodes()
+    if start_nodes is None:
+        nodes = graph.nodes()
+    else:
+        known = set(graph.nodes())
+        nodes = sorted(n for n in set(start_nodes) if n in known)
+    if not nodes:
+        return walks
     for _ in range(config.num_walks):
         order = rng.permutation(len(nodes))
         for node_idx in order:

@@ -46,6 +46,11 @@ readable in ``ErrorResponse.retry_after_s`` (fractional seconds) and as
 the integral ``Retry-After`` header HTTP clients already understand.
 Connections are single-request (``Connection: close``): the server
 optimises for correctness and testability, not keep-alive throughput.
+
+Handlers never block the event loop: fits, artifact I/O, and the
+registry's SQLite index all run behind the router's executor (the
+``async-blocking`` analysis rule enforces it, inline ``sqlite3`` work
+included).
 """
 
 from __future__ import annotations

@@ -1,0 +1,96 @@
+"""SQLite-backed artifact index for :class:`~repro.serving.registry.ArtifactRegistry`.
+
+One ``registry.db`` per registry root (the gateway gives every namespace
+shard its own root, hence one DB per shard).  The index holds a single
+``registry_index`` table — (strategy fingerprint, target) → artifact
+path, byte size, meta mtime, last-hit timestamp — so lookups and GC are
+keyed queries instead of directory walks.  The npz/JSON artifact bytes
+themselves stay on disk; the index is pure bookkeeping.
+
+The filesystem remains the source of truth: every index hit is verified
+against ``meta.json`` before it is trusted (rows whose artifact vanished
+out-of-band are dropped), and artifacts written behind the index's back
+are adopted on first sight.  A deleted or corrupt ``registry.db`` is
+therefore never fatal — it rebuilds from disk.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.store.schema import Column, Schema
+from repro.store.sqlite import SQLiteStore, SQLiteTable
+
+__all__ = ["RegistryIndex", "INDEX_DB_NAME"]
+
+#: index database filename, created inside the registry root
+INDEX_DB_NAME = "registry.db"
+
+_INDEX_SCHEMA = Schema(
+    name="registry_index",
+    columns=[
+        Column("strategy_fp", "str"),
+        Column("target", "str"),
+        Column("path", "str"),
+        Column("size", "int"),
+        Column("mtime", "float"),
+        Column("last_hit", "float", required=False, default=0.0),
+    ],
+    primary_key=("strategy_fp", "target"),
+)
+
+
+class RegistryIndex:
+    """Keyed artifact bookkeeping over a :class:`SQLiteStore`."""
+
+    def __init__(self, db_path: str | Path):
+        self.db_path = Path(db_path)
+        self.store = SQLiteStore(self.db_path)
+        self.table: SQLiteTable = self.store.table(_INDEX_SCHEMA)
+        self.table.add_index("strategy_fp")
+
+    # ------------------------------------------------------------------ #
+    def record(self, strategy_fp: str, target: str, path: Path,
+               size: int, mtime: float, last_hit: float | None = None) -> None:
+        """Upsert one artifact row (``last_hit`` preserved unless given)."""
+        if last_hit is None:
+            prev = self.table.get_or_none(strategy_fp, target)
+            last_hit = prev["last_hit"] if prev else 0.0
+        self.table.insert(
+            {"strategy_fp": strategy_fp, "target": target, "path": str(path),
+             "size": int(size), "mtime": float(mtime),
+             "last_hit": float(last_hit)},
+            upsert=True,
+        )
+
+    def touch(self, strategy_fp: str, target: str,
+              when: float | None = None) -> None:
+        """Bump ``last_hit`` (no-op when the row is missing)."""
+        row = self.table.get_or_none(strategy_fp, target)
+        if row is None:
+            return
+        row["last_hit"] = time.time() if when is None else float(when)
+        self.table.insert(row, upsert=True)
+
+    def get(self, strategy_fp: str, target: str) -> dict | None:
+        return self.table.get_or_none(strategy_fp, target)
+
+    def rows(self, strategy_fp: str | None = None) -> list[dict]:
+        if strategy_fp is None:
+            return self.table.to_records()
+        return self.table.filter(strategy_fp=strategy_fp)
+
+    def drop(self, strategy_fp: str, target: str) -> None:
+        if self.table.get_or_none(strategy_fp, target) is not None:
+            self.table.delete(strategy_fp, target)
+
+    def drop_fingerprint(self, strategy_fp: str) -> None:
+        for row in self.table.filter(strategy_fp=strategy_fp):
+            self.table.delete(row["strategy_fp"], row["target"])
+
+    def fingerprints(self) -> list[str]:
+        return self.table.distinct("strategy_fp")
+
+    def close(self) -> None:
+        self.store.close()

@@ -62,6 +62,7 @@ _COUNTER_FIELDS = (
     "cache_misses",
     "registry_hits",
     "fits",
+    "refreshes",
     "evictions",
     "invalidations",
 )
@@ -76,6 +77,7 @@ class ServiceStats:
     cache_misses: int = 0
     registry_hits: int = 0
     fits: int = 0
+    refreshes: int = 0
     evictions: int = 0
     invalidations: int = 0
     latencies_ms: deque = field(
@@ -149,6 +151,7 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "registry_hits": self.registry_hits,
             "fits": self.fits,
+            "refreshes": self.refreshes,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate(),
@@ -185,6 +188,10 @@ class SelectionService:
         self._config_fp = self.strategy.fingerprint()
         # guarded by: self._lock
         self._cache: OrderedDict[tuple[str, str], object] = OrderedDict()
+        #: catalog mutation-seq snapshot per cache key, taken when the
+        #: pipeline landed in the cache — the "since" for incremental
+        #: refresh.  guarded by: self._lock
+        self._fit_seqs: dict[tuple[str, str], int] = {}
         self._stats = ServiceStats()  # guarded by: self._lock
         #: guards cache order/content and stat counters; never held across
         #: a fit or registry I/O
@@ -305,13 +312,27 @@ class SelectionService:
 
         key = (target, self._config_fp)
         evicted: list[tuple[str, str]] = []
+        # Snapshot *after* the fit: the fit itself records derived rows
+        # (lazy similarity/transferability fills) which the pipeline
+        # already consumed, so they must not look dirty at refresh time.
+        seq = self._catalog_seq()
         with self._lock:
             self._cache[key] = fitted
+            if seq is not None:
+                self._fit_seqs[key] = seq
             while len(self._cache) > self.cache_size:
                 evicted.append(self._cache.popitem(last=False)[0])
                 self._stats.evictions += 1
+            for gone in evicted:
+                self._fit_seqs.pop(gone, None)
         self._notify_evicted(evicted)
         return fitted
+
+    def _catalog_seq(self) -> int | None:
+        """Current catalog mutation seq, ``None`` for catalog-less zoos."""
+        catalog = getattr(self.zoo, "catalog", None)
+        seq = getattr(catalog, "mutation_seq", None)
+        return seq if isinstance(seq, int) else None
 
     def _fitted(self, target: str):
         """Fitted pipeline for ``target``: memory → registry → fresh fit."""
@@ -399,15 +420,71 @@ class SelectionService:
             out[target] = time.perf_counter() - started
         return out
 
-    def invalidate(self, target: str) -> None:
+    def refresh(self, target: str):
+        """Incrementally update ``target``'s pipeline after catalog writes.
+
+        The cheap path — a warm pipeline is in memory and the catalog's
+        mutation log still reaches back to its fit — hands the dirty
+        node set to :meth:`SelectionStrategy.refresh` (for TG
+        strategies: localized re-walks + warm-started SGNS over the
+        dirty neighborhood, O(changed-edges) instead of a full refit)
+        and writes the refreshed artifact through to the registry.
+        When nothing changed, the warm pipeline is returned untouched.
+
+        Falls back to drop-and-refit when there is no warm pipeline, no
+        catalog mutation log (stub zoos), or the log was trimmed past
+        the fit snapshot — the honest full-refit path.
+
+        Returns the (refreshed or refit) fitted pipeline.
+        """
+        self._check_target(target)
+        key = (target, self._config_fp)
+        with self._lock:
+            fitted = self._cache.get(key)
+            since = self._fit_seqs.get(key)
+        dirty: set[str] | None = None
+        catalog = getattr(self.zoo, "catalog", None)
+        if fitted is not None and since is not None and catalog is not None:
+            dirty = catalog.dirty_nodes(since)
+        if dirty is not None and not dirty:
+            return fitted  # no catalog writes since the fit
+        if fitted is None or dirty is None:
+            self.invalidate(target)
+            return self.load_or_fit(target)
+
+        with span("refresh.strategy"):
+            refreshed = self.strategy.refresh(self.zoo, target, fitted, dirty)
+        seq = self._catalog_seq()
+        with self._lock:
+            self._cache[key] = refreshed
+            self._cache.move_to_end(key)
+            if seq is not None:
+                self._fit_seqs[key] = seq
+            self._stats.refreshes += 1
+        if self.registry is not None:
+            with span("refresh.artifact_pack"):
+                self.registry.save(refreshed, self.strategy, self.zoo)
+        return refreshed
+
+    def invalidate(self, target: str, refresh: bool = False) -> None:
         """Drop ``target``'s pipeline from memory and the registry.
 
         Call after catalog updates (new history rows, new models) so the
-        next query refits against fresh ground truth.
+        next query serves fresh ground truth.  With ``refresh=True`` the
+        stale pipeline is *updated in place* via :meth:`refresh` —
+        localized re-walks over the dirty neighborhood instead of
+        throwing the whole fitted graph away — falling back to
+        drop-and-refit when no warm state exists.
         """
+        if refresh:
+            # Counted as a refresh (or, on the fallback path, as the
+            # invalidation the drop-and-refit performs) — not both.
+            self.refresh(target)
+            return
         key = (target, self._config_fp)
         with self._lock:
             dropped = self._cache.pop(key, None) is not None
+            self._fit_seqs.pop(key, None)
         if dropped:
             self._notify_evicted([key])
         if self.registry is not None:

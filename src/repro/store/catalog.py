@@ -24,9 +24,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.store.schema import Column, Schema
+from repro.store.sqlite import SQLiteStore
 from repro.store.table import Table
 
 __all__ = ["ZooCatalog"]
+
+#: retained mutation-log length; updates further back than this force a
+#: full refit instead of an incremental refresh (the honest fallback)
+_DIRTY_LOG_LIMIT = 100_000
 
 _MODEL_SCHEMA = Schema(
     name="models",
@@ -107,24 +112,79 @@ class ZooCatalog:
     effectively immutable between explicit invalidations.
     """
 
-    def __init__(self):
+    def __init__(self, path: str | Path | None = None):
         #: re-entrant: recording helpers nest inside locked fill sections
         self.lock = threading.RLock()
-        self.models = Table(_MODEL_SCHEMA)
-        self.datasets = Table(_DATASET_SCHEMA)
-        self.history = Table(_HISTORY_SCHEMA).add_index("dataset_id").add_index("model_id")
-        self.transferability = (Table(_TRANSFERABILITY_SCHEMA)
+        #: the durable backend when ``path`` was given, else None
+        self.store: SQLiteStore | None = None
+        if path is not None:
+            self.store = SQLiteStore(path)
+
+        def make(schema: Schema):
+            return Table(schema) if self.store is None else self.store.table(schema)
+
+        self.models = make(_MODEL_SCHEMA)
+        self.datasets = make(_DATASET_SCHEMA)
+        self.history = make(_HISTORY_SCHEMA).add_index("dataset_id").add_index("model_id")
+        self.transferability = (make(_TRANSFERABILITY_SCHEMA)
                                 .add_index("dataset_id").add_index("metric"))
-        self.similarity = Table(_SIMILARITY_SCHEMA).add_index("method")
+        self.similarity = make(_SIMILARITY_SCHEMA).add_index("method")
+        # Mutation log for incremental graph refresh: every write marks
+        # the graph nodes its row is incident to.  guarded by: self.lock
+        self._mutation_seq = 0
+        self._dirty_log: list[tuple[int, str]] = []
+        self._dirty_floor = 0  # seqs <= floor have been trimmed away
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ZooCatalog":
+        """Open (or create) a SQLite-backed catalog at ``path``."""
+        return cls(path=path)
+
+    def close(self) -> None:
+        """Release the SQLite backend (no-op for in-memory catalogs)."""
+        if self.store is not None:
+            self.store.close()
+
+    # ------------------------------------------------------------------ #
+    # mutation log (consumed by the incremental graph refresh)
+    # ------------------------------------------------------------------ #
+    def _mark_dirty(self, *nodes: str) -> None:
+        with self.lock:
+            self._mutation_seq += 1
+            seq = self._mutation_seq
+            self._dirty_log.extend((seq, node) for node in nodes)
+            if len(self._dirty_log) > _DIRTY_LOG_LIMIT:
+                trimmed = self._dirty_log[-_DIRTY_LOG_LIMIT:]
+                self._dirty_floor = trimmed[0][0] - 1
+                self._dirty_log = trimmed
+
+    @property
+    def mutation_seq(self) -> int:
+        """Monotonic write counter; snapshot it when a pipeline is fit."""
+        with self.lock:
+            return self._mutation_seq
+
+    def dirty_nodes(self, since: int) -> set[str] | None:
+        """Graph nodes whose incident catalog rows changed after ``since``.
+
+        Returns ``None`` when the log no longer reaches back that far —
+        callers must then fall back to a full refit.
+        """
+        with self.lock:
+            if since < self._dirty_floor:
+                return None
+            return {node for seq, node in self._dirty_log if seq > since}
 
     # ------------------------------------------------------------------ #
     # writers
     # ------------------------------------------------------------------ #
     def add_model(self, **fields) -> None:
         self.models.insert(fields, upsert=True)
+        self._mark_dirty(fields["model_id"])
 
     def add_dataset(self, **fields) -> None:
         self.datasets.insert(fields, upsert=True)
+        self._mark_dirty(fields["dataset_id"])
 
     def record_history(self, model_id: str, dataset_id: str, accuracy: float,
                        method: str = "finetune", epochs: int = 0) -> None:
@@ -133,6 +193,7 @@ class ZooCatalog:
              "accuracy": float(accuracy), "epochs": epochs},
             upsert=True,
         )
+        self._mark_dirty(model_id, dataset_id)
 
     def record_transferability(self, model_id: str, dataset_id: str,
                                metric: str, score: float) -> None:
@@ -141,6 +202,7 @@ class ZooCatalog:
              "metric": metric, "score": float(score)},
             upsert=True,
         )
+        self._mark_dirty(model_id, dataset_id)
 
     def record_similarity(self, dataset_a: str, dataset_b: str,
                           similarity: float,
@@ -152,6 +214,7 @@ class ZooCatalog:
              "similarity": float(similarity)},
             upsert=True,
         )
+        self._mark_dirty(a, b)
 
     # ------------------------------------------------------------------ #
     # readers

@@ -1,0 +1,344 @@
+"""SQLite-backed twins of the in-memory record store.
+
+The in-memory :class:`~repro.store.table.Table` dies with the process
+and answers un-indexed filters by scanning every row — fine for a
+test-scale catalog, fatal for the ROADMAP's millions-of-targets store.
+This module provides the durable shape (SNIPPETS Snippet 2 is the
+exemplar: a versioned, indexed SQLite schema with
+migration-on-version-bump):
+
+- :class:`SQLiteStore` — one database file (one per namespace shard),
+  WAL journaling, a ``PRAGMA user_version`` schema version with ordered
+  migrations applied on open, and a single shared connection serialised
+  by an internal lock so router fit threads may read one catalog
+  concurrently;
+- :class:`SQLiteTable` — a drop-in twin of ``Table`` over a
+  :class:`~repro.store.schema.Schema`: same ``insert``/``get``/
+  ``filter``/``distinct``/``to_records`` surface, same ``SchemaError``
+  semantics, so :class:`~repro.store.catalog.ZooCatalog`,
+  ``GraphBuilder`` and ``FeatureAssembler`` never notice which backend
+  they are reading (``tests/test_store_sqlite.py`` holds the two
+  backends to byte-for-byte parity by hypothesis).
+
+Values round-trip typed: ``bool`` columns are stored as INTEGER and
+revived as ``bool``, floats as REAL, so a catalog migrated from JSON
+returns records equal to the originals (type included).
+
+Neither class is picklable — a connection handle cannot cross a process
+boundary.  The process/fleet fit planes re-hydrate zoos from the disk
+cache instead of shipping catalogs, so this never bites in practice;
+the explicit ``__getstate__`` guard turns a silent corruption into a
+typed error.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.store.schema import Schema, SchemaError
+
+__all__ = ["SCHEMA_VERSION", "SQLiteStore", "SQLiteTable", "StoreVersionError"]
+
+#: current on-disk schema version, stamped into ``PRAGMA user_version``.
+#: Bump it together with a new entry in :data:`MIGRATIONS`.
+SCHEMA_VERSION = 2
+
+_SQL_TYPES = {"str": "TEXT", "int": "INTEGER", "float": "REAL", "bool": "INTEGER"}
+
+
+class StoreVersionError(SchemaError):
+    """The database's schema version cannot be handled by this build."""
+
+
+def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
+    """v1 -> v2: the registry index gained per-artifact ``last_hit``.
+
+    v1 databases (the initial development schema) tracked registry
+    artifacts without hit accounting; v2 records the last successful
+    load so GC policies can age artifacts out.  Catalog tables are
+    unchanged.  The ALTER is conditional: a v1 catalog-only database
+    has no ``registry_index`` table to migrate.
+    """
+    row = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' "
+        "AND name='registry_index'"
+    ).fetchone()
+    if row is None:
+        return
+    columns = {r[1] for r in connection.execute(
+        "PRAGMA table_info(registry_index)")}
+    if "last_hit" not in columns:
+        connection.execute(
+            "ALTER TABLE registry_index ADD COLUMN last_hit REAL NOT NULL "
+            "DEFAULT 0.0"
+        )
+
+
+#: ordered migrations: ``MIGRATIONS[v]`` upgrades a version-``v``
+#: database to version ``v + 1``.  Opening a database whose stored
+#: version is behind :data:`SCHEMA_VERSION` applies every step in
+#: sequence inside one transaction, then stamps the new version.
+MIGRATIONS: dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_v1_to_v2,
+}
+
+
+class SQLiteStore:
+    """One SQLite database holding any number of schema-typed tables.
+
+    Thread-safe: a single connection (``check_same_thread=False``)
+    guarded by an RLock — the catalog's readers are many and cheap, and
+    serialising them on one connection avoids SQLITE_BUSY dances while
+    WAL keeps concurrent *processes* (CLI + server on one shard) safe.
+    """
+
+    def __init__(self, path: str | Path, timeout: float = 30.0):
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            str(self.path), timeout=timeout, check_same_thread=False
+        )
+        with self._lock:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+            self._apply_migrations()
+
+    # ------------------------------------------------------------------ #
+    def _apply_migrations(self) -> None:
+        version = self._connection.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            raise StoreVersionError(
+                f"store {self.path}: schema version {version} is newer than "
+                f"this build's {SCHEMA_VERSION}; refusing to downgrade"
+            )
+        if version == 0:
+            # Fresh database: tables are created at the current shape,
+            # no migration to run.
+            self._connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            self._connection.commit()
+            return
+        while version < SCHEMA_VERSION:
+            step = MIGRATIONS.get(version)
+            if step is None:
+                raise StoreVersionError(
+                    f"store {self.path}: no migration from schema version "
+                    f"{version} (need {SCHEMA_VERSION})"
+                )
+            step(self._connection)
+            version += 1
+            self._connection.execute(f"PRAGMA user_version = {version}")
+            self._connection.commit()
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            return self._connection.execute("PRAGMA user_version").fetchone()[0]
+
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Run one statement and return its rows (committing writes)."""
+        with self._lock:
+            cursor = self._connection.execute(sql, params)
+            rows = cursor.fetchall()
+            self._connection.commit()
+            return rows
+
+    def executemany(self, sql: str, seq_of_params: list[tuple]) -> None:
+        with self._lock:
+            self._connection.executemany(sql, seq_of_params)
+            self._connection.commit()
+
+    def table(self, schema: Schema, indexes: tuple[str, ...] = ()) -> "SQLiteTable":
+        """Create (if absent) and return the table for ``schema``."""
+        table = SQLiteTable(self, schema)
+        for column in indexes:
+            table.add_index(column)
+        return table
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self):  # pragma: no cover - exercised via pickle error
+        raise TypeError(
+            "SQLiteStore is not picklable (it owns a database connection); "
+            "ship the database path and reopen on the far side"
+        )
+
+
+class SQLiteTable:
+    """A :class:`~repro.store.table.Table` twin persisted in SQLite.
+
+    Same schema validation, same ``SchemaError`` texts, same
+    deterministic primary-key ordering of ``filter``/``to_records`` —
+    the only observable difference is durability and that equality
+    filters on *any* column are answered by the engine (``add_index``
+    makes them indexed, it does not gate them).
+    """
+
+    def __init__(self, store: SQLiteStore, schema: Schema):
+        if not schema.primary_key:
+            raise SchemaError(
+                f"table {schema.name!r}: SQLite backing requires a primary key"
+            )
+        self.store = store
+        self.schema = schema
+        self._bool_columns = {c.name for c in schema.columns if c.dtype == "bool"}
+        columns_sql = ", ".join(
+            f"{c.name} {_SQL_TYPES[c.dtype]}" for c in schema.columns
+        )
+        key_sql = ", ".join(schema.primary_key)
+        store.execute(
+            f"CREATE TABLE IF NOT EXISTS {schema.name} "
+            f"({columns_sql}, PRIMARY KEY ({key_sql}))"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _revive(self, row: tuple) -> dict:
+        out = dict(zip(self.schema.column_names, row))
+        for name in self._bool_columns:
+            if out[name] is not None:
+                out[name] = bool(out[name])
+        return out
+
+    def _key_clause(self) -> str:
+        return " AND ".join(f"{k} = ?" for k in self.schema.primary_key)
+
+    def _select(self, where: str = "", params: tuple = ()) -> list[dict]:
+        names = ", ".join(self.schema.column_names)
+        sql = f"SELECT {names} FROM {self.schema.name}"
+        if where:
+            sql += f" WHERE {where}"
+        return [self._revive(row) for row in self.store.execute(sql, params)]
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.store.execute(
+            f"SELECT COUNT(*) FROM {self.schema.name}")[0][0]
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._select())
+
+    def __contains__(self, key: tuple) -> bool:
+        rows = self.store.execute(
+            f"SELECT 1 FROM {self.schema.name} WHERE {self._key_clause()}",
+            tuple(key),
+        )
+        return bool(rows)
+
+    # ------------------------------------------------------------------ #
+    def add_index(self, column: str) -> "SQLiteTable":
+        """Create (if absent) a secondary index on ``column``."""
+        self.schema.column(column)  # raises on unknown column
+        self.store.execute(
+            f"CREATE INDEX IF NOT EXISTS "
+            f"idx_{self.schema.name}_{column} ON {self.schema.name} ({column})"
+        )
+        return self
+
+    def insert(self, record: dict, *, upsert: bool = False) -> tuple:
+        """Insert a record; with ``upsert`` replace an existing key."""
+        validated = self.schema.validate(record)
+        key = self.schema.key_of(validated)
+        if not upsert and key in self:
+            raise SchemaError(
+                f"table {self.schema.name!r}: duplicate primary key {key}"
+            )
+        names = self.schema.column_names
+        placeholders = ", ".join("?" for _ in names)
+        self.store.execute(
+            f"INSERT OR REPLACE INTO {self.schema.name} "
+            f"({', '.join(names)}) VALUES ({placeholders})",
+            tuple(validated[n] for n in names),
+        )
+        return key
+
+    def get(self, *key_values) -> dict:
+        row = self.get_or_none(*key_values)
+        if row is None:
+            raise KeyError(
+                f"table {self.schema.name!r}: no record with key "
+                f"{tuple(key_values)}"
+            )
+        return row
+
+    def get_or_none(self, *key_values) -> dict | None:
+        rows = self._select(self._key_clause(), tuple(key_values))
+        return rows[0] if rows else None
+
+    def delete(self, *key_values) -> None:
+        key = tuple(key_values)
+        if key not in self:
+            raise KeyError(f"table {self.schema.name!r}: no record with key {key}")
+        self.store.execute(
+            f"DELETE FROM {self.schema.name} WHERE {self._key_clause()}", key
+        )
+
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[dict], bool] | None = None,
+               **equals) -> list[dict]:
+        """Records matching all equality constraints and the predicate.
+
+        Equality constraints compile to a WHERE clause (index-backed
+        when ``add_index`` covered the column); the predicate, when
+        given, runs in Python over the narrowed rows.
+        """
+        for column in equals:
+            self.schema.column(column)
+        where = " AND ".join(f"{c} = ?" for c in equals)
+        params = tuple(
+            int(v) if isinstance(v, bool) else v for v in equals.values()
+        )
+        rows = self._select(where, params)
+        if predicate is not None:
+            rows = [row for row in rows if predicate(row)]
+        rows.sort(key=self.schema.key_of)
+        return rows
+
+    def distinct(self, column: str) -> list:
+        """Sorted distinct values of ``column``."""
+        self.schema.column(column)
+        values = [
+            row[0]
+            for row in self.store.execute(
+                f"SELECT DISTINCT {column} FROM {self.schema.name}")
+        ]
+        if column in self._bool_columns:
+            values = [bool(v) for v in values if v is not None]
+        return sorted(values)
+
+    def to_records(self) -> list[dict]:
+        """All rows, sorted by primary key."""
+        return self.filter()
+
+    # ------------------------------------------------------------------ #
+    def to_json_obj(self) -> dict:
+        return {"table": self.schema.name, "rows": self.to_records()}
+
+    def load_records(self, rows: list[dict], *, upsert: bool = True) -> int:
+        """Bulk-insert ``rows`` in one transaction; returns the count."""
+        if not upsert:
+            for row in rows:
+                self.insert(row, upsert=False)
+            return len(rows)
+        names = self.schema.column_names
+        placeholders = ", ".join("?" for _ in names)
+        validated = [self.schema.validate(row) for row in rows]
+        self.store.executemany(
+            f"INSERT OR REPLACE INTO {self.schema.name} "
+            f"({', '.join(names)}) VALUES ({placeholders})",
+            [tuple(row[n] for n in names) for row in validated],
+        )
+        return len(rows)

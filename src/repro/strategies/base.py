@@ -122,6 +122,19 @@ class SelectionStrategy:
         """Revive a fitted pipeline, validating freshness first."""
         raise NotImplementedError
 
+    def refresh(self, zoo: Any, target: str, fitted: FittedSelection,
+                dirty_nodes: set[str]) -> FittedSelection:
+        """Update ``fitted`` after catalog writes touching ``dirty_nodes``.
+
+        The default is the honest fallback — a clean :meth:`fit` —
+        which is already cheap for the no-history strategies (their fit
+        is a catalog sweep).  Strategies with an expensive Stage-2
+        learning phase override this with an O(changed-nodes) refresh
+        (:class:`~repro.strategies.TransferGraphStrategy` re-walks only
+        the dirty neighborhood and warm-starts SGNS).
+        """
+        return self.fit(zoo, target)
+
     # ------------------------------------------------------------------ #
     # shared faces (evaluation harness + convenience)
     # ------------------------------------------------------------------ #

@@ -99,6 +99,15 @@ class TransferGraphStrategy(SelectionStrategy):
     def fit(self, zoo, target: str):
         return self._tg.fit(zoo, target)
 
+    def refresh(self, zoo, target: str, fitted, dirty_nodes: set[str]):
+        """Incremental Stage-2 refresh (localized walks + warm SGNS).
+
+        Delegates to :meth:`repro.core.TransferGraph.refresh`, which
+        falls back to a clean fit for graph-less configs and learners
+        without a localized-refresh path.
+        """
+        return self._tg.refresh(zoo, target, fitted, dirty_nodes)
+
     def fingerprint(self) -> str:
         from repro.strategies.fingerprint import config_fingerprint
 

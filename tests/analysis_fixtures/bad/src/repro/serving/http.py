@@ -1,5 +1,6 @@
 """async-blocking fixture: blocking primitives inline in coroutines."""
 
+import sqlite3
 import time
 
 
@@ -15,3 +16,10 @@ async def handle(request, future):
 async def refit(strategy, zoo, target):
     # BAD: a strategy fit runs inline on the event loop.
     return strategy.fit(zoo, target)
+
+
+async def lookup(index, fingerprint):
+    # BAD: SQLite work is file IO (plus a database lock) on the loop.
+    conn = sqlite3.connect("registry.db")
+    return conn.execute("SELECT path FROM registry_index WHERE fp = ?",
+                        (fingerprint,)).fetchall()

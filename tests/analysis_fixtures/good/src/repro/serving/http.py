@@ -16,6 +16,10 @@ async def read_payload(path):
     return await asyncio.to_thread(_read, path)
 
 
+async def lookup(loop, index, fingerprint):
+    return await loop.run_in_executor(None, index.rows, fingerprint)
+
+
 def _read(path):
     with open(path, "rb") as fh:
         return fh.read()

@@ -68,8 +68,9 @@ def test_lock_discipline_flags_unguarded_read(bad_findings):
 
 def test_async_blocking_flags_each_primitive(bad_findings):
     messages = _messages(bad_findings, "async-blocking")
-    assert len(messages) == 4
-    for needle in ("time.sleep", "open()", "future.result", "strategy.fit"):
+    assert len(messages) == 6
+    for needle in ("time.sleep", "open()", "future.result", "strategy.fit",
+                   "sqlite3.connect", "conn.execute"):
         assert any(needle in m for m in messages), needle
 
 
